@@ -1,0 +1,391 @@
+// Benchmarks regenerating every figure and table-like result of the
+// TRACLUS paper's evaluation (one benchmark per entry of the DESIGN.md §4
+// experiment index), plus the complexity claims (Lemma 1, Lemma 3) and
+// ablation benches for the design choices DESIGN.md calls out.
+//
+// Run with: go test -bench=. -benchmem
+package traclus_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/gridindex"
+	"repro/internal/lsdist"
+	"repro/internal/mdl"
+	"repro/internal/rtree"
+	"repro/internal/segclust"
+	"repro/internal/synth"
+
+	traclus "repro"
+)
+
+// benchReport runs an experiment once per iteration and reports a headline
+// value as a custom metric.
+func benchReport(b *testing.B, run func(experiments.Size) *experiments.Report, metric string) {
+	b.Helper()
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = run(experiments.Small)
+	}
+	if rep != nil {
+		if v, ok := rep.Values[metric]; ok {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+// ---- One bench per paper figure/table (DESIGN.md §4) ----
+
+func BenchmarkFig1SubTrajectory(b *testing.B) {
+	benchReport(b, experiments.Fig1, "traclusClusters")
+}
+
+func BenchmarkFig16EntropyHurricane(b *testing.B) {
+	benchReport(b, experiments.Fig16, "optEps")
+}
+
+func BenchmarkFig17QMeasureHurricane(b *testing.B) {
+	benchReport(b, experiments.Fig17, "bestEpsMinLns6")
+}
+
+func BenchmarkFig18ClusterHurricane(b *testing.B) {
+	benchReport(b, experiments.Fig18, "clusters")
+}
+
+func BenchmarkFig19EntropyElk(b *testing.B) {
+	benchReport(b, experiments.Fig19, "optEps")
+}
+
+func BenchmarkFig20QMeasureElk(b *testing.B) {
+	benchReport(b, experiments.Fig20, "clusters")
+}
+
+func BenchmarkFig21ClusterElk(b *testing.B) {
+	benchReport(b, experiments.Fig21, "clusters")
+}
+
+func BenchmarkFig22ClusterDeer(b *testing.B) {
+	benchReport(b, experiments.Fig22, "clusters")
+}
+
+func BenchmarkFig23NoiseRobustness(b *testing.B) {
+	benchReport(b, experiments.Fig23, "clusters")
+}
+
+func BenchmarkSec33PartitioningPrecision(b *testing.B) {
+	benchReport(b, experiments.Sec33, "precision")
+}
+
+func BenchmarkSec54ParameterEffects(b *testing.B) {
+	benchReport(b, experiments.Sec54, "clustersEps30")
+}
+
+func BenchmarkAppendixADistance(b *testing.B) {
+	benchReport(b, experiments.AppendixA, "traclusGap")
+}
+
+func BenchmarkAppendixBWeights(b *testing.B) {
+	benchReport(b, experiments.AppendixB, "clustersWTheta1.00")
+}
+
+func BenchmarkAppendixCShiftInvariance(b *testing.B) {
+	benchReport(b, experiments.AppendixC, "shiftInvariant")
+}
+
+func BenchmarkAppendixDOptics(b *testing.B) {
+	benchReport(b, experiments.AppendixD, "segNearEps")
+}
+
+func BenchmarkExtensions(b *testing.B) {
+	benchReport(b, experiments.Extensions, "undirectedClusters")
+}
+
+// BenchmarkAblationDistance scores the competing segment distances against
+// planted directional flows (adjusted Rand index as the metric).
+func BenchmarkAblationDistance(b *testing.B) {
+	benchReport(b, experiments.DistanceAblation, "ari_traclus")
+}
+
+// BenchmarkAblationPartitioning compares MDL partitioning against the
+// classical simplifiers through the full pipeline.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	benchReport(b, experiments.PartitionAblation, "clusters_mdl")
+}
+
+// ---- Lemma 1: O(n) approximate partitioning ----
+
+func BenchmarkPartitionScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("points=%d", n), func(b *testing.B) {
+			pts := syntheticPath(n, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mdl.ApproximatePartition(pts, mdl.Config{CostAdvantage: 5})
+			}
+			b.ReportMetric(float64(n)/1000, "kpoints")
+		})
+	}
+}
+
+func BenchmarkPartitionExactDP(b *testing.B) {
+	for _, n := range []int{20, 40, 80} {
+		b.Run(fmt.Sprintf("points=%d", n), func(b *testing.B) {
+			pts := syntheticPath(n, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mdl.OptimalPartition(pts)
+			}
+		})
+	}
+}
+
+// ---- Lemma 3: grouping with an index vs the O(n²) scan ----
+
+func BenchmarkGroupingIndexVsScan(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		items := corridorItems(n)
+		for _, kind := range []segclust.IndexKind{segclust.IndexNone, segclust.IndexGrid, segclust.IndexRTree} {
+			b.Run(fmt.Sprintf("segments=%d/index=%v", n, kind), func(b *testing.B) {
+				cfg := segclust.Config{Eps: 25, MinLns: 5, Options: lsdist.DefaultOptions(), Index: kind}
+				var calls int
+				for i := 0; i < b.N; i++ {
+					res, err := segclust.Run(items, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					calls = res.DistCalls
+				}
+				b.ReportMetric(float64(calls), "distcalls")
+			})
+		}
+	}
+}
+
+// ---- End-to-end TRACLUS throughput ----
+
+func BenchmarkTraclusEndToEnd(b *testing.B) {
+	for _, tracks := range []int{60, 240} {
+		b.Run(fmt.Sprintf("tracks=%d", tracks), func(b *testing.B) {
+			cfg := synth.DefaultHurricaneConfig()
+			cfg.NumTracks = tracks
+			trs := synth.Hurricanes(cfg)
+			runCfg := traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := traclus.Run(trs, runCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Distance microbenchmarks ----
+
+func BenchmarkDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	segs := make([]geom.Segment, 1024)
+	for i := range segs {
+		segs[i] = geom.Seg(rng.Float64()*1000, rng.Float64()*600,
+			rng.Float64()*1000, rng.Float64()*600)
+	}
+	b.Run("directed", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += lsdist.Dist(segs[i%1024], segs[(i*7+1)%1024])
+		}
+		_ = sink
+	})
+	b.Run("undirected", func(b *testing.B) {
+		opt := lsdist.Options{Weights: lsdist.DefaultWeights(), Undirected: true}
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += lsdist.DistOpt(segs[i%1024], segs[(i*7+1)%1024], opt)
+		}
+		_ = sink
+	})
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationCostAdvantage sweeps the partition-suppression constant
+// of Section 4.1.3 and reports the resulting segment counts and cluster
+// counts — the trade the paper describes as lengthening partitions "at the
+// cost of preciseness".
+func BenchmarkAblationCostAdvantage(b *testing.B) {
+	cfg := synth.DefaultHurricaneConfig()
+	cfg.NumTracks = 120
+	trs := synth.Hurricanes(cfg)
+	for _, ca := range []float64{0, 5, 15, 25} {
+		b.Run(fmt.Sprintf("costAdvantage=%v", ca), func(b *testing.B) {
+			ccfg := core.DefaultConfig()
+			ccfg.Partition = mdl.Config{CostAdvantage: ca, MinLength: 40}
+			ccfg.Eps, ccfg.MinLns = 30, 6
+			var segs, clusters int
+			for i := 0; i < b.N; i++ {
+				items := core.PartitionAll(trs, ccfg)
+				out, err := core.RunOnItems(items, ccfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				segs, clusters = len(items), out.NumClusters()
+			}
+			b.ReportMetric(float64(segs), "segments")
+			b.ReportMetric(float64(clusters), "clusters")
+		})
+	}
+}
+
+// BenchmarkAblationEndpointLH compares the paper's length-based L(H)
+// against the rejected endpoint-coordinate L(H) (Appendix C ablation).
+func BenchmarkAblationEndpointLH(b *testing.B) {
+	pts := syntheticPath(2000, 4)
+	b.Run("lengthLH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mdl.ApproximatePartition(pts, mdl.Config{})
+		}
+	})
+	b.Run("endpointLH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mdl.ApproximatePartitionEndpointLH(pts, mdl.Config{})
+		}
+	})
+}
+
+// ---- Extensions (Section 7.1 / Section 4.2 future work) ----
+
+// BenchmarkTemporalClustering measures the spatiotemporal variant against
+// plain TRACLUS on the same timed data (the temporal path cannot use the
+// geometric index, so it pays the O(n²) scan the paper describes).
+func BenchmarkTemporalClustering(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	var trs []traclus.TimedTrajectory
+	for i := 0; i < 30; i++ {
+		tr := traclus.TimedTrajectory{ID: i, Weight: 1}
+		t := float64(i%3) * 1e5
+		for s := 0; s <= 25; s++ {
+			tr.Points = append(tr.Points, geom.Pt(
+				50+30*float64(s)+rng.NormFloat64()*2,
+				200+float64(i%5)*3+rng.NormFloat64()*2))
+			tr.Times = append(tr.Times, t)
+			t += 60
+		}
+		trs = append(trs, tr)
+	}
+	for _, wT := range []float64{0, 0.01} {
+		b.Run(fmt.Sprintf("wT=%v", wT), func(b *testing.B) {
+			var clusters int
+			for i := 0; i < b.N; i++ {
+				res, err := traclus.RunTimed(trs, traclus.Config{Eps: 25, MinLns: 5}, wT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clusters = len(res.Clusters)
+			}
+			b.ReportMetric(float64(clusters), "clusters")
+		})
+	}
+}
+
+// BenchmarkConstantShiftEmbedding measures the O(n³) metric embedding of
+// segment sets (Section 4.2's deferred indexing route).
+func BenchmarkConstantShiftEmbedding(b *testing.B) {
+	for _, n := range []int{50, 150} {
+		b.Run(fmt.Sprintf("segments=%d", n), func(b *testing.B) {
+			items := corridorItems(n)
+			segs := make([]geom.Segment, n)
+			for i, it := range items {
+				segs[i] = it.Seg
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := traclus.EmbedSegments(segs, traclus.Config{}, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexBuild compares building the two spatial indexes.
+func BenchmarkIndexBuild(b *testing.B) {
+	items := corridorItems(5000)
+	rects := make([]geom.Rect, len(items))
+	segs := make([]geom.Segment, len(items))
+	for i, it := range items {
+		rects[i] = it.Seg.Bounds()
+		segs[i] = it.Seg
+	}
+	b.Run("rtree-bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtree.Bulk(rects)
+		}
+	})
+	b.Run("rtree-insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rtree.New()
+			for j, r := range rects {
+				tr.Insert(r, j)
+			}
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gridindex.Build(segs, 0)
+		}
+	})
+}
+
+// BenchmarkParameterHeuristic measures the Section 4.4 ε search.
+func BenchmarkParameterHeuristic(b *testing.B) {
+	cfg := synth.DefaultHurricaneConfig()
+	cfg.NumTracks = 120
+	trs := synth.Hurricanes(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traclus.EstimateParameters(trs, 5, 60, traclus.Config{
+			CostAdvantage: 15, MinSegmentLength: 40,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- helpers ----
+
+func syntheticPath(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	x, y := 0.0, 0.0
+	heading := 0.3
+	for i := range pts {
+		if rng.Float64() < 0.1 {
+			heading += (rng.Float64() - 0.5) * 2
+		}
+		x += 10 * math.Cos(heading)
+		y += 10 * math.Sin(heading)
+		pts[i] = geom.Pt(x+rng.NormFloat64()*2, y+rng.NormFloat64()*2)
+	}
+	return pts
+}
+
+func corridorItems(n int) []segclust.Item {
+	rng := rand.New(rand.NewSource(5))
+	items := make([]segclust.Item, n)
+	for i := range items {
+		cy := float64(100 + 120*(i%4))
+		x := rng.Float64() * 900
+		items[i] = segclust.Item{
+			Seg:    geom.Seg(x, cy+rng.NormFloat64()*6, x+60+rng.Float64()*40, cy+rng.NormFloat64()*6),
+			TrajID: i % 40,
+			Weight: 1,
+		}
+	}
+	return items
+}

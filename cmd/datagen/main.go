@@ -1,0 +1,108 @@
+// Command datagen generates the synthetic trajectory data sets that stand
+// in for the paper's hurricane and Starkey telemetry data (DESIGN.md §2)
+// and writes them in the corresponding on-disk formats.
+//
+// Usage:
+//
+//	datagen -kind hurricanes -out tracks.bt          # Best Track format
+//	datagen -kind elk -out elk.tsv                   # telemetry TSV
+//	datagen -kind deer -out deer.tsv
+//	datagen -kind figure1 -out fig1.csv              # trajectory CSV
+//	datagen -kind noise -out noisy.csv -noise 0.25   # corridors + noise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/synth"
+	"repro/internal/trackio"
+)
+
+func main() {
+	kind := flag.String("kind", "hurricanes", "data set: hurricanes, elk, deer, figure1, noise")
+	out := flag.String("out", "", "output file (required)")
+	n := flag.Int("n", 0, "override trajectory count (0 = paper scale)")
+	points := flag.Int("points", 0, "override points per trajectory (0 = default)")
+	seed := flag.Int64("seed", 0, "override RNG seed (0 = default)")
+	noise := flag.Float64("noise", 0.25, "noise fraction for -kind noise")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var trs []geom.Trajectory
+	var write func(f *os.File) error
+	switch *kind {
+	case "hurricanes":
+		cfg := synth.DefaultHurricaneConfig()
+		if *n > 0 {
+			cfg.NumTracks = *n
+		}
+		if *points > 0 {
+			cfg.MeanPoints = *points
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		trs = synth.Hurricanes(cfg)
+		write = func(f *os.File) error { return trackio.WriteBestTrack(f, trs) }
+	case "elk", "deer":
+		cfg := synth.ElkConfig()
+		if *kind == "deer" {
+			cfg = synth.DeerConfig()
+		}
+		if *n > 0 {
+			cfg.NumAnimals = *n
+		}
+		if *points > 0 {
+			cfg.PointsPer = *points
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		trs = synth.AnimalMovements(cfg)
+		write = func(f *os.File) error { return trackio.WriteTelemetry(f, trs) }
+	case "figure1":
+		s := int64(7)
+		if *seed != 0 {
+			s = *seed
+		}
+		trs = synth.Figure1(2, s)
+		write = func(f *os.File) error { return trackio.WriteCSV(f, trs) }
+	case "noise":
+		per, pts, s := 12, 26, int64(21)
+		if *n > 0 {
+			per = *n
+		}
+		if *points > 0 {
+			pts = *points
+		}
+		if *seed != 0 {
+			s = *seed
+		}
+		base := synth.CorridorScene(4, per, pts, 4, s)
+		trs = synth.MixNoise(base, *noise, pts, s+1)
+		write = func(f *os.File) error { return trackio.WriteCSV(f, trs) }
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d trajectories (%d points) to %s\n", len(trs), geom.TotalPoints(trs), *out)
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates every figure and table-like result of
+// the TRACLUS paper's evaluation section (see DESIGN.md §4 for the
+// experiment index). For each experiment it prints the series/rows the
+// paper reports and writes any SVG figures to the output directory.
+//
+// Usage:
+//
+//	experiments [-out DIR] [-size small|full] [-only fig18,fig21]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "out", "output directory for text reports and SVG figures")
+	sizeFlag := flag.String("size", "small", "data scale: small or full")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	flag.Parse()
+
+	size := experiments.Small
+	switch *sizeFlag {
+	case "small":
+	case "full":
+		size = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -size %q (want small or full)\n", *sizeFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, e := range experiments.Registry() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		rep := e.Run(size)
+		fmt.Printf("== %s: %s (%.1fs)\n", rep.ID, rep.Title, time.Since(start).Seconds())
+		for _, line := range rep.Lines {
+			fmt.Println("   " + line)
+		}
+		text := strings.Join(rep.Lines, "\n") + "\n"
+		if err := os.WriteFile(filepath.Join(*out, rep.ID+".txt"), []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+		for name, svg := range rep.SVGs {
+			if err := os.WriteFile(filepath.Join(*out, name), []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			}
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+// Command traclus clusters a trajectory file with the TRACLUS algorithm
+// and reports the discovered clusters and their representative trajectories
+// (the common sub-trajectories).
+//
+// Usage:
+//
+//	traclus -in tracks.csv [-format csv|besttrack|telemetry] [-species elk]
+//	        [-eps 30] [-minlns 6] [-auto] [-undirected]
+//	        [-cost-advantage 0] [-min-seg-len 0]
+//	        [-svg out.svg] [-reps reps.csv] [-map]
+//
+// With -auto the ε/MinLns heuristic of the paper's Section 4.4 is applied
+// (entropy-minimising ε via simulated annealing, MinLns = avg|Nε|+2) and
+// the chosen values are printed before clustering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+	"repro/internal/trackio"
+
+	traclus "repro"
+)
+
+func main() {
+	in := flag.String("in", "", "input trajectory file (required)")
+	format := flag.String("format", "", "input format: csv, besttrack, or telemetry (default: by extension)")
+	species := flag.String("species", "", "species filter for telemetry input")
+	eps := flag.Float64("eps", 30, "ε-neighborhood radius")
+	minLns := flag.Float64("minlns", 6, "MinLns density threshold")
+	auto := flag.Bool("auto", false, "estimate eps and MinLns with the Section 4.4 heuristic")
+	undirected := flag.Bool("undirected", false, "ignore segment direction in the angle distance")
+	costAdv := flag.Float64("cost-advantage", 0, "partition suppression constant (Section 4.1.3)")
+	minSegLen := flag.Float64("min-seg-len", 0, "drop trajectory partitions shorter than this")
+	svgOut := flag.String("svg", "", "write an SVG rendering of the clustering here")
+	repsOut := flag.String("reps", "", "write representative trajectories as CSV here")
+	asciiMap := flag.Bool("map", false, "print an ASCII map of the result")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "traclus: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f := trackio.DetectFormat(*in)
+	if *format != "" {
+		var err error
+		if f, err = trackio.ParseFormat(*format); err != nil {
+			fatal(err)
+		}
+	}
+	trs, err := trackio.ReadFile(*in, f, *species)
+	if err != nil {
+		fatal(err)
+	}
+	if len(trs) == 0 {
+		fatal(fmt.Errorf("no trajectories in %s", *in))
+	}
+	fmt.Printf("loaded %d trajectories, %d points\n", len(trs), geom.TotalPoints(trs))
+
+	cfg := traclus.Config{
+		Eps:              *eps,
+		MinLns:           *minLns,
+		Undirected:       *undirected,
+		CostAdvantage:    *costAdv,
+		MinSegmentLength: *minSegLen,
+	}
+	if *auto {
+		bounds, _ := geom.BoundsOf(trs)
+		hi := bounds.Margin() / 10
+		if hi <= 1 {
+			hi = 10
+		}
+		est, err := traclus.EstimateParameters(trs, hi/60, hi, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Eps = est.Eps
+		cfg.MinLns = float64(est.MinLnsLo+est.MinLnsHi) / 2
+		fmt.Printf("heuristic: eps=%.2f (entropy %.4f, avg|Neps|=%.2f), MinLns=%.0f (range %d..%d)\n",
+			est.Eps, est.Entropy, est.AvgNeighbors, cfg.MinLns, est.MinLnsLo, est.MinLnsHi)
+	}
+
+	res, err := traclus.Run(trs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("clusters=%d segments=%d noise=%d removed=%d\n",
+		len(res.Clusters), res.TotalSegments, res.NoiseSegments, res.RemovedClusters)
+	var reps [][]traclus.Point
+	for i, c := range res.Clusters {
+		fmt.Printf("cluster %d: %d segments from %d trajectories, representative has %d points\n",
+			i, len(c.Segments), len(c.Trajectories), len(c.Representative))
+		reps = append(reps, c.Representative)
+	}
+
+	if *asciiMap {
+		fmt.Println(render.ClusterMap(110, 34, trs, reps))
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(render.ClusterSVG(trs, reps)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *repsOut != "" {
+		var repTrs []geom.Trajectory
+		for i, rep := range reps {
+			repTrs = append(repTrs, geom.Trajectory{ID: i, Weight: 1, Points: rep})
+		}
+		f, err := os.Create(*repsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trackio.WriteCSV(f, repTrs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *repsOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traclus:", err)
+	os.Exit(1)
+}

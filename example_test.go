@@ -1,0 +1,59 @@
+package traclus_test
+
+import (
+	"fmt"
+
+	traclus "repro"
+)
+
+// ExampleRun clusters five trajectories that share a horizontal corridor
+// before fanning out, and prints the discovered common sub-trajectory's
+// participants.
+func ExampleRun() {
+	var trs []traclus.Trajectory
+	for i := 0; i < 5; i++ {
+		dy := float64(i) * 2
+		tail := float64(i-2) * 50
+		trs = append(trs, traclus.NewTrajectory(i, []traclus.Point{
+			traclus.Pt(0, 100+dy),
+			traclus.Pt(100, 100+dy),
+			traclus.Pt(200, 100+dy),
+			traclus.Pt(300, 100+dy),
+			traclus.Pt(400, 100+dy+tail),
+		}))
+	}
+	res, err := traclus.Run(trs, traclus.Config{Eps: 25, MinLns: 4})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("clusters: %d\n", len(res.Clusters))
+	fmt.Printf("participants: %v\n", res.Clusters[0].Trajectories)
+	// Output:
+	// clusters: 1
+	// participants: [0 1 2 3 4]
+}
+
+// ExamplePartition shows phase one alone: the MDL-chosen characteristic
+// points of a single trajectory with one sharp turn.
+func ExamplePartition() {
+	tr := traclus.NewTrajectory(0, []traclus.Point{
+		traclus.Pt(0, 0), traclus.Pt(100, 0), traclus.Pt(200, 0),
+		traclus.Pt(200, 100), traclus.Pt(200, 200),
+	})
+	fmt.Println(traclus.Partition(tr, 0))
+	// Output:
+	// [0 2 4]
+}
+
+// ExampleDistance evaluates the three-component segment distance on the
+// Appendix A configuration: parallel same-direction (200) vs the same
+// location traversed in the opposite direction (400).
+func ExampleDistance() {
+	l1 := traclus.Segment{Start: traclus.Pt(0, 0), End: traclus.Pt(200, 0)}
+	l2 := traclus.Segment{Start: traclus.Pt(100, 100), End: traclus.Pt(300, 100)}
+	l3 := traclus.Segment{Start: traclus.Pt(300, 100), End: traclus.Pt(100, 100)}
+	fmt.Printf("%.0f %.0f\n", traclus.Distance(l1, l2), traclus.Distance(l1, l3))
+	// Output:
+	// 200 400
+}

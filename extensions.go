@@ -1,0 +1,106 @@
+package traclus
+
+import (
+	"fmt"
+
+	"repro/internal/embed"
+	"repro/internal/lsdist"
+	"repro/internal/mdl"
+	"repro/internal/temporal"
+)
+
+// This file exposes the paper's extensions (Section 7.1) through the public
+// API: spatiotemporal clustering of timestamped trajectories and the
+// constant-shift embedding of the non-metric distance (Section 4.2's
+// deferred future work).
+
+// TimedTrajectory is a trajectory whose points carry timestamps.
+type TimedTrajectory = temporal.TimedTrajectory
+
+// Interval is a closed time interval.
+type Interval = temporal.Interval
+
+// TimedCluster is a spatiotemporal cluster: the usual TRACLUS cluster plus
+// the time window its member partitions span.
+type TimedCluster struct {
+	Segments       []Segment
+	Trajectories   []int
+	Representative []Point
+	Window         Interval
+}
+
+// TimedResult is the outcome of RunTimed.
+type TimedResult struct {
+	Clusters      []TimedCluster
+	NoiseSegments int
+	TotalSegments int
+}
+
+// RunTimed executes spatiotemporal TRACLUS: the clustering distance gains a
+// temporal component wT·gap(interval_i, interval_j), so segments traversed
+// at disjoint times separate even when they coincide spatially.
+// temporalWeight = 0 reduces to plain TRACLUS (over a full scan).
+func RunTimed(trs []TimedTrajectory, cfg Config, temporalWeight float64) (*TimedResult, error) {
+	w := cfg.Weights
+	if (w == Weights{}) {
+		w = lsdist.DefaultWeights()
+	}
+	res, err := temporal.Run(trs, temporal.Config{
+		Eps:            cfg.Eps,
+		MinLns:         cfg.MinLns,
+		MinTrajs:       cfg.MinTrajs,
+		Spatial:        lsdist.Options{Weights: w, Undirected: cfg.Undirected},
+		TemporalWeight: temporalWeight,
+		Partition:      mdl.Config{CostAdvantage: cfg.CostAdvantage, MinLength: cfg.MinSegmentLength},
+		Gamma:          cfg.Gamma,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	out := &TimedResult{NoiseSegments: res.Noise, TotalSegments: len(res.Items)}
+	for _, c := range res.Clusters {
+		out.Clusters = append(out.Clusters, TimedCluster{
+			Segments:       c.Segments,
+			Trajectories:   c.Trajectories,
+			Representative: c.Representative,
+			Window:         c.Window,
+		})
+	}
+	return out, nil
+}
+
+// Embedding is a constant-shift embedding of a segment set into a metric
+// (Euclidean) space: for i ≠ j, the embedded squared distance equals the
+// TRACLUS distance plus the constant Shift, preserving every distance
+// comparison while restoring the triangle inequality.
+type Embedding struct {
+	res *embed.Result
+}
+
+// Shift is the constant added to every off-diagonal distance.
+func (e *Embedding) Shift() float64 { return e.res.Shift }
+
+// Dims is the dimensionality of the embedding.
+func (e *Embedding) Dims() int { return e.res.Dims }
+
+// Coord returns the embedded coordinate vector of segment i.
+func (e *Embedding) Coord(i int) []float64 { return e.res.Coords[i] }
+
+// Distance2 is the squared Euclidean distance between embedded segments.
+func (e *Embedding) Distance2(i, j int) float64 { return e.res.Distance2(i, j) }
+
+// EmbedSegments computes the constant-shift embedding of a segment set
+// under the config's distance options (Roth et al., reference [18] of the
+// paper). dims ≤ 0 keeps all dimensions (lossless); positive dims truncates
+// to the leading ones. O(n³) — intended for moderate segment sets.
+func EmbedSegments(segs []Segment, cfg Config, dims int) (*Embedding, error) {
+	w := cfg.Weights
+	if (w == Weights{}) {
+		w = lsdist.DefaultWeights()
+	}
+	res, err := embed.EmbedSegments(segs, lsdist.Options{Weights: w, Undirected: cfg.Undirected}, dims)
+	if err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	return &Embedding{res: res}, nil
+}

@@ -1,0 +1,183 @@
+// Package core wires the three TRACLUS phases together (Figure 4 of the
+// paper): MDL partitioning of every trajectory, density-based clustering of
+// the pooled line segments, and representative-trajectory generation per
+// cluster. It is the engine behind the public traclus package.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/lsdist"
+	"repro/internal/mdl"
+	"repro/internal/segclust"
+	"repro/internal/sweep"
+)
+
+// Config carries the parameters of all three phases.
+type Config struct {
+	// Eps and MinLns are the two clustering parameters of the paper.
+	Eps    float64
+	MinLns float64
+	// MinTrajs overrides the trajectory-cardinality threshold (0 = MinLns).
+	MinTrajs int
+	// Partition controls the MDL partitioning phase.
+	Partition mdl.Config
+	// Distance carries the weights and directedness of the distance.
+	Distance lsdist.Options
+	// Index selects the ε-neighborhood strategy.
+	Index segclust.IndexKind
+	// Gamma is the sweep smoothing parameter γ; 0 defaults to Eps/4.
+	Gamma float64
+	// Workers bounds partitioning parallelism (≤ 0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns a configuration with the paper's default distance
+// weights and a grid index; Eps and MinLns must still be set (or found via
+// internal/params).
+func DefaultConfig() Config {
+	return Config{Distance: lsdist.DefaultOptions(), Index: segclust.IndexGrid}
+}
+
+func (c Config) gamma() float64 {
+	if c.Gamma > 0 {
+		return c.Gamma
+	}
+	return c.Eps / 4
+}
+
+// Cluster describes one discovered cluster at the trajectory level.
+type Cluster struct {
+	// Segments are the member trajectory partitions.
+	Segments []geom.Segment
+	// Members indexes into Output.Items.
+	Members []int
+	// Trajectories is the sorted set of participating trajectory ids
+	// (PTR, Definition 10).
+	Trajectories []int
+	// Representative is the cluster's representative trajectory — the
+	// common sub-trajectory. It may be nil when the cluster is too compact
+	// for two sweep points to survive the γ filter.
+	Representative []geom.Point
+}
+
+// Output is the full result of a TRACLUS run.
+type Output struct {
+	// Items are the pooled trajectory partitions fed to clustering.
+	Items []segclust.Item
+	// Result is the raw segment-clustering outcome.
+	Result *segclust.Result
+	// Clusters pairs each cluster with its representative trajectory.
+	Clusters []Cluster
+}
+
+// NumClusters returns the number of clusters that survived the
+// trajectory-cardinality filter.
+func (o *Output) NumClusters() int { return len(o.Clusters) }
+
+// AvgSegmentsPerCluster returns the mean cluster size in segments (0 when
+// there are no clusters) — the statistic of Section 5.4.
+func (o *Output) AvgSegmentsPerCluster() float64 {
+	if len(o.Clusters) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range o.Clusters {
+		total += len(c.Members)
+	}
+	return float64(total) / float64(len(o.Clusters))
+}
+
+// PartitionAll runs the MDL partitioning phase over all trajectories in
+// parallel and pools the resulting segments as clusterable items
+// (Figure 4, lines 1–3). Trajectory weights default to 1 when unset.
+func PartitionAll(trs []geom.Trajectory, cfg Config) []segclust.Item {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trs) {
+		workers = len(trs)
+	}
+	perTraj := make([][]geom.Segment, len(trs))
+	if workers <= 1 {
+		for i := range trs {
+			perTraj[i] = mdl.Partition(trs[i], cfg.Partition)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, 2*workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					perTraj[i] = mdl.Partition(trs[i], cfg.Partition)
+				}
+			}()
+		}
+		for i := range trs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var items []segclust.Item
+	for i, segs := range perTraj {
+		w := trs[i].Weight
+		if w == 0 {
+			w = 1
+		}
+		for _, s := range segs {
+			items = append(items, segclust.Item{Seg: s, TrajID: trs[i].ID, Weight: w})
+		}
+	}
+	return items
+}
+
+// Run executes the complete TRACLUS algorithm.
+func Run(trs []geom.Trajectory, cfg Config) (*Output, error) {
+	for i := range trs {
+		if err := trs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	items := PartitionAll(trs, cfg)
+	return RunOnItems(items, cfg)
+}
+
+// RunOnItems executes the grouping and representative phases on
+// pre-partitioned items. It is exposed so experiments can reuse one
+// partitioning across parameter sweeps.
+func RunOnItems(items []segclust.Item, cfg Config) (*Output, error) {
+	res, err := segclust.Run(items, segclust.Config{
+		Eps:      cfg.Eps,
+		MinLns:   cfg.MinLns,
+		MinTrajs: cfg.MinTrajs,
+		Options:  cfg.Distance,
+		Index:    cfg.Index,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Items: items, Result: res}
+	swCfg := sweep.Config{MinLns: cfg.MinLns, Gamma: cfg.gamma()}
+	for _, c := range res.Clusters {
+		segs := make([]geom.Segment, len(c.Members))
+		weights := make([]float64, len(c.Members))
+		for i, m := range c.Members {
+			segs[i] = items[m].Seg
+			weights[i] = items[m].Weight
+		}
+		out.Clusters = append(out.Clusters, Cluster{
+			Segments:       segs,
+			Members:        c.Members,
+			Trajectories:   c.Trajectories,
+			Representative: sweep.Representative(segs, weights, swCfg),
+		})
+	}
+	return out, nil
+}

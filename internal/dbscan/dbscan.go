@@ -1,0 +1,101 @@
+// Package dbscan implements the classic DBSCAN density-based clustering
+// algorithm for point data (Ester, Kriegel, Sander, Xu, KDD 1996 —
+// reference [6] of the TRACLUS paper). TRACLUS's line-segment clustering is
+// derived from it; this package is the point-data original, used both as a
+// substrate (the paper's Appendix D compares point vs segment density
+// behaviour) and as a reference implementation the segment variant is
+// tested against on degenerate (point-like) inputs.
+package dbscan
+
+import (
+	"errors"
+
+	"repro/internal/geom"
+	"repro/internal/gridindex"
+)
+
+// Noise is the cluster id of noise points.
+const Noise = -1
+
+// Result holds cluster assignments: ClusterOf[i] is the cluster of point i
+// or Noise; NumClusters counts distinct clusters.
+type Result struct {
+	ClusterOf   []int
+	NumClusters int
+}
+
+// Cluster runs DBSCAN over the points with radius eps and density threshold
+// minPts (neighborhoods include the query point, as in the original).
+func Cluster(pts []geom.Point, eps float64, minPts int) (*Result, error) {
+	if eps <= 0 {
+		return nil, errors.New("dbscan: eps must be positive")
+	}
+	if minPts < 1 {
+		return nil, errors.New("dbscan: minPts must be at least 1")
+	}
+	n := len(pts)
+	// Index points as zero-length segments in the shared grid index.
+	segs := make([]geom.Segment, n)
+	for i, p := range pts {
+		segs[i] = geom.Segment{Start: p, End: p}
+	}
+	idx := gridindex.Build(segs, eps)
+	seen := make([]bool, n)
+
+	neighborhood := func(i int, dst []int) []int {
+		q := geom.Rect{Min: pts[i], Max: pts[i]}
+		cands := idx.Candidates(q, eps, nil, seen)
+		for _, j := range cands {
+			if pts[i].Dist(pts[j]) <= eps {
+				dst = append(dst, j)
+			}
+		}
+		return dst
+	}
+
+	const unclassified = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unclassified
+	}
+	clusterID := 0
+	var hood, queue []int
+	for i := 0; i < n; i++ {
+		if labels[i] != unclassified {
+			continue
+		}
+		hood = neighborhood(i, hood[:0])
+		if len(hood) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		for _, j := range hood {
+			labels[j] = clusterID
+		}
+		queue = queue[:0]
+		for _, j := range hood {
+			if j != i {
+				queue = append(queue, j)
+			}
+		}
+		for len(queue) > 0 {
+			m := queue[0]
+			queue = queue[1:]
+			hood = neighborhood(m, hood[:0])
+			if len(hood) < minPts {
+				continue
+			}
+			for _, x := range hood {
+				switch labels[x] {
+				case unclassified:
+					labels[x] = clusterID
+					queue = append(queue, x)
+				case Noise:
+					labels[x] = clusterID
+				}
+			}
+		}
+		clusterID++
+	}
+	return &Result{ClusterOf: labels, NumClusters: clusterID}, nil
+}

@@ -1,0 +1,143 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lsdist"
+	"repro/internal/segclust"
+)
+
+func blobs(rng *rand.Rand, centers []geom.Point, perBlob int, spread float64) []geom.Point {
+	var pts []geom.Point
+	for _, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			pts = append(pts, geom.Pt(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread))
+		}
+	}
+	return pts
+}
+
+func TestTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := blobs(rng, []geom.Point{geom.Pt(0, 0), geom.Pt(500, 0)}, 50, 10)
+	res, err := Cluster(pts, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	// First 50 points share a cluster; last 50 share the other.
+	for i := 1; i < 50; i++ {
+		if res.ClusterOf[i] != res.ClusterOf[0] {
+			t.Errorf("blob 1 split at %d", i)
+		}
+	}
+	for i := 51; i < 100; i++ {
+		if res.ClusterOf[i] != res.ClusterOf[50] {
+			t.Errorf("blob 2 split at %d", i)
+		}
+	}
+	if res.ClusterOf[0] == res.ClusterOf[50] {
+		t.Error("blobs merged")
+	}
+}
+
+func TestNoisePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := blobs(rng, []geom.Point{geom.Pt(0, 0)}, 40, 10)
+	pts = append(pts, geom.Pt(10000, 10000), geom.Pt(-5000, 3000))
+	res, err := Cluster(pts, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClusterOf[40] != Noise || res.ClusterOf[41] != Noise {
+		t.Error("outliers not labelled noise")
+	}
+}
+
+func TestMinPtsOne(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1000, 1000)}
+	res, err := Cluster(pts, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point is its own core → no noise.
+	if res.NumClusters != 2 {
+		t.Errorf("clusters = %d, want 2", res.NumClusters)
+	}
+	for i, l := range res.ClusterOf {
+		if l == Noise {
+			t.Errorf("point %d noise with minPts=1", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, 0, 3); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Cluster(nil, 1, 0); err == nil {
+		t.Error("minPts=0 accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Cluster(nil, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || len(res.ClusterOf) != 0 {
+		t.Error("empty input clustered")
+	}
+}
+
+// TestAgreesWithSegmentClustering cross-checks the two DBSCAN
+// implementations: points clustered directly must match the same points
+// clustered as degenerate segments under the TRACLUS engine (for
+// degenerate segments the TRACLUS distance reduces to d⊥+d∥ ≥ Euclidean
+// geometry, so we use a scale where both agree on neighborhoods: identical
+// points never disagree about connectivity of well-separated blobs).
+func TestAgreesWithSegmentClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := blobs(rng, []geom.Point{geom.Pt(0, 0), geom.Pt(800, 0), geom.Pt(0, 800)}, 30, 8)
+	res, err := Cluster(pts, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]segclust.Item, len(pts))
+	for i, p := range pts {
+		items[i] = segclust.Item{Seg: geom.Segment{Start: p, End: p}, TrajID: i, Weight: 1}
+	}
+	segRes, err := segclust.Run(items, segclust.Config{
+		Eps: 50, MinLns: 4, MinTrajs: 1,
+		Options: lsdist.DefaultOptions(), Index: segclust.IndexGrid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segRes.NumClusters() != res.NumClusters {
+		t.Fatalf("segment engine found %d clusters, point engine %d",
+			segRes.NumClusters(), res.NumClusters)
+	}
+	// Same partition of points into groups (up to relabeling).
+	remap := map[int]int{}
+	for i := range pts {
+		a, b := res.ClusterOf[i], segRes.ClusterOf[i]
+		if (a == Noise) != (b == segclust.Noise) {
+			t.Fatalf("point %d: noise disagreement", i)
+		}
+		if a == Noise {
+			continue
+		}
+		if want, ok := remap[a]; ok {
+			if b != want {
+				t.Fatalf("point %d: label mismatch", i)
+			}
+		} else {
+			remap[a] = b
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package embed implements constant shift embedding (Roth, Laub, Kawanabe,
+// Buhmann, TPAMI 2003 — reference [18] of the TRACLUS paper). The paper
+// notes its distance function violates the triangle inequality, which
+// blocks metric indexes, and points to constant shift embedding as the fix
+// "leaving it as the topic of a future paper" (Section 4.2, Section 7.1
+// item 3). This package is that future work:
+//
+//  1. Take the pairwise TRACLUS distance matrix D of a segment set.
+//  2. Center S = -½·J·D·J with J = I - 11ᵀ/n.
+//  3. Shift by the most negative eigenvalue: S̃ = S - λmin·I, which makes
+//     S̃ positive semidefinite, so D̃ij = S̃ii + S̃jj - 2·S̃ij is a *squared
+//     Euclidean* distance — off-diagonal it equals Dij - 2λmin, i.e. the
+//     original distances plus a constant, preserving every ordering and
+//     every cluster structure that depends only on distance comparisons.
+//  4. Read coordinates off the eigendecomposition: X = V·Λ^½.
+//
+// Embedded points live in a metric space where any spatial index applies.
+package embed
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/lsdist"
+)
+
+// Result is a constant-shift embedding of n objects.
+type Result struct {
+	// Coords[i] is the embedded coordinate vector of object i.
+	Coords [][]float64
+	// Shift is -2·λmin: the constant added to every squared off-diagonal
+	// dissimilarity. Zero when D was already Euclidean-embeddable.
+	Shift float64
+	// Dims is the number of retained dimensions.
+	Dims int
+}
+
+// Distance2 returns the squared Euclidean distance between embedded
+// objects i and j.
+func (r *Result) Distance2(i, j int) float64 {
+	var sum float64
+	for k := 0; k < r.Dims; k++ {
+		d := r.Coords[i][k] - r.Coords[j][k]
+		sum += d * d
+	}
+	return sum
+}
+
+// Embed computes the constant-shift embedding of a symmetric dissimilarity
+// matrix. dims ≤ 0 keeps every dimension with a positive eigenvalue;
+// otherwise the dims leading dimensions are kept (a lossy but
+// variance-optimal truncation, as in PCA).
+func Embed(d [][]float64, dims int) (*Result, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, errors.New("embed: empty matrix")
+	}
+	for i := range d {
+		if len(d[i]) != n {
+			return nil, errors.New("embed: matrix not square")
+		}
+		if d[i][i] != 0 {
+			return nil, errors.New("embed: diagonal must be zero")
+		}
+		for j := range d[i] {
+			if math.Abs(d[i][j]-d[j][i]) > 1e-9*(1+math.Abs(d[i][j])) {
+				return nil, errors.New("embed: matrix not symmetric")
+			}
+		}
+	}
+	if n == 1 {
+		return &Result{Coords: [][]float64{{}}, Dims: 0}, nil
+	}
+
+	// S = -1/2 · J · D · J (double centering).
+	s := linalg.NewMatrix(n, n)
+	rowMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rowMean[i] += d[i][j]
+		}
+		total += rowMean[i]
+		rowMean[i] /= float64(n)
+	}
+	total /= float64(n * n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Set(i, j, -0.5*(d[i][j]-rowMean[i]-rowMean[j]+total))
+		}
+	}
+
+	values, vecs, err := linalg.SymEigen(s)
+	if err != nil {
+		return nil, err
+	}
+	lambdaMin := values[len(values)-1]
+	shift := 0.0
+	if lambdaMin < 0 {
+		shift = -lambdaMin
+	}
+
+	// Shifted spectrum; dimension i carries sqrt(values[i] + shift).
+	// The all-ones direction has eigenvalue 0 pre-shift and contributes a
+	// constant offset identically to every point, so it is harmless.
+	keep := n
+	if dims > 0 && dims < n {
+		keep = dims
+	}
+	res := &Result{Shift: 2 * shift, Dims: keep}
+	res.Coords = make([][]float64, n)
+	for i := range res.Coords {
+		res.Coords[i] = make([]float64, keep)
+	}
+	for k := 0; k < keep; k++ {
+		ev := values[k] + shift
+		if ev < 0 {
+			ev = 0
+		}
+		scale := math.Sqrt(ev)
+		for i := 0; i < n; i++ {
+			res.Coords[i][k] = vecs.At(i, k) * scale
+		}
+	}
+	return res, nil
+}
+
+// SegmentMatrix builds the pairwise TRACLUS distance matrix of a segment
+// set under the given options.
+func SegmentMatrix(segs []geom.Segment, opt lsdist.Options) [][]float64 {
+	dist := lsdist.New(opt)
+	n := len(segs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(segs[i], segs[j])
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d
+}
+
+// EmbedSegments runs the full pipeline: TRACLUS distances → constant shift
+// embedding. The returned embedding satisfies, for i ≠ j,
+//
+//	Distance2(i, j) ≈ dist(segs[i], segs[j]) + Shift
+//
+// (exactly, up to numerical error, when dims ≤ 0), so an ε-query on the
+// original distance becomes a metric √(ε + Shift)-query on the embedding.
+func EmbedSegments(segs []geom.Segment, opt lsdist.Options, dims int) (*Result, error) {
+	return Embed(SegmentMatrix(segs, opt), dims)
+}

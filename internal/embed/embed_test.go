@@ -1,0 +1,158 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lsdist"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randSegs(rng *rand.Rand, n int) []geom.Segment {
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		x, y := rng.Float64()*300, rng.Float64()*300
+		segs[i] = geom.Seg(x, y, x+rng.Float64()*60-30, y+rng.Float64()*60-30)
+	}
+	return segs
+}
+
+func TestEmbedRecoversEuclideanInput(t *testing.T) {
+	// A matrix of *squared* Euclidean distances embeds with zero shift and
+	// exact recovery.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 0), geom.Pt(0, 4), geom.Pt(3, 4)}
+	n := len(pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = pts[i].Dist2(pts[j])
+		}
+	}
+	res, err := Embed(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shift > 1e-6 {
+		t.Errorf("Euclidean input needed shift %v", res.Shift)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !approx(res.Distance2(i, j), d[i][j], 1e-6) {
+				t.Errorf("D2(%d,%d) = %v, want %v", i, j, res.Distance2(i, j), d[i][j])
+			}
+		}
+	}
+}
+
+func TestEmbedSegmentsPreservesShiftedDistances(t *testing.T) {
+	// The core property (Roth et al.): off-diagonal embedded squared
+	// distances equal original distances plus one constant.
+	rng := rand.New(rand.NewSource(1))
+	segs := randSegs(rng, 40)
+	opt := lsdist.DefaultOptions()
+	res, err := EmbedSegments(segs, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := SegmentMatrix(segs, opt)
+	for i := 0; i < len(segs); i++ {
+		for j := 0; j < len(segs); j++ {
+			want := 0.0
+			if i != j {
+				want = d[i][j] + res.Shift
+			}
+			got := res.Distance2(i, j)
+			if !approx(got, want, 1e-5*(1+want)) {
+				t.Fatalf("D2(%d,%d) = %v, want %v (shift %v)", i, j, got, want, res.Shift)
+			}
+		}
+	}
+}
+
+func TestEmbeddedDistancesAreMetric(t *testing.T) {
+	// After embedding, the (non-squared) distances satisfy the triangle
+	// inequality — the whole point of the exercise, since the TRACLUS
+	// distance itself does not (Section 4.2).
+	rng := rand.New(rand.NewSource(2))
+	segs := randSegs(rng, 30)
+	res, err := EmbedSegments(segs, lsdist.DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(segs)
+	dist := func(i, j int) float64 { return math.Sqrt(res.Distance2(i, j)) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if dist(i, k) > dist(i, j)+dist(j, k)+1e-6 {
+					t.Fatalf("triangle violated after embedding: %d %d %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedPreservesNeighborhoodOrdering(t *testing.T) {
+	// Adding a constant off-diagonal preserves distance comparisons, so
+	// ε-neighborhood *rankings* survive.
+	rng := rand.New(rand.NewSource(3))
+	segs := randSegs(rng, 25)
+	opt := lsdist.DefaultOptions()
+	res, err := EmbedSegments(segs, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := SegmentMatrix(segs, opt)
+	for i := 0; i < len(segs); i++ {
+		for a := 0; a < len(segs); a++ {
+			for b := 0; b < len(segs); b++ {
+				if a == i || b == i {
+					continue
+				}
+				if d[i][a] < d[i][b]-1e-9 && res.Distance2(i, a) > res.Distance2(i, b)+1e-6 {
+					t.Fatalf("ordering flipped: %d closer to %d than %d originally", i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := randSegs(rng, 20)
+	res, err := EmbedSegments(segs, lsdist.DefaultOptions(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dims != 3 {
+		t.Fatalf("Dims = %d", res.Dims)
+	}
+	for _, c := range res.Coords {
+		if len(c) != 3 {
+			t.Fatalf("coord length %d", len(c))
+		}
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	if _, err := Embed(nil, 0); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Embed([][]float64{{0, 1}}, 0); err == nil {
+		t.Error("ragged accepted")
+	}
+	if _, err := Embed([][]float64{{1}}, 0); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+	if _, err := Embed([][]float64{{0, 1}, {2, 0}}, 0); err == nil {
+		t.Error("asymmetric accepted")
+	}
+	res, err := Embed([][]float64{{0}}, 0)
+	if err != nil || res.Dims != 0 {
+		t.Errorf("singleton embed = %+v, %v", res, err)
+	}
+}

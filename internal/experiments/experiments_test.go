@@ -1,0 +1,259 @@
+package experiments
+
+import "testing"
+
+// These are the integration tests of the reproduction: each experiment at
+// Small size must show the paper's qualitative result (DESIGN.md §4 lists
+// the mapping). Exact cluster counts at Small scale differ from the
+// full-scale runs recorded in EXPERIMENTS.md, so assertions are on the
+// result *shape*.
+
+func TestFig1TraclusFindsCorridorBaselineDoesNot(t *testing.T) {
+	r := Fig1(Small)
+	if r.Values["traclusClusters"] < 1 {
+		t.Fatalf("TRACLUS found no cluster: %v", r.Lines)
+	}
+	if !(r.Values["traclusRepDist"] < r.Values["regmixCurveDist"]) {
+		t.Errorf("representative (%.1f) should be closer to the corridor than any regression mean curve (%.1f)",
+			r.Values["traclusRepDist"], r.Values["regmixCurveDist"])
+	}
+}
+
+func TestFig16EntropyHasInteriorMinimum(t *testing.T) {
+	r := Fig16(Small)
+	opt := r.Values["optEps"]
+	if opt <= 4 || opt >= 60 {
+		t.Errorf("entropy minimum at sweep boundary: eps=%v", opt)
+	}
+	if r.Values["avgNeighbors"] <= 1 {
+		t.Errorf("avg|Neps| = %v at optimum", r.Values["avgNeighbors"])
+	}
+	if len(r.SVGs) == 0 {
+		t.Error("no SVG emitted")
+	}
+}
+
+func TestFig17QMeasureComputed(t *testing.T) {
+	r := Fig17(Small)
+	// One minimum position per MinLns curve must be recorded.
+	for _, k := range []string{"bestEpsMinLns5", "bestEpsMinLns6", "bestEpsMinLns7"} {
+		if _, ok := r.Values[k]; !ok {
+			t.Errorf("missing %s", k)
+		}
+	}
+}
+
+func TestFig18HurricaneClusters(t *testing.T) {
+	r := Fig18(Small)
+	c := r.Values["clusters"]
+	// Paper: 7 at full scale; the 120-track Small set supports fewer
+	// (the recurve corridors thin out), but the band structure must hold.
+	if c < 3 || c > 10 {
+		t.Errorf("clusters = %v, want 3..10", c)
+	}
+	if r.Values["noise"] >= r.Values["segments"]/2 {
+		t.Errorf("more noise than signal: %v of %v", r.Values["noise"], r.Values["segments"])
+	}
+}
+
+func TestFig19ElkEntropyInteriorMinimum(t *testing.T) {
+	r := Fig19(Small)
+	opt := r.Values["optEps"]
+	if opt <= 4 || opt >= 60 {
+		t.Errorf("entropy minimum at sweep boundary: eps=%v", opt)
+	}
+}
+
+func TestFig21ElkClusters(t *testing.T) {
+	r := Fig21(Small)
+	// Paper: 13 clusters at full scale; the trail network has 13 edges, so
+	// Small should find on that order (directed traversal may split some).
+	if c := r.Values["clusters"]; c < 8 || c > 20 {
+		t.Errorf("clusters = %v, want 8..20", c)
+	}
+}
+
+func TestFig22DeerClusters(t *testing.T) {
+	r := Fig22(Small)
+	// Paper: 2 dominant clusters; the 2-edge network traversed in both
+	// directions supports up to 4 directed corridors.
+	if c := r.Values["clusters"]; c < 2 || c > 5 {
+		t.Errorf("clusters = %v, want 2..5", c)
+	}
+}
+
+func TestFig23NoiseRobustness(t *testing.T) {
+	r := Fig23(Small)
+	if c := r.Values["clusters"]; c < 3 || c > 5 {
+		t.Errorf("clusters = %v, want the 4 corridors (±1)", c)
+	}
+	if leak := r.Values["leakFrac"]; leak > 0.15 {
+		t.Errorf("noise leaked into clusters: %.1f%%", 100*leak)
+	}
+}
+
+func TestSec33PrecisionNearPaper(t *testing.T) {
+	r := Sec33(Small)
+	p := r.Values["precision"]
+	// The paper reports "about 80% on average".
+	if p < 0.6 || p > 0.98 {
+		t.Errorf("precision = %.1f%%, want near 80%%", 100*p)
+	}
+}
+
+func TestSec54ParameterTrend(t *testing.T) {
+	r := Sec54(Small)
+	// Smaller ε → more clusters than larger ε; average cluster size grows
+	// with ε (the paper's Section 5.4 trend).
+	if !(r.Values["clustersEps15"] >= r.Values["clustersEps45"]) {
+		t.Errorf("cluster count should not grow with eps: %v vs %v",
+			r.Values["clustersEps15"], r.Values["clustersEps45"])
+	}
+	if !(r.Values["avgSegsEps15"] < r.Values["avgSegsEps45"]) {
+		t.Errorf("avg segments per cluster should grow with eps: %v vs %v",
+			r.Values["avgSegsEps15"], r.Values["avgSegsEps45"])
+	}
+}
+
+func TestAppendixANaiveTiesTraclusSeparates(t *testing.T) {
+	r := AppendixA(Small)
+	if r.Values["naiveTie"] != 0 {
+		t.Errorf("naive distances should tie exactly: gap %v", r.Values["naiveTie"])
+	}
+	if r.Values["traclusGap"] <= 100 {
+		t.Errorf("TRACLUS gap = %v, want the angle-distance separation", r.Values["traclusGap"])
+	}
+}
+
+func TestAppendixBWeightsChangeClustering(t *testing.T) {
+	r := AppendixB(Small)
+	low := r.Values["clustersWTheta0.25"]
+	high := r.Values["clustersWTheta4.00"]
+	if low == 0 && high == 0 {
+		t.Fatalf("no clusters at any weight: %v", r.Lines)
+	}
+	if low == high {
+		t.Logf("weight sweep left cluster count unchanged (%v); lines: %v", low, r.Lines)
+	}
+}
+
+func TestAppendixCShiftInvariance(t *testing.T) {
+	r := AppendixC(Small)
+	if r.Values["shiftInvariant"] != 1 {
+		t.Error("length-based L(H) not shift invariant")
+	}
+	if r.Values["endpointCostGap"] <= 0 {
+		t.Error("endpoint-based L(H) should grow under shifting")
+	}
+}
+
+func TestAppendixDSegmentsReachNearEps(t *testing.T) {
+	r := AppendixD(Small)
+	if !(r.Values["segNearEps"] > r.Values["pointNearEps"]) {
+		t.Errorf("segments' reachability should concentrate near eps: seg=%v point=%v",
+			r.Values["segNearEps"], r.Values["pointNearEps"])
+	}
+	if !(r.Values["segMeanReach"] > r.Values["pointMeanReach"]) {
+		t.Errorf("segment mean reachability %v should exceed points' %v",
+			r.Values["segMeanReach"], r.Values["pointMeanReach"])
+	}
+}
+
+func TestExtensionsUndirectedMergesWeightedFilters(t *testing.T) {
+	r := Extensions(Small)
+	if !(r.Values["undirectedClusters"] < r.Values["directedClusters"]) {
+		t.Errorf("undirected should merge opposite headings: %v vs %v",
+			r.Values["undirectedClusters"], r.Values["directedClusters"])
+	}
+	if !(r.Values["weightedClusters"] < r.Values["directedClusters"]) {
+		t.Errorf("down-weighting should reduce clusters: %v vs %v",
+			r.Values["weightedClusters"], r.Values["directedClusters"])
+	}
+}
+
+func TestDistanceAblationTraclusDominates(t *testing.T) {
+	r := DistanceAblation(Small)
+	traclus := r.Values["ari_traclus"]
+	if traclus < 0.9 {
+		t.Fatalf("TRACLUS ARI = %v, want ≈1 on the planted flows", traclus)
+	}
+	for _, alt := range []string{"hausdorff", "endpoint-sum", "midpoint"} {
+		if v := r.Values["ari_"+alt]; !(v < traclus) {
+			t.Errorf("%s ARI %v should be below traclus %v", alt, v, traclus)
+		}
+	}
+	// Direction-blind variants merge the two co-located flows.
+	if r.Values["clusters_hausdorff"] >= r.Values["clusters_traclus"] {
+		t.Errorf("hausdorff should find fewer clusters: %v vs %v",
+			r.Values["clusters_hausdorff"], r.Values["clusters_traclus"])
+	}
+}
+
+func TestPartitionAblationMDLTradeoff(t *testing.T) {
+	r := PartitionAblation(Small)
+	// MDL needs no tolerance knob and should compress at least as well as
+	// every alternative (fewest segments) while staying clusterable.
+	mdlSegs := r.Values["segments_mdl"]
+	for _, alt := range []string{"douglas-peucker", "uniform", "top-angle"} {
+		if v := r.Values["segments_"+alt]; v < mdlSegs {
+			t.Errorf("%s produced fewer segments (%v) than MDL (%v)", alt, v, mdlSegs)
+		}
+	}
+	if r.Values["clusters_mdl"] < 2 {
+		t.Errorf("MDL partitioning yields too few clusters: %v", r.Values["clusters_mdl"])
+	}
+	// Uniform sampling ignores geometry: its deviation must be the worst.
+	if !(r.Values["dev_uniform"] > r.Values["dev_mdl"]) {
+		t.Errorf("uniform deviation %v should exceed MDL %v",
+			r.Values["dev_uniform"], r.Values["dev_mdl"])
+	}
+}
+
+func TestDataCachesConsistent(t *testing.T) {
+	a := HurricaneData(Small)
+	b := HurricaneData(Small)
+	if &a[0] != &b[0] {
+		t.Error("hurricane cache not shared")
+	}
+	if len(HurricaneData(Small)) >= len(HurricaneData(Full)) {
+		t.Error("small set should be smaller than full")
+	}
+	if len(ElkData(Small)) != 33 || len(DeerData(Small)) != 32 {
+		t.Error("animal counts off")
+	}
+}
+
+func TestRegistryCompleteAndRunnable(t *testing.T) {
+	entries := Registry()
+	if len(entries) < 18 {
+		t.Fatalf("registry has %d entries", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.ID == "" || e.Run == nil {
+			t.Fatalf("malformed entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every entry must produce a report whose ID matches its registration
+	// and with at least one line of output.
+	for _, e := range entries {
+		rep := e.Run(Small)
+		if rep.ID != e.ID {
+			t.Errorf("entry %q produced report %q", e.ID, rep.ID)
+		}
+		if len(rep.Lines) == 0 {
+			t.Errorf("entry %q produced no output", e.ID)
+		}
+	}
+}
+
+func TestEpsRange(t *testing.T) {
+	got := epsRange(1, 2, 0.5)
+	if len(got) != 3 || got[0] != 1 || got[2] != 2 {
+		t.Errorf("epsRange = %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trajectory is an ordered sequence of observed positions of one moving
+// object (TR_i = p1 p2 ... p_len in the paper). ID identifies the source
+// trajectory so that segment clusters can be filtered by trajectory
+// cardinality (Definition 10); Weight supports the weighted-trajectory
+// extension of Section 4.2 (e.g. stronger hurricanes counting more).
+type Trajectory struct {
+	ID     int
+	Label  string
+	Weight float64
+	Points []Point
+}
+
+// NewTrajectory builds a trajectory with weight 1.
+func NewTrajectory(id int, pts []Point) Trajectory {
+	return Trajectory{ID: id, Weight: 1, Points: pts}
+}
+
+// Len returns the number of points.
+func (t Trajectory) Len() int { return len(t.Points) }
+
+// Segments returns the len-1 consecutive line segments of the trajectory.
+func (t Trajectory) Segments() []Segment {
+	if len(t.Points) < 2 {
+		return nil
+	}
+	segs := make([]Segment, 0, len(t.Points)-1)
+	for i := 1; i < len(t.Points); i++ {
+		segs = append(segs, Segment{t.Points[i-1], t.Points[i]})
+	}
+	return segs
+}
+
+// PathLength returns the total length along the trajectory.
+func (t Trajectory) PathLength() float64 {
+	var sum float64
+	for i := 1; i < len(t.Points); i++ {
+		sum += t.Points[i-1].Dist(t.Points[i])
+	}
+	return sum
+}
+
+// Bounds returns the minimum bounding rectangle of all points. It panics on
+// an empty trajectory.
+func (t Trajectory) Bounds() Rect { return RectOf(t.Points...) }
+
+// Translate returns a copy of t shifted by d. ID, Label, and Weight are
+// preserved.
+func (t Trajectory) Translate(d Point) Trajectory {
+	out := t
+	out.Points = make([]Point, len(t.Points))
+	for i, p := range t.Points {
+		out.Points[i] = p.Add(d)
+	}
+	return out
+}
+
+// Dedup returns a copy of t with consecutive duplicate points removed.
+// Repeated fixes at the same location are common in telemetry data and would
+// otherwise produce degenerate partitions.
+func (t Trajectory) Dedup() Trajectory {
+	out := t
+	if len(t.Points) == 0 {
+		out.Points = nil
+		return out
+	}
+	pts := make([]Point, 0, len(t.Points))
+	pts = append(pts, t.Points[0])
+	for _, p := range t.Points[1:] {
+		if !p.Eq(pts[len(pts)-1]) {
+			pts = append(pts, p)
+		}
+	}
+	out.Points = pts
+	return out
+}
+
+// Validate reports the first structural problem with the trajectory, or nil.
+func (t Trajectory) Validate() error {
+	if len(t.Points) < 2 {
+		return fmt.Errorf("geom: trajectory %d has %d points, need at least 2", t.ID, len(t.Points))
+	}
+	if t.Weight < 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0) {
+		return fmt.Errorf("geom: trajectory %d has invalid weight %v", t.ID, t.Weight)
+	}
+	for i, p := range t.Points {
+		if !p.IsFinite() {
+			return fmt.Errorf("geom: trajectory %d point %d is not finite: %v", t.ID, i, p)
+		}
+	}
+	return nil
+}
+
+// BoundsOf returns the bounding rectangle of a set of trajectories. ok is
+// false when there are no points at all.
+func BoundsOf(trs []Trajectory) (r Rect, ok bool) {
+	for _, t := range trs {
+		for _, p := range t.Points {
+			if !ok {
+				r = Rect{p, p}
+				ok = true
+			} else {
+				r = r.ExpandPoint(p)
+			}
+		}
+	}
+	return r, ok
+}
+
+// TotalPoints returns the number of points across all trajectories.
+func TotalPoints(trs []Trajectory) int {
+	n := 0
+	for _, t := range trs {
+		n += len(t.Points)
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+// Package gridindex provides a uniform-grid spatial index over line
+// segments. It answers the same conservative candidate queries as the
+// R-tree (see internal/rtree) and exists both as the fast default for the
+// clustering hot path and as an independent cross-check of the R-tree in
+// tests: both must refine to identical ε-neighborhoods.
+package gridindex
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Index buckets segment ids by the grid cells their MBRs overlap.
+type Index struct {
+	cell   float64
+	minX   float64
+	minY   float64
+	nx, ny int
+	cells  [][]int32
+	rects  []geom.Rect
+}
+
+// Build indexes the given segments with the given cell size. A non-positive
+// cell size picks a heuristic: the average segment MBR diagonal (clamped to
+// the data extent), which keeps bucket occupancy near-constant for
+// TRACLUS-style inputs.
+func Build(segs []geom.Segment, cellSize float64) *Index {
+	idx := &Index{cell: cellSize}
+	if len(segs) == 0 {
+		idx.cell = 1
+		return idx
+	}
+	bounds := segs[0].Bounds()
+	var diagSum float64
+	idx.rects = make([]geom.Rect, len(segs))
+	for i, s := range segs {
+		r := s.Bounds()
+		idx.rects[i] = r
+		bounds = bounds.Union(r)
+		diagSum += math.Hypot(r.Width(), r.Height())
+	}
+	if idx.cell <= 0 {
+		idx.cell = diagSum / float64(len(segs))
+		if idx.cell <= 0 {
+			idx.cell = 1
+		}
+	}
+	maxDim := math.Max(bounds.Width(), bounds.Height())
+	if maxDim > 0 && idx.cell < maxDim/4096 {
+		idx.cell = maxDim / 4096 // cap the grid at ~16M cells
+	}
+	idx.minX, idx.minY = bounds.Min.X, bounds.Min.Y
+	idx.nx = int(bounds.Width()/idx.cell) + 1
+	idx.ny = int(bounds.Height()/idx.cell) + 1
+	idx.cells = make([][]int32, idx.nx*idx.ny)
+	for i, r := range idx.rects {
+		idx.eachCell(r, func(c int) { idx.cells[c] = append(idx.cells[c], int32(i)) })
+	}
+	return idx
+}
+
+// Len returns the number of indexed segments.
+func (x *Index) Len() int { return len(x.rects) }
+
+// CellSize returns the cell size in effect.
+func (x *Index) CellSize() float64 { return x.cell }
+
+func (x *Index) cellRange(r geom.Rect) (i0, i1, j0, j1 int) {
+	i0 = int((r.Min.X - x.minX) / x.cell)
+	i1 = int((r.Max.X - x.minX) / x.cell)
+	j0 = int((r.Min.Y - x.minY) / x.cell)
+	j1 = int((r.Max.Y - x.minY) / x.cell)
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if i1 >= x.nx {
+		i1 = x.nx - 1
+	}
+	if j1 >= x.ny {
+		j1 = x.ny - 1
+	}
+	return
+}
+
+func (x *Index) eachCell(r geom.Rect, fn func(c int)) {
+	i0, i1, j0, j1 := x.cellRange(r)
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			fn(j*x.nx + i)
+		}
+	}
+}
+
+// Candidates appends to dst the ids of every segment whose MBR lies within
+// Euclidean distance d of the rectangle q. Ids may repeat across cells; the
+// seen scratch (len = number of segments, zeroed marks) deduplicates. Pass
+// a reusable seen slice to avoid allocation; nil allocates one.
+func (x *Index) Candidates(q geom.Rect, d float64, dst []int, seen []bool) []int {
+	if len(x.rects) == 0 {
+		return dst
+	}
+	if seen == nil {
+		seen = make([]bool, len(x.rects))
+	}
+	grown := q.Expand(d)
+	i0, i1, j0, j1 := x.cellRange(grown)
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			for _, id := range x.cells[j*x.nx+i] {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if x.rects[id].DistRect(q) <= d {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	// Clear the marks by re-walking the touched cells so the scratch can be
+	// reused by the next query.
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			for _, id := range x.cells[j*x.nx+i] {
+				seen[id] = false
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,139 @@
+package gridindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randSegs(rng *rand.Rand, n int) []geom.Segment {
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		x, y := rng.Float64()*1000, rng.Float64()*600
+		segs[i] = geom.Seg(x, y, x+rng.Float64()*80-40, y+rng.Float64()*80-40)
+	}
+	return segs
+}
+
+func bruteCandidates(segs []geom.Segment, q geom.Rect, d float64) []int {
+	var out []int
+	for i, s := range segs {
+		if s.Bounds().DistRect(q) <= d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestCandidatesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := randSegs(rng, 400)
+	idx := Build(segs, 0)
+	seen := make([]bool, len(segs))
+	for trial := 0; trial < 200; trial++ {
+		q := segs[rng.Intn(len(segs))].Bounds()
+		d := rng.Float64() * 120
+		got := idx.Candidates(q, d, nil, seen)
+		want := bruteCandidates(segs, q, d)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d candidates, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: candidate mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestCandidatesNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Long segments overlap many cells, so dedup matters.
+	segs := make([]geom.Segment, 50)
+	for i := range segs {
+		segs[i] = geom.Seg(0, float64(i), 900, float64(i))
+	}
+	idx := Build(segs, 10)
+	got := idx.Candidates(segs[25].Bounds(), 30, nil, nil)
+	seenID := map[int]bool{}
+	for _, id := range got {
+		if seenID[id] {
+			t.Fatalf("duplicate candidate %d", id)
+		}
+		seenID[id] = true
+	}
+	_ = rng
+}
+
+func TestScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := randSegs(rng, 100)
+	idx := Build(segs, 0)
+	seen := make([]bool, len(segs))
+	// Repeated queries with the shared scratch must keep agreeing with
+	// brute force (i.e. the scratch is properly cleared).
+	for trial := 0; trial < 50; trial++ {
+		q := segs[trial%len(segs)].Bounds()
+		got := idx.Candidates(q, 50, nil, seen)
+		want := bruteCandidates(segs, q, 50)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: scratch corrupted: %d vs %d", trial, len(got), len(want))
+		}
+	}
+	for i, v := range seen {
+		if v {
+			t.Fatalf("seen[%d] left set", i)
+		}
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := Build(nil, 0)
+	if idx.Len() != 0 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	got := idx.Candidates(geom.Rect{Max: geom.Pt(1, 1)}, 10, nil, nil)
+	if got != nil {
+		t.Errorf("candidates on empty = %v", got)
+	}
+}
+
+func TestCellSizeHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := randSegs(rng, 100)
+	idx := Build(segs, 0)
+	if idx.CellSize() <= 0 {
+		t.Errorf("heuristic cell size = %v", idx.CellSize())
+	}
+	fixed := Build(segs, 25)
+	if fixed.CellSize() != 25 {
+		t.Errorf("explicit cell size = %v", fixed.CellSize())
+	}
+}
+
+func TestDegenerateSegments(t *testing.T) {
+	// All-identical points: extent 0, must not divide by zero.
+	segs := []geom.Segment{
+		geom.Seg(5, 5, 5, 5),
+		geom.Seg(5, 5, 5, 5),
+	}
+	idx := Build(segs, 0)
+	got := idx.Candidates(segs[0].Bounds(), 1, nil, nil)
+	if len(got) != 2 {
+		t.Errorf("degenerate candidates = %v", got)
+	}
+}
+
+func TestQueryOutsideBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	segs := randSegs(rng, 50)
+	idx := Build(segs, 0)
+	far := geom.Rect{Min: geom.Pt(1e6, 1e6), Max: geom.Pt(1e6+1, 1e6+1)}
+	if got := idx.Candidates(far, 10, nil, nil); len(got) != 0 {
+		t.Errorf("far query returned %v", got)
+	}
+}

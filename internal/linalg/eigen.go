@@ -1,0 +1,102 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix by the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// the matching eigenvectors as the columns of v. The input must be square
+// and (numerically) symmetric; only the upper triangle is read.
+//
+// Jacobi is O(n³) with a small constant and is robust for the modest
+// matrix sizes the constant-shift embedding uses (hundreds of segments).
+func SymEigen(a *Matrix) (values []float64, v *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, errors.New("linalg: SymEigen needs a square matrix")
+	}
+	// Working copy of the upper triangle, mirrored.
+	w := a.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			w.Set(i, j, w.At(j, i))
+		}
+	}
+	v = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s, n)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort; n is modest
+		for j := i; j > 0 && values[idx[j]] > values[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sorted := make([]float64, n)
+	vs := NewMatrix(n, n)
+	for col, src := range idx {
+		sorted[col] = values[src]
+		for row := 0; row < n; row++ {
+			vs.Set(row, col, v.At(row, src))
+		}
+	}
+	return sorted, vs, nil
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to w (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(w, v *Matrix, p, q int, c, s float64, n int) {
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}

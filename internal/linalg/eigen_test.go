@@ -1,0 +1,93 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, _, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-9) || !approx(vals[1], 1, 1e-9) {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-9) || !approx(vals[1], 1, 1e-9) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Eigenvector of 3 is (1,1)/√2 up to sign.
+	if !approx(math.Abs(vecs.At(0, 0)), 1/math.Sqrt2, 1e-6) {
+		t.Errorf("vec = %v", vecs.At(0, 0))
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A ≈ V Λ Vᵀ.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+				}
+				if !approx(sum, a.At(i, j), 1e-7) {
+					t.Fatalf("trial %d: reconstruction (%d,%d): %v vs %v", trial, i, j, sum, a.At(i, j))
+				}
+			}
+		}
+		// Eigenvalues descending.
+		for k := 1; k < n; k++ {
+			if vals[k] > vals[k-1]+1e-12 {
+				t.Fatalf("not sorted: %v", vals)
+			}
+		}
+		// Columns orthonormal.
+		for p := 0; p < n; p++ {
+			for q := p; q < n; q++ {
+				var dot float64
+				for k := 0; k < n; k++ {
+					dot += vecs.At(k, p) * vecs.At(k, q)
+				}
+				want := 0.0
+				if p == q {
+					want = 1
+				}
+				if !approx(dot, want, 1e-7) {
+					t.Fatalf("columns %d,%d dot = %v", p, q, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, _, err := SymEigen(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}

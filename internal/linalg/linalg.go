@@ -1,0 +1,213 @@
+// Package linalg is the small dense linear-algebra substrate used by the
+// regression-mixture baseline (internal/regmix): column-major-free dense
+// matrices, products, and linear solves by Gaussian elimination with
+// partial pivoting. It is deliberately minimal — just what weighted
+// least-squares needs — and depends only on the standard library.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (which must be equal length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m · b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m · v for a vector v of length m.Cols.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrSingular is returned when a solve encounters a (numerically) singular
+// system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves A·x = b for square A by Gaussian elimination with partial
+// pivoting. A and b are not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: Solve needs square system, got %dx%d and b of %d", a.Rows, a.Cols, len(b))
+	}
+	// Augmented working copy.
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pval := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > pval {
+				piv, pval = r, v
+			}
+		}
+		if pval < 1e-12 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[piv*n+j] = m.Data[piv*n+j], m.Data[col*n+j]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Data[r*n+j] -= f * m.Data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// WeightedLeastSquares solves min_β Σ w_i (y_i - X_i·β)² via the normal
+// equations (Xᵀ W X) β = Xᵀ W y, with a small ridge term for stability.
+func WeightedLeastSquares(x *Matrix, y, w []float64, ridge float64) ([]float64, error) {
+	n, p := x.Rows, x.Cols
+	if len(y) != n || len(w) != n {
+		return nil, fmt.Errorf("linalg: WLS needs %d responses/weights", n)
+	}
+	xtwx := NewMatrix(p, p)
+	xtwy := make([]float64, p)
+	for i := 0; i < n; i++ {
+		wi := w[i]
+		if wi == 0 {
+			continue
+		}
+		row := x.Data[i*p : (i+1)*p]
+		for a := 0; a < p; a++ {
+			va := wi * row[a]
+			xtwy[a] += va * y[i]
+			for b := a; b < p; b++ {
+				xtwx.Data[a*p+b] += va * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge.
+	for a := 0; a < p; a++ {
+		xtwx.Data[a*p+a] += ridge
+		for b := a + 1; b < p; b++ {
+			xtwx.Data[b*p+a] = xtwx.Data[a*p+b]
+		}
+	}
+	return Solve(xtwx, xtwy)
+}
+
+// Vandermonde builds the design matrix whose row i is
+// (1, t_i, t_i², ..., t_i^degree).
+func Vandermonde(t []float64, degree int) *Matrix {
+	m := NewMatrix(len(t), degree+1)
+	for i, ti := range t {
+		v := 1.0
+		for j := 0; j <= degree; j++ {
+			m.Set(i, j, v)
+			v *= ti
+		}
+	}
+	return m
+}
+
+// PolyEval evaluates the polynomial with coefficients c (constant first) at t.
+func PolyEval(c []float64, t float64) float64 {
+	var y float64
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*t + c[i]
+	}
+	return y
+}

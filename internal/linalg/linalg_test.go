@@ -1,0 +1,216 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases data")
+	}
+}
+
+func TestFromRowsAndTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims %dx%d", m.Rows, m.Cols)
+	}
+	tr := m.T()
+	if tr.Rows != 2 || tr.Cols != 3 || tr.At(0, 2) != 5 || tr.At(1, 0) != 2 {
+		t.Errorf("transpose wrong: %+v", tr)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	a.Mul(NewMatrix(3, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !approx(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 7, 1e-12) || !approx(x[1], 3, 1e-12) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular system solved")
+	}
+	if _, err := Solve(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 2}})
+	b := []float64{4, 6}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || b[0] != 4 {
+		t.Error("Solve mutated inputs")
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		x, err := Solve(a, b)
+		if err != nil {
+			continue // occasionally near-singular; fine
+		}
+		for i := range want {
+			if !approx(x[i], want[i], 1e-6*(1+math.Abs(want[i]))) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWeightedLeastSquaresRecoversLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	ts := make([]float64, n)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := range ts {
+		ts[i] = rng.Float64()
+		y[i] = 3 + 5*ts[i] + rng.NormFloat64()*0.01
+		w[i] = 1
+	}
+	x := Vandermonde(ts, 1)
+	beta, err := WeightedLeastSquares(x, y, w, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(beta[0], 3, 0.05) || !approx(beta[1], 5, 0.05) {
+		t.Errorf("beta = %v", beta)
+	}
+}
+
+func TestWeightedLeastSquaresRespectsWeights(t *testing.T) {
+	// Two populations; zero weight on the second must recover the first.
+	ts := []float64{0, 1, 0, 1}
+	y := []float64{0, 1, 100, 101}
+	w := []float64{1, 1, 0, 0}
+	x := Vandermonde(ts, 1)
+	beta, err := WeightedLeastSquares(x, y, w, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(beta[0], 0, 1e-6) || !approx(beta[1], 1, 1e-6) {
+		t.Errorf("beta = %v", beta)
+	}
+}
+
+func TestWeightedLeastSquaresErrors(t *testing.T) {
+	x := Vandermonde([]float64{0, 1}, 1)
+	if _, err := WeightedLeastSquares(x, []float64{1}, []float64{1, 1}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestVandermonde(t *testing.T) {
+	m := Vandermonde([]float64{2}, 3)
+	want := []float64{1, 2, 4, 8}
+	for j, v := range want {
+		if m.At(0, j) != v {
+			t.Errorf("V[0][%d] = %v, want %v", j, m.At(0, j), v)
+		}
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// 1 + 2t + 3t² at t=2 → 1 + 4 + 12 = 17.
+	if got := PolyEval([]float64{1, 2, 3}, 2); got != 17 {
+		t.Errorf("PolyEval = %v", got)
+	}
+	if got := PolyEval(nil, 5); got != 0 {
+		t.Errorf("PolyEval(nil) = %v", got)
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dimension did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}

@@ -1,0 +1,40 @@
+package mdl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkApproximatePartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{50, 500, 5000} {
+		pts := randomWalk(rng, n)
+		b.Run(fmt.Sprintf("points=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ApproximatePartition(pts, Config{CostAdvantage: 5})
+			}
+		})
+	}
+}
+
+func BenchmarkOptimalPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{20, 60} {
+		pts := randomWalk(rng, n)
+		b.Run(fmt.Sprintf("points=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				OptimalPartition(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkMDLPar(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomWalk(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MDLPar(pts, 0, 199)
+	}
+}

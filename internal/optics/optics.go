@@ -1,0 +1,198 @@
+// Package optics implements OPTICS (Ankerst, Breunig, Kriegel, Sander,
+// SIGMOD 1999 — reference [2] of the TRACLUS paper): an ordering of the
+// data by density reachability that removes DBSCAN's sensitivity to ε.
+//
+// The TRACLUS paper's Appendix D argues that OPTICS is *less* suitable for
+// line segments than for points, because pairwise distances inside an
+// ε-neighborhood of segments are not bounded by 2ε (the distance is not a
+// metric), so reachability distances stay close to ε and clusters blur into
+// noise. This package implements OPTICS generically over any distance so
+// the experiments can measure exactly that effect on matched point and
+// segment data sets.
+package optics
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+)
+
+// DistFunc returns the distance between items i and j of an n-item data
+// set.
+type DistFunc func(i, j int) float64
+
+// Config holds the OPTICS parameters: the generating radius Eps and the
+// density threshold MinPts.
+type Config struct {
+	Eps    float64
+	MinPts int
+}
+
+// Undefined marks an undefined reachability (the first item of each
+// density-connected component).
+var Undefined = math.Inf(1)
+
+// Result is the cluster ordering.
+type Result struct {
+	// Order is the visit order of item indices.
+	Order []int
+	// Reach[i] is the reachability distance of item Order[i] at its visit.
+	Reach []float64
+	// CoreDist[i] is the core distance of item i (Undefined when not core).
+	CoreDist []float64
+}
+
+// Run computes the OPTICS ordering of n items under dist. Neighborhoods
+// are computed by full scan, O(n²) overall — adequate for the Appendix-D
+// experiments; the TRACLUS production path does not use OPTICS (the paper
+// deliberately chooses DBSCAN; see Appendix D).
+func Run(n int, dist DistFunc, cfg Config) (*Result, error) {
+	if cfg.Eps <= 0 {
+		return nil, errors.New("optics: Eps must be positive")
+	}
+	if cfg.MinPts < 1 {
+		return nil, errors.New("optics: MinPts must be at least 1")
+	}
+	res := &Result{
+		Order:    make([]int, 0, n),
+		Reach:    make([]float64, 0, n),
+		CoreDist: make([]float64, n),
+	}
+	processed := make([]bool, n)
+	reach := make([]float64, n)
+	for i := range reach {
+		reach[i] = Undefined
+	}
+
+	// neighbors returns the ε-neighborhood of i (including i) and fills
+	// core distance.
+	dists := make([]float64, 0, n)
+	neighbors := func(i int) []int {
+		var hood []int
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if d := dist(i, j); d <= cfg.Eps {
+				hood = append(hood, j)
+				dists = append(dists, d)
+			}
+		}
+		if len(hood) >= cfg.MinPts {
+			tmp := append([]float64(nil), dists...)
+			sort.Float64s(tmp)
+			res.CoreDist[i] = tmp[cfg.MinPts-1]
+		} else {
+			res.CoreDist[i] = Undefined
+		}
+		return hood
+	}
+
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		hood := neighbors(start)
+		processed[start] = true
+		res.Order = append(res.Order, start)
+		res.Reach = append(res.Reach, Undefined)
+		if res.CoreDist[start] == Undefined {
+			continue
+		}
+		seeds := &seedQueue{}
+		update(start, hood, dist, res.CoreDist[start], processed, reach, seeds)
+		for seeds.Len() > 0 {
+			q := heap.Pop(seeds).(seedItem).id
+			if processed[q] {
+				continue
+			}
+			qHood := neighbors(q)
+			processed[q] = true
+			res.Order = append(res.Order, q)
+			res.Reach = append(res.Reach, reach[q])
+			if res.CoreDist[q] != Undefined {
+				update(q, qHood, dist, res.CoreDist[q], processed, reach, seeds)
+			}
+		}
+	}
+	return res, nil
+}
+
+func update(p int, hood []int, dist DistFunc, coreDist float64, processed []bool, reach []float64, seeds *seedQueue) {
+	for _, o := range hood {
+		if processed[o] {
+			continue
+		}
+		newReach := math.Max(coreDist, dist(p, o))
+		if newReach < reach[o] {
+			reach[o] = newReach
+			heap.Push(seeds, seedItem{id: o, reach: newReach})
+		}
+	}
+}
+
+// seedItem is a priority-queue entry. Stale entries (with outdated reach)
+// are skipped at pop via the processed check plus reach comparison.
+type seedItem struct {
+	id    int
+	reach float64
+}
+
+type seedQueue []seedItem
+
+func (q seedQueue) Len() int            { return len(q) }
+func (q seedQueue) Less(i, j int) bool  { return q[i].reach < q[j].reach }
+func (q seedQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *seedQueue) Push(x interface{}) { *q = append(*q, x.(seedItem)) }
+func (q *seedQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ExtractDBSCAN derives a DBSCAN-equivalent clustering at radius eps' ≤ Eps
+// from the ordering. It returns per-item cluster ids with -1 for noise.
+func (r *Result) ExtractDBSCAN(epsPrime float64) []int {
+	n := len(r.Order)
+	labels := make([]int, len(r.CoreDist))
+	for i := range labels {
+		labels[i] = -1
+	}
+	clusterID := -1
+	for i := 0; i < n; i++ {
+		item := r.Order[i]
+		if r.Reach[i] > epsPrime {
+			if r.CoreDist[item] <= epsPrime {
+				clusterID++
+				labels[item] = clusterID
+			}
+		} else if clusterID >= 0 {
+			labels[item] = clusterID
+		}
+	}
+	return labels
+}
+
+// ReachStats summarises the defined reachability distances of a result:
+// count, mean, and the fraction within frac·Eps of Eps (the Appendix-D
+// "close to ε" statistic).
+func (r *Result) ReachStats(eps, frac float64) (count int, mean, nearEpsFrac float64) {
+	var sum float64
+	near := 0
+	for _, v := range r.Reach {
+		if math.IsInf(v, 1) {
+			continue
+		}
+		count++
+		sum += v
+		if v >= eps*(1-frac) {
+			near++
+		}
+	}
+	if count > 0 {
+		mean = sum / float64(count)
+		nearEpsFrac = float64(near) / float64(count)
+	}
+	return
+}

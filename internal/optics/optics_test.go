@@ -1,0 +1,151 @@
+package optics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func blobPoints(rng *rand.Rand, centers []geom.Point, per int, spread float64) []geom.Point {
+	var pts []geom.Point
+	for _, c := range centers {
+		for i := 0; i < per; i++ {
+			pts = append(pts, geom.Pt(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread))
+		}
+	}
+	return pts
+}
+
+func euclid(pts []geom.Point) DistFunc {
+	return func(i, j int) float64 { return pts[i].Dist(pts[j]) }
+}
+
+func TestOrderingCoversAllItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := blobPoints(rng, []geom.Point{geom.Pt(0, 0), geom.Pt(300, 0)}, 30, 10)
+	res, err := Run(len(pts), euclid(pts), Config{Eps: 40, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != len(pts) || len(res.Reach) != len(pts) {
+		t.Fatalf("ordering size %d/%d, want %d", len(res.Order), len(res.Reach), len(pts))
+	}
+	seen := make([]bool, len(pts))
+	for _, id := range res.Order {
+		if seen[id] {
+			t.Fatalf("item %d visited twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestCoreDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := blobPoints(rng, []geom.Point{geom.Pt(0, 0)}, 30, 5)
+	pts = append(pts, geom.Pt(10000, 10000)) // isolated
+	res, err := Run(len(pts), euclid(pts), Config{Eps: 30, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.CoreDist[0], 1) {
+		t.Error("dense point has undefined core distance")
+	}
+	if !math.IsInf(res.CoreDist[30], 1) {
+		t.Error("isolated point has defined core distance")
+	}
+}
+
+func TestExtractDBSCANBlobCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := blobPoints(rng, []geom.Point{geom.Pt(0, 0), geom.Pt(400, 0), geom.Pt(0, 400)}, 40, 10)
+	res, err := Run(len(pts), euclid(pts), Config{Eps: 60, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := res.ExtractDBSCAN(45)
+	maxLabel := -1
+	for _, l := range labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	if got := maxLabel + 1; got != 3 {
+		t.Errorf("extracted clusters = %d, want 3", got)
+	}
+	// Points of the same blob share a label.
+	for b := 0; b < 3; b++ {
+		ref := labels[b*40]
+		for i := 1; i < 40; i++ {
+			if labels[b*40+i] != ref {
+				t.Errorf("blob %d split", b)
+				break
+			}
+		}
+	}
+}
+
+func TestReachabilityWithinClusterBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := blobPoints(rng, []geom.Point{geom.Pt(0, 0)}, 60, 8)
+	res, err := Run(len(pts), euclid(pts), Config{Eps: 50, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All but the first item should have defined reachability well below ε
+	// in a single dense blob.
+	defined := 0
+	for i, r := range res.Reach {
+		if i == 0 {
+			continue
+		}
+		if !math.IsInf(r, 1) {
+			defined++
+			if r > 50 {
+				t.Errorf("reachability %v exceeds eps", r)
+			}
+		}
+	}
+	if defined < len(pts)-2 {
+		t.Errorf("only %d defined reachabilities", defined)
+	}
+}
+
+func TestReachStats(t *testing.T) {
+	res := &Result{
+		Reach:    []float64{Undefined, 10, 20, 30, Undefined, 28},
+		Order:    []int{0, 1, 2, 3, 4, 5},
+		CoreDist: make([]float64, 6),
+	}
+	count, mean, near := res.ReachStats(30, 0.25)
+	if count != 4 {
+		t.Errorf("count = %d", count)
+	}
+	if math.Abs(mean-22) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+	// Near-eps: values ≥ 22.5 → {30, 28} → 0.5.
+	if math.Abs(near-0.5) > 1e-9 {
+		t.Errorf("near = %v", near)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Run(0, nil, Config{Eps: 0, MinPts: 3}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Run(0, nil, Config{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("minPts=0 accepted")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	res, err := Run(0, func(i, j int) float64 { return 0 }, Config{Eps: 1, MinPts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != 0 {
+		t.Error("non-empty ordering")
+	}
+}

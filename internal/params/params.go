@@ -1,0 +1,209 @@
+// Package params implements the TRACLUS parameter-selection heuristic
+// (Section 4.4): pick ε by minimising the Shannon entropy of the
+// ε-neighborhood size distribution (Formula 10) with simulated annealing,
+// then suggest MinLns as avg|Nε| + 1..3 at the chosen ε.
+//
+// The intuition from the paper: in a worst-case clustering |Nε(L)| is
+// uniform (entropy maximal — ε far too small or far too large), while a
+// good clustering makes |Nε(L)| skewed (entropy smaller).
+package params
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/lsdist"
+	"repro/internal/segclust"
+)
+
+// Entropy computes H(X) of Formula 10 from the (weighted) ε-neighborhood
+// cardinalities: p(x_i) = |Nε(x_i)| / Σ_j |Nε(x_j)|, H = -Σ p log2 p.
+// Zero-cardinality entries contribute nothing; an empty or all-zero input
+// has zero entropy.
+func Entropy(neighborhood []float64) float64 {
+	var total float64
+	for _, w := range neighborhood {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range neighborhood {
+		if w <= 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Average returns avg|Nε(L)| over the input.
+func Average(neighborhood []float64) float64 {
+	if len(neighborhood) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range neighborhood {
+		sum += w
+	}
+	return sum / float64(len(neighborhood))
+}
+
+// SuggestMinLns returns the paper's recommended MinLns range at the optimal
+// ε: avg|Nε(L)| + 1 through avg|Nε(L)| + 3 (Section 4.4), rounded to
+// integers and clamped to at least 2.
+func SuggestMinLns(avgNeighbors float64) (lo, hi int) {
+	lo = int(math.Round(avgNeighbors)) + 1
+	hi = int(math.Round(avgNeighbors)) + 3
+	if lo < 2 {
+		lo = 2
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// EntropyPoint is one sample of the entropy curve (Figures 16 and 19).
+type EntropyPoint struct {
+	Eps          float64
+	Entropy      float64
+	AvgNeighbors float64
+}
+
+// Sweep evaluates the entropy at each ε in epsValues, as plotted in
+// Figures 16 and 19. The values need not be sorted. One shared index is
+// built at max(epsValues).
+func Sweep(items []segclust.Item, epsValues []float64, opt lsdist.Options, index segclust.IndexKind, workers int) []EntropyPoint {
+	maxEps := 0.0
+	for _, e := range epsValues {
+		if e > maxEps {
+			maxEps = e
+		}
+	}
+	shared := segclust.NewSharedIndex(items, maxEps, opt, index)
+	out := make([]EntropyPoint, len(epsValues))
+	for i, eps := range epsValues {
+		n := shared.NeighborhoodWeights(eps, workers)
+		out[i] = EntropyPoint{Eps: eps, Entropy: Entropy(n), AvgNeighbors: Average(n)}
+	}
+	return out
+}
+
+// Estimate holds the outcome of the ε search.
+type Estimate struct {
+	Eps          float64
+	Entropy      float64
+	AvgNeighbors float64
+	MinLnsLo     int
+	MinLnsHi     int
+	Evaluations  int
+}
+
+// AnnealOptions tune the simulated-annealing ε search (reference [14] of
+// the paper). The zero value is replaced by sensible defaults.
+type AnnealOptions struct {
+	Iterations int     // annealing steps (default 60)
+	InitTemp   float64 // initial temperature as a fraction of entropy scale (default 1.0)
+	Cooling    float64 // geometric cooling factor per step (default 0.93)
+	Seed       int64   // RNG seed (deterministic search)
+	Workers    int     // parallelism for neighborhood evaluation
+}
+
+func (o AnnealOptions) withDefaults() AnnealOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 60
+	}
+	if o.InitTemp <= 0 {
+		o.InitTemp = 1
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.93
+	}
+	return o
+}
+
+// EstimateEps searches [lo, hi] for the ε minimising H(X) by simulated
+// annealing and returns the estimate together with the suggested MinLns
+// range. The search is deterministic for a fixed seed.
+func EstimateEps(items []segclust.Item, lo, hi float64, opt lsdist.Options, index segclust.IndexKind, an AnnealOptions) (Estimate, error) {
+	if !(lo > 0) || !(hi > lo) {
+		return Estimate{}, errors.New("params: need 0 < lo < hi")
+	}
+	if len(items) == 0 {
+		return Estimate{}, errors.New("params: no segments")
+	}
+	an = an.withDefaults()
+	shared := segclust.NewSharedIndex(items, hi, opt, index)
+	rng := rand.New(rand.NewSource(an.Seed))
+
+	evals := 0
+	energy := func(eps float64) (float64, float64) {
+		evals++
+		n := shared.NeighborhoodWeights(eps, an.Workers)
+		return Entropy(n), Average(n)
+	}
+
+	cur := lo + (hi-lo)/2
+	curE, curAvg := energy(cur)
+	best, bestE, bestAvg := cur, curE, curAvg
+
+	temp := an.InitTemp
+	span := (hi - lo) / 2
+	for i := 0; i < an.Iterations; i++ {
+		cand := cur + rng.NormFloat64()*span*temp
+		for cand < lo || cand > hi { // reflect into range
+			if cand < lo {
+				cand = 2*lo - cand
+			}
+			if cand > hi {
+				cand = 2*hi - cand
+			}
+		}
+		candE, candAvg := energy(cand)
+		if candE <= curE || rng.Float64() < math.Exp((curE-candE)/math.Max(temp*0.05, 1e-9)) {
+			cur, curE, curAvg = cand, candE, candAvg
+		}
+		if curE < bestE {
+			best, bestE, bestAvg = cur, curE, curAvg
+		}
+		temp *= an.Cooling
+	}
+	mlo, mhi := SuggestMinLns(bestAvg)
+	return Estimate{
+		Eps:          best,
+		Entropy:      bestE,
+		AvgNeighbors: bestAvg,
+		MinLnsLo:     mlo,
+		MinLnsHi:     mhi,
+		Evaluations:  evals,
+	}, nil
+}
+
+// EstimateEpsGrid is the exhaustive fallback: evaluate every ε in
+// epsValues and return the entropy minimiser. Used for the figure sweeps
+// and as the ground truth the annealer is tested against.
+func EstimateEpsGrid(items []segclust.Item, epsValues []float64, opt lsdist.Options, index segclust.IndexKind, workers int) (Estimate, error) {
+	if len(epsValues) == 0 {
+		return Estimate{}, errors.New("params: no eps values")
+	}
+	pts := Sweep(items, epsValues, opt, index, workers)
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Entropy < best.Entropy {
+			best = p
+		}
+	}
+	mlo, mhi := SuggestMinLns(best.AvgNeighbors)
+	return Estimate{
+		Eps:          best.Eps,
+		Entropy:      best.Entropy,
+		AvgNeighbors: best.AvgNeighbors,
+		MinLnsLo:     mlo,
+		MinLnsHi:     mhi,
+		Evaluations:  len(epsValues),
+	}, nil
+}

@@ -1,0 +1,82 @@
+// Package quality implements the clustering quality measure of Section 5.1
+// (Formula 11): QMeasure = Total SSE + Noise Penalty, where the SSE of a
+// cluster is the mean pairwise squared distance normalised as
+// 1/(2|C|)·ΣΣ dist(x,y)² and the noise penalty applies the same form to
+// the set of noise segments, penalising "incorrectly classified noises"
+// when ε is too small or MinLns too large.
+package quality
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/lsdist"
+	"repro/internal/segclust"
+)
+
+// Breakdown separates the two terms of QMeasure.
+type Breakdown struct {
+	TotalSSE     float64
+	NoisePenalty float64
+}
+
+// QMeasure returns TotalSSE + NoisePenalty.
+func (b Breakdown) QMeasure() float64 { return b.TotalSSE + b.NoisePenalty }
+
+// Measure computes the quality breakdown of a clustering result over its
+// input items. workers ≤ 0 uses GOMAXPROCS.
+func Measure(items []segclust.Item, res *segclust.Result, opt lsdist.Options, workers int) Breakdown {
+	dist := lsdist.New(opt)
+	var b Breakdown
+	for _, c := range res.Clusters {
+		b.TotalSSE += groupSSE(items, c.Members, dist, workers)
+	}
+	var noise []int
+	for i, l := range res.ClusterOf {
+		if l == segclust.Noise {
+			noise = append(noise, i)
+		}
+	}
+	b.NoisePenalty = groupSSE(items, noise, dist, workers)
+	return b
+}
+
+// groupSSE computes 1/(2|G|)·Σ_{x∈G}Σ_{y∈G} dist(x,y)² over the item index
+// group G, parallelised over rows.
+func groupSSE(items []segclust.Item, group []int, dist lsdist.Func, workers int) float64 {
+	n := len(group)
+	if n == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	sums := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s float64
+			for i := w; i < n; i += workers {
+				a := items[group[i]].Seg
+				// Pairwise distances are symmetric with dist(x,x)=0, so sum
+				// the strict upper triangle and double it.
+				for j := i + 1; j < n; j++ {
+					d := dist(a, items[group[j]].Seg)
+					s += 2 * d * d
+				}
+			}
+			sums[w] = s
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	return total / (2 * float64(n))
+}

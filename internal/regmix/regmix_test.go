@@ -1,0 +1,171 @@
+package regmix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// family generates trajectories along y = a + b·x with noise, sampled left
+// to right.
+func family(rng *rand.Rand, n, pts int, a, b, noise float64) []geom.Trajectory {
+	trs := make([]geom.Trajectory, n)
+	for i := range trs {
+		p := make([]geom.Point, pts)
+		for j := range p {
+			x := float64(j) / float64(pts-1) * 100
+			p[j] = geom.Pt(x, a+b*x+rng.NormFloat64()*noise)
+		}
+		trs[i] = geom.NewTrajectory(i, p)
+	}
+	return trs
+}
+
+func TestSeparatesTwoFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	low := family(rng, 10, 20, 0, 0, 2)
+	high := family(rng, 10, 20, 200, 0, 2)
+	var trs []geom.Trajectory
+	trs = append(trs, low...)
+	trs = append(trs, high...)
+	res, err := Fit(trs, Config{K: 2, Degree: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of the first family share one component; all of the second the
+	// other.
+	for i := 1; i < 10; i++ {
+		if res.Assign[i] != res.Assign[0] {
+			t.Fatalf("family 1 split: %v", res.Assign)
+		}
+	}
+	for i := 11; i < 20; i++ {
+		if res.Assign[i] != res.Assign[10] {
+			t.Fatalf("family 2 split: %v", res.Assign)
+		}
+	}
+	if res.Assign[0] == res.Assign[10] {
+		t.Fatalf("families merged: %v", res.Assign)
+	}
+}
+
+func TestMeanCurveRecoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trs := family(rng, 15, 25, 50, 1, 1.5) // y = 50 + x
+	res, err := Fit(trs, Config{K: 1, Degree: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := res.Components[0]
+	// At t=0 → (0, 50); at t=1 → (100, 150).
+	start := comp.Mean(0)
+	end := comp.Mean(1)
+	if math.Abs(start.Y-50) > 5 || math.Abs(end.Y-150) > 5 {
+		t.Errorf("mean curve endpoints %v, %v", start, end)
+	}
+	if math.Abs(start.X-0) > 5 || math.Abs(end.X-100) > 5 {
+		t.Errorf("mean curve x range %v, %v", start, end)
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trs := family(rng, 12, 15, 0, 1, 3)
+	res, err := Fit(trs, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range res.Components {
+		if c.Weight < 0 {
+			t.Errorf("negative weight %v", c.Weight)
+		}
+		sum += c.Weight
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// Responsibilities are a distribution per trajectory.
+	for i, row := range res.Resp {
+		var s float64
+		for _, r := range row {
+			s += r
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Errorf("resp row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	trs := family(rng, 10, 15, 0, 1, 3)
+	a, err := Fit(trs, Config{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(trs, Config{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogLik != b.LogLik {
+		t.Error("non-deterministic fit")
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Error("assignments differ")
+			break
+		}
+	}
+}
+
+func TestVarianceFloor(t *testing.T) {
+	// Identical trajectories drive residuals to zero; the variance floor
+	// must prevent a degenerate likelihood.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(50, 50), geom.Pt(100, 100)}
+	var trs []geom.Trajectory
+	for i := 0; i < 6; i++ {
+		trs = append(trs, geom.NewTrajectory(i, pts))
+	}
+	res, err := Fit(trs, Config{K: 1, Degree: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components[0].Var <= 0 || math.IsNaN(res.Components[0].Var) {
+		t.Errorf("variance = %v", res.Components[0].Var)
+	}
+	if math.IsNaN(res.LogLik) || math.IsInf(res.LogLik, 0) {
+		t.Errorf("loglik = %v", res.LogLik)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trs := family(rng, 3, 10, 0, 0, 1)
+	if _, err := Fit(trs, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Fit(trs, Config{K: 5}); err == nil {
+		t.Error("K > len(trs) accepted")
+	}
+	short := []geom.Trajectory{geom.NewTrajectory(0, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})}
+	if _, err := Fit(short, Config{K: 1, Degree: 3}); err == nil {
+		t.Error("too-short trajectory accepted")
+	}
+}
+
+func TestMeanCurveSampling(t *testing.T) {
+	c := Component{CoefX: []float64{0, 100}, CoefY: []float64{5}, Var: 1}
+	curve := c.MeanCurve(11)
+	if len(curve) != 11 {
+		t.Fatalf("len = %d", len(curve))
+	}
+	if !curve[0].NearEq(geom.Pt(0, 5), 1e-9) || !curve[10].NearEq(geom.Pt(100, 5), 1e-9) {
+		t.Errorf("curve ends %v %v", curve[0], curve[10])
+	}
+	if got := c.MeanCurve(0); len(got) != 2 {
+		t.Errorf("clamped sampling = %d", len(got))
+	}
+}

@@ -1,0 +1,293 @@
+// Package render replaces the paper's C++ visual inspection tool: it draws
+// trajectories, clusters, and representative trajectories as ASCII maps
+// (for terminals and golden tests) and SVG documents (for the regenerated
+// figures), and renders the entropy/QMeasure line charts of Figures 16, 17,
+// 19, and 20. Only the standard library is used.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// ASCIIMap rasterises geometry into a fixed character grid.
+type ASCIIMap struct {
+	w, h   int
+	bounds geom.Rect
+	cells  []byte
+}
+
+// NewASCIIMap creates a w×h map covering bounds.
+func NewASCIIMap(w, h int, bounds geom.Rect) *ASCIIMap {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	m := &ASCIIMap{w: w, h: h, bounds: bounds, cells: make([]byte, w*h)}
+	for i := range m.cells {
+		m.cells[i] = ' '
+	}
+	return m
+}
+
+func (m *ASCIIMap) cell(p geom.Point) (int, int, bool) {
+	if m.bounds.Width() <= 0 || m.bounds.Height() <= 0 {
+		return 0, 0, false
+	}
+	x := int((p.X - m.bounds.Min.X) / m.bounds.Width() * float64(m.w-1))
+	// Y axis points up in data space, down in terminal space.
+	y := int((m.bounds.Max.Y - p.Y) / m.bounds.Height() * float64(m.h-1))
+	if x < 0 || x >= m.w || y < 0 || y >= m.h {
+		return 0, 0, false
+	}
+	return x, y, true
+}
+
+// Plot marks a single point with ch (later marks overwrite earlier ones).
+func (m *ASCIIMap) Plot(p geom.Point, ch byte) {
+	if x, y, ok := m.cell(p); ok {
+		m.cells[y*m.w+x] = ch
+	}
+}
+
+// PlotSegment draws a segment by sampling it densely.
+func (m *ASCIIMap) PlotSegment(s geom.Segment, ch byte) {
+	steps := int(math.Max(float64(m.w), float64(m.h)))
+	for i := 0; i <= steps; i++ {
+		m.Plot(s.Start.Lerp(s.End, float64(i)/float64(steps)), ch)
+	}
+}
+
+// PlotPolyline draws consecutive segments through the points.
+func (m *ASCIIMap) PlotPolyline(pts []geom.Point, ch byte) {
+	for i := 1; i < len(pts); i++ {
+		m.PlotSegment(geom.Segment{Start: pts[i-1], End: pts[i]}, ch)
+	}
+	if len(pts) == 1 {
+		m.Plot(pts[0], ch)
+	}
+}
+
+// String renders the grid.
+func (m *ASCIIMap) String() string {
+	var b strings.Builder
+	b.Grow((m.w + 1) * m.h)
+	for y := 0; y < m.h; y++ {
+		b.Write(m.cells[y*m.w : (y+1)*m.w])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ClusterMap renders trajectories (.) plus each cluster's representative
+// trajectory (#), the layout of the paper's Figures 18, 21, 22, and 23.
+func ClusterMap(w, h int, trs []geom.Trajectory, reps [][]geom.Point) string {
+	bounds, ok := geom.BoundsOf(trs)
+	for _, rep := range reps {
+		for _, p := range rep {
+			if !ok {
+				bounds = geom.Rect{Min: p, Max: p}
+				ok = true
+			} else {
+				bounds = bounds.ExpandPoint(p)
+			}
+		}
+	}
+	if !ok {
+		return ""
+	}
+	if bounds.Width() == 0 {
+		bounds = bounds.Expand(1)
+	}
+	if bounds.Height() == 0 {
+		bounds = bounds.Expand(1)
+	}
+	m := NewASCIIMap(w, h, bounds)
+	for _, tr := range trs {
+		m.PlotPolyline(tr.Points, '.')
+	}
+	for _, rep := range reps {
+		m.PlotPolyline(rep, '#')
+	}
+	return m.String()
+}
+
+// SVG builds a minimal SVG document.
+type SVG struct {
+	w, h   float64
+	bounds geom.Rect
+	body   strings.Builder
+}
+
+// NewSVG creates a drawing of pixel size w×h mapping the data bounds onto
+// it (Y flipped so data-up is screen-up), with a 4 % margin.
+func NewSVG(w, h float64, bounds geom.Rect) *SVG {
+	mx, my := bounds.Width()*0.04, bounds.Height()*0.04
+	if mx == 0 {
+		mx = 1
+	}
+	if my == 0 {
+		my = 1
+	}
+	return &SVG{w: w, h: h, bounds: bounds.Expand(math.Max(mx, my))}
+}
+
+func (s *SVG) tx(p geom.Point) (float64, float64) {
+	x := (p.X - s.bounds.Min.X) / s.bounds.Width() * s.w
+	y := s.h - (p.Y-s.bounds.Min.Y)/s.bounds.Height()*s.h
+	return x, y
+}
+
+// Polyline draws the points as a stroked path.
+func (s *SVG) Polyline(pts []geom.Point, stroke string, width float64, opacity float64) {
+	if len(pts) < 2 {
+		return
+	}
+	var sb strings.Builder
+	for i, p := range pts {
+		x, y := s.tx(p)
+		if i == 0 {
+			fmt.Fprintf(&sb, "M%.2f %.2f", x, y)
+		} else {
+			fmt.Fprintf(&sb, " L%.2f %.2f", x, y)
+		}
+	}
+	fmt.Fprintf(&s.body,
+		`<path d="%s" fill="none" stroke="%s" stroke-width="%.2f" stroke-opacity="%.2f"/>`+"\n",
+		sb.String(), stroke, width, opacity)
+}
+
+// Circle draws a dot at p.
+func (s *SVG) Circle(p geom.Point, r float64, fill string) {
+	x, y := s.tx(p)
+	fmt.Fprintf(&s.body, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// Text places a label at p.
+func (s *SVG) Text(p geom.Point, size float64, fill, text string) {
+	x, y := s.tx(p)
+	fmt.Fprintf(&s.body, `<text x="%.2f" y="%.2f" font-size="%.1f" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, fill, escape(text))
+}
+
+// String emits the complete document.
+func (s *SVG) String() string {
+	return fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n"+
+			`<rect width="%.0f" height="%.0f" fill="white"/>`+"\n%s</svg>\n",
+		s.w, s.h, s.w, s.h, s.w, s.h, s.body.String())
+}
+
+func escape(t string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(t)
+}
+
+// ClusterSVG renders the standard figure layout: input trajectories in
+// light green, representative trajectories in thick red — matching the
+// paper's "thin green lines display trajectories, and thick red lines
+// representative trajectories".
+func ClusterSVG(trs []geom.Trajectory, reps [][]geom.Point) string {
+	bounds, ok := geom.BoundsOf(trs)
+	if !ok {
+		return NewSVG(800, 520, geom.Rect{Max: geom.Pt(1, 1)}).String()
+	}
+	svg := NewSVG(800, 520, bounds)
+	for _, tr := range trs {
+		svg.Polyline(tr.Points, "#2a9d2a", 0.7, 0.45)
+	}
+	for _, rep := range reps {
+		svg.Polyline(rep, "#d62828", 3, 1)
+	}
+	return svg.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Stroke string
+}
+
+// LineChart renders a simple XY chart with axes, tick labels, and a legend
+// — the format of the entropy and QMeasure figures.
+func LineChart(title, xlabel, ylabel string, series []Series) string {
+	const w, h = 720.0, 480.0
+	const padL, padR, padT, padB = 70.0, 20.0, 40.0, 50.0
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	tx := func(x float64) float64 { return padL + (x-minX)/(maxX-minX)*(w-padL-padR) }
+	ty := func(y float64) float64 { return h - padB - (y-minY)/(maxY-minY)*(h-padT-padB) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%.0f" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", w/2, escape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", padL, h-padB, w-padR, h-padB)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", padL, padT, padL, h-padB)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", w/2, h-12, escape(xlabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.0f" font-size="12" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 %.0f)">%s</text>`+"\n", h/2, h/2, escape(ylabel))
+	// Ticks.
+	for i := 0; i <= 5; i++ {
+		x := minX + (maxX-minX)*float64(i)/5
+		y := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n", tx(x), h-padB+16, fmtTick(x))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end" font-family="sans-serif">%s</text>`+"\n", padL-6, ty(y)+4, fmtTick(y))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", padL, ty(y), w-padR, ty(y))
+	}
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	for si, s := range series {
+		stroke := s.Stroke
+		if stroke == "" {
+			stroke = palette[si%len(palette)]
+		}
+		var path strings.Builder
+		for i := range s.X {
+			if i == 0 {
+				fmt.Fprintf(&path, "M%.2f %.2f", tx(s.X[i]), ty(s.Y[i]))
+			} else {
+				fmt.Fprintf(&path, " L%.2f %.2f", tx(s.X[i]), ty(s.Y[i]))
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", path.String(), stroke)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+			w-padR-130, padT+16*float64(si)+4, stroke, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 100000:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,174 @@
+package render
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestASCIIMapPlot(t *testing.T) {
+	m := NewASCIIMap(10, 5, geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 5)})
+	m.Plot(geom.Pt(0, 0), '*')
+	m.Plot(geom.Pt(10, 5), '#')
+	out := m.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Data-space origin is bottom-left → last line, first column.
+	if lines[4][0] != '*' {
+		t.Errorf("origin not at bottom-left:\n%s", out)
+	}
+	if lines[0][9] != '#' {
+		t.Errorf("max not at top-right:\n%s", out)
+	}
+}
+
+func TestASCIIMapOutOfBoundsIgnored(t *testing.T) {
+	m := NewASCIIMap(5, 5, geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)})
+	m.Plot(geom.Pt(100, 100), 'X') // silently dropped
+	if strings.Contains(m.String(), "X") {
+		t.Error("out-of-bounds point plotted")
+	}
+}
+
+func TestASCIIMapSegmentContinuous(t *testing.T) {
+	m := NewASCIIMap(20, 20, geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(20, 20)})
+	m.PlotSegment(geom.Seg(0, 0, 20, 20), '.')
+	got := strings.Count(m.String(), ".")
+	if got < 15 {
+		t.Errorf("segment drew only %d cells", got)
+	}
+}
+
+func TestASCIIMapDegenerateBounds(t *testing.T) {
+	m := NewASCIIMap(5, 5, geom.Rect{Min: geom.Pt(1, 1), Max: geom.Pt(1, 1)})
+	m.Plot(geom.Pt(1, 1), 'X') // zero-extent bounds: nothing plots, no panic
+	_ = m.String()
+}
+
+func TestClusterMap(t *testing.T) {
+	trs := []geom.Trajectory{
+		geom.NewTrajectory(0, []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0)}),
+	}
+	reps := [][]geom.Point{{geom.Pt(0, 10), geom.Pt(100, 10)}}
+	out := ClusterMap(40, 10, trs, reps)
+	if !strings.Contains(out, ".") || !strings.Contains(out, "#") {
+		t.Errorf("cluster map missing glyphs:\n%s", out)
+	}
+	if got := ClusterMap(40, 10, nil, nil); got != "" {
+		t.Errorf("empty cluster map = %q", got)
+	}
+}
+
+// validateXML checks the SVG is well-formed XML.
+func validateXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := NewSVG(200, 100, geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)})
+	svg.Polyline([]geom.Point{geom.Pt(0, 0), geom.Pt(5, 5), geom.Pt(10, 0)}, "red", 2, 1)
+	svg.Circle(geom.Pt(5, 5), 3, "blue")
+	svg.Text(geom.Pt(1, 1), 10, "black", "a <label> & more")
+	doc := svg.String()
+	validateXML(t, doc)
+	if !strings.Contains(doc, "<path") || !strings.Contains(doc, "<circle") {
+		t.Error("missing elements")
+	}
+	if strings.Contains(doc, "<label>") {
+		t.Error("text not escaped")
+	}
+}
+
+func TestSVGYAxisFlipped(t *testing.T) {
+	svg := NewSVG(100, 100, geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)})
+	_, yLow := svg.tx(geom.Pt(5, 0))
+	_, yHigh := svg.tx(geom.Pt(5, 10))
+	if yHigh >= yLow {
+		t.Errorf("data-up should be screen-up: y(10)=%v y(0)=%v", yHigh, yLow)
+	}
+}
+
+func TestSVGPolylineNeedsTwoPoints(t *testing.T) {
+	svg := NewSVG(100, 100, geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)})
+	svg.Polyline([]geom.Point{geom.Pt(0, 0)}, "red", 1, 1)
+	if strings.Contains(svg.String(), "<path") {
+		t.Error("single-point polyline emitted")
+	}
+}
+
+func TestClusterSVG(t *testing.T) {
+	trs := []geom.Trajectory{
+		geom.NewTrajectory(0, []geom.Point{geom.Pt(0, 0), geom.Pt(50, 20), geom.Pt(100, 0)}),
+		geom.NewTrajectory(1, []geom.Point{geom.Pt(0, 10), geom.Pt(100, 10)}),
+	}
+	reps := [][]geom.Point{{geom.Pt(0, 5), geom.Pt(100, 5)}}
+	doc := ClusterSVG(trs, reps)
+	validateXML(t, doc)
+	if strings.Count(doc, "<path") != 3 {
+		t.Errorf("expected 3 paths, got %d", strings.Count(doc, "<path"))
+	}
+	// Empty input yields a valid blank document.
+	validateXML(t, ClusterSVG(nil, nil))
+}
+
+func TestLineChart(t *testing.T) {
+	doc := LineChart("Entropy for the hurricane data", "Eps", "Entropy", []Series{
+		{Name: "entropy", X: []float64{1, 2, 3}, Y: []float64{10.1, 10.05, 10.12}},
+		{Name: "MinLns=6", X: []float64{1, 2, 3}, Y: []float64{9, 9.5, 9.2}},
+	})
+	validateXML(t, doc)
+	for _, want := range []string{"entropy", "MinLns=6", "Eps", "Entropy for the hurricane data"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	if strings.Count(doc, "<path") != 2 {
+		t.Errorf("expected 2 series paths, got %d", strings.Count(doc, "<path"))
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	validateXML(t, LineChart("t", "x", "y", nil))
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	// Zero Y range must not divide by zero.
+	doc := LineChart("t", "x", "y", []Series{
+		{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}},
+	})
+	validateXML(t, doc)
+	if strings.Contains(doc, "NaN") {
+		t.Error("NaN in chart")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{123456, "1.23e+05"},
+		{250, "250"},
+		{3.25, "3.2"},
+		{0.125, "0.125"},
+	}
+	for _, c := range cases {
+		if got := fmtTick(c.v); got != c.want {
+			t.Errorf("fmtTick(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

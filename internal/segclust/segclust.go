@@ -1,0 +1,478 @@
+// Package segclust implements TRACLUS line-segment clustering (Section 4,
+// Figure 12): a density-based grouping of trajectory partitions under the
+// TRACLUS distance, following DBSCAN's expansion strategy but with two
+// departures the paper calls out — the objects are line segments, and a
+// density-connected set only becomes a cluster if enough *distinct
+// trajectories* participate (Definition 10).
+//
+// ε-neighborhoods are computed either by brute force or through a spatial
+// index (grid or R-tree) using the sound Euclidean prefilter of
+// internal/lsdist; all three paths produce identical clusterings.
+package segclust
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/gridindex"
+	"repro/internal/lsdist"
+	"repro/internal/rtree"
+)
+
+// Item is one clusterable line segment: a trajectory partition together
+// with the trajectory it came from and that trajectory's weight (weights
+// implement the weighted-trajectory extension of Section 4.2: the
+// cardinality of an ε-neighborhood becomes the sum of member weights
+// instead of the member count).
+type Item struct {
+	Seg    geom.Segment
+	TrajID int
+	Weight float64
+}
+
+// ItemsFromSegments wraps raw segments as unit-weight items of one
+// synthetic trajectory each (useful in tests and for clustering arbitrary
+// segment sets).
+func ItemsFromSegments(segs []geom.Segment) []Item {
+	items := make([]Item, len(segs))
+	for i, s := range segs {
+		items[i] = Item{Seg: s, TrajID: i, Weight: 1}
+	}
+	return items
+}
+
+// IndexKind selects the ε-neighborhood strategy.
+type IndexKind int
+
+const (
+	// IndexGrid uses the uniform grid prefilter (default).
+	IndexGrid IndexKind = iota
+	// IndexRTree uses the R-tree prefilter.
+	IndexRTree
+	// IndexNone scans all segments for every query (the O(n²) baseline of
+	// Lemma 3).
+	IndexNone
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IndexGrid:
+		return "grid"
+	case IndexRTree:
+		return "rtree"
+	case IndexNone:
+		return "scan"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Config parameterises the clustering.
+type Config struct {
+	// Eps is the ε-neighborhood radius in distance units.
+	Eps float64
+	// MinLns is the core threshold: a segment is core when the (weighted)
+	// cardinality of its ε-neighborhood is at least MinLns.
+	MinLns float64
+	// MinTrajs is the trajectory-cardinality threshold of Figure 12 step 3
+	// (|PTR(C)| ≥ MinTrajs). Zero uses MinLns, as in the paper; the paper
+	// notes "a threshold other than MinLns can be used".
+	MinTrajs int
+	// Distance options (weights, directedness).
+	Options lsdist.Options
+	// Index selects the neighborhood strategy.
+	Index IndexKind
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Eps <= 0 {
+		return fmt.Errorf("segclust: Eps must be positive, got %v", c.Eps)
+	}
+	if c.MinLns <= 0 {
+		return fmt.Errorf("segclust: MinLns must be positive, got %v", c.MinLns)
+	}
+	if !c.Options.Weights.Valid() {
+		return errors.New("segclust: invalid distance weights")
+	}
+	return nil
+}
+
+// Noise is the cluster id assigned to noise segments in Result.ClusterOf.
+const Noise = -1
+
+// Cluster is one discovered cluster of segment indices.
+type Cluster struct {
+	// Members indexes into the input items, in discovery order.
+	Members []int
+	// Trajectories is the sorted set of participating trajectory ids,
+	// PTR(C) of Definition 10.
+	Trajectories []int
+}
+
+// Result is the output of Cluster.
+type Result struct {
+	// ClusterOf maps each input item to its cluster index or Noise.
+	ClusterOf []int
+	// Clusters in a deterministic order (by first member index).
+	Clusters []Cluster
+	// Removed counts density-connected sets discarded by the
+	// trajectory-cardinality check.
+	Removed int
+	// DistCalls counts exact distance evaluations (index efficiency metric).
+	DistCalls int
+}
+
+// NumClusters returns len(r.Clusters).
+func (r *Result) NumClusters() int { return len(r.Clusters) }
+
+// NoiseCount returns the number of items labelled noise.
+func (r *Result) NoiseCount() int {
+	n := 0
+	for _, c := range r.ClusterOf {
+		if c == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// neighborSource produces ε-neighborhood candidate ids for a query item.
+type neighborSource interface {
+	candidates(i int, dst []int) []int
+}
+
+type scanSource struct{ n int }
+
+func (s scanSource) candidates(_ int, dst []int) []int {
+	for j := 0; j < s.n; j++ {
+		dst = append(dst, j)
+	}
+	return dst
+}
+
+type gridSource struct {
+	idx    *gridindex.Index
+	rects  []geom.Rect
+	radius float64
+	seen   []bool
+}
+
+func (g *gridSource) candidates(i int, dst []int) []int {
+	return g.idx.Candidates(g.rects[i], g.radius, dst, g.seen)
+}
+
+type rtreeSource struct {
+	tree   *rtree.Tree
+	rects  []geom.Rect
+	radius float64
+}
+
+func (r *rtreeSource) candidates(i int, dst []int) []int {
+	r.tree.WithinDist(r.rects[i], r.radius, func(id int) bool {
+		dst = append(dst, id)
+		return true
+	})
+	return dst
+}
+
+func newSource(items []Item, cfg Config) neighborSource {
+	radius, ok := lsdist.SearchRadius(cfg.Eps, cfg.Options.Weights)
+	if !ok || cfg.Index == IndexNone {
+		return scanSource{n: len(items)}
+	}
+	rects := make([]geom.Rect, len(items))
+	for i, it := range items {
+		rects[i] = it.Seg.Bounds()
+	}
+	switch cfg.Index {
+	case IndexRTree:
+		return &rtreeSource{tree: rtree.Bulk(rects), rects: rects, radius: radius}
+	default:
+		return &gridSource{
+			idx:    gridindex.Build(segments(items), 0),
+			rects:  rects,
+			radius: radius,
+			seen:   make([]bool, len(items)),
+		}
+	}
+}
+
+func segments(items []Item) []geom.Segment {
+	segs := make([]geom.Segment, len(items))
+	for i, it := range items {
+		segs[i] = it.Seg
+	}
+	return segs
+}
+
+// engine holds per-run state.
+type engine struct {
+	items  []Item
+	cfg    Config
+	dist   lsdist.Func
+	src    neighborSource
+	labels []int // unclassified / Noise / cluster id
+	calls  int
+	cand   []int // candidate scratch
+}
+
+const unclassified = -2
+
+// neighborhood returns the ids (including i) within ε of item i, and the
+// weighted cardinality.
+func (e *engine) neighborhood(i int, dst []int) ([]int, float64) {
+	e.cand = e.src.candidates(i, e.cand[:0])
+	var weight float64
+	for _, j := range e.cand {
+		e.calls++
+		if e.dist(e.items[i].Seg, e.items[j].Seg) <= e.cfg.Eps {
+			dst = append(dst, j)
+			weight += e.items[j].Weight
+		}
+	}
+	return dst, weight
+}
+
+// Run executes the Figure-12 algorithm.
+func Run(items []Item, cfg Config) (*Result, error) {
+	return run(items, cfg, lsdist.New(cfg.Options), newSource(items, cfg))
+}
+
+// RunWithDistance executes the Figure-12 algorithm under an arbitrary
+// segment distance. No geometric prefilter can be assumed for an unknown
+// function, so neighborhoods are computed by full scan (the paper's
+// index-free O(n²) bound). Used by the distance-function ablations.
+func RunWithDistance(items []Item, dist lsdist.Func, cfg Config) (*Result, error) {
+	if !cfg.Options.Weights.Valid() {
+		// The weights are unused on this path (the caller's dist decides
+		// everything); normalise them so validation concerns only
+		// Eps/MinLns.
+		cfg.Options.Weights = lsdist.DefaultWeights()
+	}
+	return run(items, cfg, dist, scanSource{n: len(items)})
+}
+
+func run(items []Item, cfg Config, dist lsdist.Func, src neighborSource) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	minTrajs := cfg.MinTrajs
+	if minTrajs <= 0 {
+		minTrajs = int(cfg.MinLns)
+	}
+	e := &engine{
+		items:  items,
+		cfg:    cfg,
+		dist:   dist,
+		src:    src,
+		labels: make([]int, len(items)),
+	}
+	for i := range e.labels {
+		e.labels[i] = unclassified
+	}
+
+	clusterID := 0
+	var hood, queue []int
+	var weight float64
+	for i := range items {
+		if e.labels[i] != unclassified {
+			continue
+		}
+		hood, weight = e.neighborhood(i, hood[:0])
+		if weight < cfg.MinLns {
+			e.labels[i] = Noise
+			continue
+		}
+		// Step 1: seed the cluster with the neighborhood. Segments already
+		// claimed by an earlier cluster keep their assignment (the border
+		// points DBSCAN assigns first-come-first-served); unclassified
+		// members join the queue for expansion.
+		queue = queue[:0]
+		for _, j := range hood {
+			switch e.labels[j] {
+			case unclassified:
+				e.labels[j] = clusterID
+				if j != i {
+					queue = append(queue, j)
+				}
+			case Noise:
+				e.labels[j] = clusterID
+			}
+		}
+		// Step 2: ExpandCluster.
+		e.expand(&queue, clusterID)
+		clusterID++
+	}
+
+	return e.finish(clusterID, minTrajs), nil
+}
+
+// expand computes the density-connected set of the seeded cluster
+// (Figure 12 lines 17–28).
+func (e *engine) expand(queue *[]int, clusterID int) {
+	var hood []int
+	var weight float64
+	for len(*queue) > 0 {
+		m := (*queue)[0]
+		*queue = (*queue)[1:]
+		hood, weight = e.neighborhood(m, hood[:0])
+		if weight < e.cfg.MinLns {
+			continue
+		}
+		for _, x := range hood {
+			switch e.labels[x] {
+			case unclassified:
+				e.labels[x] = clusterID
+				*queue = append(*queue, x)
+			case Noise:
+				e.labels[x] = clusterID
+			}
+		}
+	}
+}
+
+// finish applies the trajectory-cardinality filter and assembles the
+// result (Figure 12 step 3).
+func (e *engine) finish(numIDs, minTrajs int) *Result {
+	members := make([][]int, numIDs)
+	trajs := make([]map[int]bool, numIDs)
+	for i := range trajs {
+		trajs[i] = make(map[int]bool)
+	}
+	for i, l := range e.labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+			trajs[l][e.items[i].TrajID] = true
+		}
+	}
+	res := &Result{ClusterOf: make([]int, len(e.items)), DistCalls: e.calls}
+	remap := make([]int, numIDs)
+	for id := 0; id < numIDs; id++ {
+		if len(trajs[id]) < minTrajs {
+			remap[id] = Noise
+			res.Removed++
+			continue
+		}
+		remap[id] = len(res.Clusters)
+		res.Clusters = append(res.Clusters, Cluster{
+			Members:      members[id],
+			Trajectories: sortedKeys(trajs[id]),
+		})
+	}
+	for i, l := range e.labels {
+		switch {
+		case l >= 0:
+			res.ClusterOf[i] = remap[l]
+		default:
+			res.ClusterOf[i] = Noise
+		}
+	}
+	return res
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; PTR sets are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SharedIndex is an immutable neighborhood index that can serve many
+// goroutines, each through its own view (per-view scratch buffers).
+type SharedIndex struct {
+	items  []Item
+	opt    lsdist.Options
+	kind   IndexKind
+	radius float64
+	rects  []geom.Rect
+	grid   *gridindex.Index
+	tree   *rtree.Tree
+}
+
+// NewSharedIndex builds the index once for repeated ε-queries (possibly at
+// different ε up to maxEps, e.g. the parameter sweep of Section 4.4).
+func NewSharedIndex(items []Item, maxEps float64, opt lsdist.Options, kind IndexKind) *SharedIndex {
+	s := &SharedIndex{items: items, opt: opt, kind: kind}
+	radius, ok := lsdist.SearchRadius(maxEps, opt.Weights)
+	if !ok {
+		s.kind = IndexNone
+		return s
+	}
+	s.radius = radius
+	if kind == IndexNone {
+		return s
+	}
+	s.rects = make([]geom.Rect, len(items))
+	for i, it := range items {
+		s.rects[i] = it.Seg.Bounds()
+	}
+	if kind == IndexRTree {
+		s.tree = rtree.Bulk(s.rects)
+	} else {
+		s.grid = gridindex.Build(segments(items), 0)
+	}
+	return s
+}
+
+// view returns a neighborSource backed by the shared structures but with
+// private scratch space.
+func (s *SharedIndex) view() neighborSource {
+	switch {
+	case s.kind == IndexNone:
+		return scanSource{n: len(s.items)}
+	case s.kind == IndexRTree:
+		return &rtreeSource{tree: s.tree, rects: s.rects, radius: s.radius}
+	default:
+		return &gridSource{idx: s.grid, rects: s.rects, radius: s.radius, seen: make([]bool, len(s.items))}
+	}
+}
+
+// NeighborhoodWeights returns, for every item, the weighted cardinality of
+// its ε-neighborhood (eps must not exceed the maxEps the index was built
+// with). It backs the parameter-selection heuristic of Section 4.4
+// (entropy over |Nε| and avg|Nε|) and parallelises across workers (≤ 0
+// means GOMAXPROCS).
+func (s *SharedIndex) NeighborhoodWeights(eps float64, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt, Index: s.kind}
+	out := make([]float64, len(s.items))
+	var wg sync.WaitGroup
+	next := make(chan int, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := &engine{items: s.items, cfg: cfg, dist: lsdist.New(s.opt), src: s.view()}
+			var hood []int
+			var weight float64
+			for i := range next {
+				hood, weight = e.neighborhood(i, hood[:0])
+				out[i] = weight
+			}
+		}()
+	}
+	for i := range s.items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// NeighborhoodWeights is the one-shot convenience form: it builds an index
+// for eps and computes all weighted ε-neighborhood cardinalities.
+func NeighborhoodWeights(items []Item, eps float64, opt lsdist.Options, index IndexKind, workers int) []float64 {
+	return NewSharedIndex(items, eps, opt, index).NeighborhoodWeights(eps, workers)
+}

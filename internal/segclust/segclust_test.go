@@ -1,0 +1,397 @@
+package segclust
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lsdist"
+)
+
+// corridorItems builds n segments along k horizontal corridors, cycling
+// trajectory ids so the cardinality filter passes. Segment start positions
+// spread over [0, spread], so small spreads give mutually overlapping
+// segments and large spreads exercise chaining.
+func corridorItems(rng *rand.Rand, n, k, trajs int) []Item {
+	return corridorItemsSpread(rng, n, k, trajs, 400)
+}
+
+func corridorItemsSpread(rng *rand.Rand, n, k, trajs int, spread float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		cy := 100 + 200*float64(i%k)
+		x := rng.Float64() * spread
+		items[i] = Item{
+			Seg:    geom.Seg(x, cy+rng.NormFloat64()*3, x+80, cy+rng.NormFloat64()*3),
+			TrajID: i % trajs,
+			Weight: 1,
+		}
+	}
+	return items
+}
+
+func defaultCfg() Config {
+	return Config{Eps: 25, MinLns: 4, Options: lsdist.DefaultOptions(), Index: IndexGrid}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := defaultCfg().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Eps: 0, MinLns: 3, Options: lsdist.DefaultOptions()},
+		{Eps: -1, MinLns: 3, Options: lsdist.DefaultOptions()},
+		{Eps: 10, MinLns: 0, Options: lsdist.DefaultOptions()},
+		{Eps: 10, MinLns: 3, Options: lsdist.Options{Weights: lsdist.Weights{Perpendicular: -1}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Error("Run accepted zero config")
+	}
+}
+
+func TestTwoCorridorsTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := corridorItems(rng, 100, 2, 10)
+	res, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters())
+	}
+	// Every member of a cluster shares its corridor (same y band).
+	for ci, c := range res.Clusters {
+		band := items[c.Members[0]].Seg.Start.Y
+		for _, m := range c.Members {
+			y := items[m].Seg.Start.Y
+			if y-band > 50 || band-y > 50 {
+				t.Errorf("cluster %d mixes corridors: y=%v vs %v", ci, y, band)
+			}
+		}
+	}
+}
+
+func TestNoiseDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := corridorItems(rng, 40, 1, 10)
+	// Add isolated far-away segments.
+	for i := 0; i < 5; i++ {
+		items = append(items, Item{
+			Seg:    geom.Seg(5000+float64(i)*500, 0, 5080+float64(i)*500, 0),
+			TrajID: 100 + i,
+			Weight: 1,
+		})
+	}
+	res, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoiseCount() < 5 {
+		t.Errorf("noise = %d, want >= 5", res.NoiseCount())
+	}
+	for i := 40; i < 45; i++ {
+		if res.ClusterOf[i] != Noise {
+			t.Errorf("isolated segment %d labelled cluster %d", i, res.ClusterOf[i])
+		}
+	}
+}
+
+func TestTrajectoryCardinalityFilterDefinition10(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// A dense corridor whose segments all come from ONE trajectory must be
+	// rejected (Figure 12 step 3).
+	items := corridorItems(rng, 40, 1, 1)
+	res, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 0 {
+		t.Errorf("single-trajectory cluster survived: %d clusters", res.NumClusters())
+	}
+	if res.Removed == 0 {
+		t.Error("Removed count not incremented")
+	}
+	// All members must be relabelled noise.
+	for i, l := range res.ClusterOf {
+		if l != Noise {
+			t.Errorf("item %d labelled %d after filtering", i, l)
+		}
+	}
+}
+
+func TestMinTrajsOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := corridorItems(rng, 40, 1, 3) // three distinct trajectories
+	cfg := defaultCfg()
+	cfg.MinTrajs = 2
+	res, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 1 {
+		t.Fatalf("clusters = %d with MinTrajs=2", res.NumClusters())
+	}
+	cfg.MinTrajs = 4
+	res, err = Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 0 {
+		t.Errorf("clusters = %d with MinTrajs=4, want 0", res.NumClusters())
+	}
+}
+
+func TestWeightedNeighborhoods(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := corridorItemsSpread(rng, 30, 1, 10, 60) // mutually overlapping
+	cfg := defaultCfg()
+	cfg.MinLns = 10
+	// With unit weights and MinLns=10 the corridor clusters (30 segments).
+	res, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 1 {
+		t.Fatalf("unit weights: clusters = %d", res.NumClusters())
+	}
+	// Down-weight everything: weighted cardinality ~3 < 10 → no cluster.
+	light := make([]Item, len(items))
+	copy(light, items)
+	for i := range light {
+		light[i].Weight = 0.1
+	}
+	res, err = Run(light, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 0 {
+		t.Errorf("down-weighted: clusters = %d, want 0", res.NumClusters())
+	}
+}
+
+func TestIndexEquivalence(t *testing.T) {
+	// The grid, R-tree, and full-scan paths must produce identical
+	// clusterings — the prefilter is sound and complete.
+	rng := rand.New(rand.NewSource(6))
+	items := corridorItems(rng, 150, 3, 12)
+	// Mix in random segments.
+	for i := 0; i < 50; i++ {
+		items = append(items, Item{
+			Seg: geom.Seg(rng.Float64()*1000, rng.Float64()*600,
+				rng.Float64()*1000, rng.Float64()*600),
+			TrajID: 200 + i,
+			Weight: 1,
+		})
+	}
+	var results []*Result
+	for _, kind := range []IndexKind{IndexNone, IndexGrid, IndexRTree} {
+		cfg := defaultCfg()
+		cfg.Index = kind
+		res, err := Run(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for k := 1; k < len(results); k++ {
+		if len(results[k].ClusterOf) != len(results[0].ClusterOf) {
+			t.Fatal("length mismatch")
+		}
+		for i := range results[0].ClusterOf {
+			if results[k].ClusterOf[i] != results[0].ClusterOf[i] {
+				t.Fatalf("index kind %d disagrees at item %d: %d vs %d",
+					k, i, results[k].ClusterOf[i], results[0].ClusterOf[i])
+			}
+		}
+	}
+}
+
+func TestCoreNeighborhoodInvariants(t *testing.T) {
+	// Density-connected set invariants (Definitions 5–9):
+	//  (a) mutually ε-close CORE segments share a cluster (cores are
+	//      mutually density-reachable);
+	//  (b) no neighbor of a core segment is noise (it is at least
+	//      directly density-reachable). Border segments between two
+	//      clusters may land in either — DBSCAN's well-known ambiguity —
+	//      so only core-core pairs are checked for equality.
+	rng := rand.New(rand.NewSource(7))
+	items := corridorItems(rng, 100, 2, 10)
+	cfg := defaultCfg()
+	cfg.MinTrajs = 1 // keep every density-connected set visible
+	res, err := Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := lsdist.New(cfg.Options)
+	hoods := make([][]int, len(items))
+	core := make([]bool, len(items))
+	for i := range items {
+		for j := range items {
+			if dist(items[i].Seg, items[j].Seg) <= cfg.Eps {
+				hoods[i] = append(hoods[i], j)
+			}
+		}
+		core[i] = float64(len(hoods[i])) >= cfg.MinLns
+	}
+	for i := range items {
+		if !core[i] {
+			continue
+		}
+		if res.ClusterOf[i] == Noise {
+			t.Fatalf("core segment %d labelled noise", i)
+		}
+		for _, j := range hoods[i] {
+			if core[j] && res.ClusterOf[j] != res.ClusterOf[i] {
+				t.Fatalf("mutually close cores %d and %d in clusters %d and %d",
+					i, j, res.ClusterOf[i], res.ClusterOf[j])
+			}
+			if res.ClusterOf[j] == Noise {
+				t.Fatalf("neighbor %d of core %d labelled noise", j, i)
+			}
+		}
+	}
+}
+
+func TestClustersDisjointAndCovering(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	items := corridorItems(rng, 120, 3, 10)
+	res, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for ci, c := range res.Clusters {
+		for _, m := range c.Members {
+			if prev, dup := seen[m]; dup {
+				t.Fatalf("item %d in clusters %d and %d", m, prev, ci)
+			}
+			seen[m] = ci
+			if res.ClusterOf[m] != ci {
+				t.Fatalf("ClusterOf[%d] = %d, member of %d", m, res.ClusterOf[m], ci)
+			}
+		}
+	}
+	clustered := 0
+	for _, l := range res.ClusterOf {
+		if l != Noise {
+			clustered++
+		}
+	}
+	if clustered != len(seen) {
+		t.Errorf("membership mismatch: %d vs %d", clustered, len(seen))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := corridorItems(rng, 80, 2, 8)
+	a, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(items, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ClusterOf {
+		if a.ClusterOf[i] != b.ClusterOf[i] {
+			t.Fatal("non-deterministic clustering")
+		}
+	}
+}
+
+func TestEmptyAndSingleInput(t *testing.T) {
+	res, err := Run(nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 0 || len(res.ClusterOf) != 0 {
+		t.Error("empty input produced clusters")
+	}
+	res, err = Run([]Item{{Seg: geom.Seg(0, 0, 10, 0), TrajID: 1, Weight: 1}}, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 0 || res.NoiseCount() != 1 {
+		t.Error("single segment should be noise")
+	}
+}
+
+func TestItemsFromSegments(t *testing.T) {
+	segs := []geom.Segment{geom.Seg(0, 0, 1, 0), geom.Seg(1, 0, 2, 0)}
+	items := ItemsFromSegments(segs)
+	if len(items) != 2 || items[0].TrajID == items[1].TrajID {
+		t.Errorf("ItemsFromSegments = %+v", items)
+	}
+	for _, it := range items {
+		if it.Weight != 1 {
+			t.Error("weight not 1")
+		}
+	}
+}
+
+func TestNeighborhoodWeightsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	items := corridorItems(rng, 60, 2, 6)
+	opt := lsdist.DefaultOptions()
+	const eps = 25.0
+	got := NeighborhoodWeights(items, eps, opt, IndexGrid, 2)
+	dist := lsdist.New(opt)
+	for i := range items {
+		var want float64
+		for j := range items {
+			if dist(items[i].Seg, items[j].Seg) <= eps {
+				want += items[j].Weight
+			}
+		}
+		if got[i] != want {
+			t.Fatalf("NeighborhoodWeights[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestSharedIndexReuseAcrossEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := corridorItems(rng, 60, 2, 6)
+	opt := lsdist.DefaultOptions()
+	shared := NewSharedIndex(items, 40, opt, IndexGrid)
+	for _, eps := range []float64{10, 25, 40} {
+		got := shared.NeighborhoodWeights(eps, 0)
+		want := NeighborhoodWeights(items, eps, opt, IndexNone, 1)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("eps=%v item %d: %v != %v", eps, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	if IndexGrid.String() != "grid" || IndexRTree.String() != "rtree" || IndexNone.String() != "scan" {
+		t.Error("IndexKind.String wrong")
+	}
+	if IndexKind(42).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestDistCallsCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	items := corridorItems(rng, 50, 1, 10)
+	scan, _ := Run(items, Config{Eps: 25, MinLns: 4, Options: lsdist.DefaultOptions(), Index: IndexNone})
+	grid, _ := Run(items, defaultCfg())
+	if scan.DistCalls == 0 || grid.DistCalls == 0 {
+		t.Fatal("DistCalls not counted")
+	}
+	if grid.DistCalls > scan.DistCalls {
+		t.Errorf("grid (%d) should not exceed scan (%d)", grid.DistCalls, scan.DistCalls)
+	}
+}

@@ -1,0 +1,152 @@
+// Package simplify provides classical trajectory-simplification baselines
+// for the partitioning ablation: TRACLUS's MDL partitioning (Section 3) is,
+// mechanically, a polyline simplification — so the natural question is what
+// its information-theoretic criterion buys over the textbook alternatives.
+// This package implements those alternatives:
+//
+//   - DouglasPeucker: the classic ε-tolerance simplifier (keep the point of
+//     maximum deviation, recurse);
+//   - Uniform: keep every k-th point;
+//   - TopAngle: keep the k points with the sharpest turning angles.
+//
+// All return characteristic-point index sets in the same shape as
+// mdl.ApproximatePartition, so the clustering pipeline can run on top of
+// any of them (see experiments.PartitionAblation).
+package simplify
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// DouglasPeucker returns the indices kept by the Douglas–Peucker algorithm
+// with the given perpendicular tolerance. Endpoints are always kept.
+func DouglasPeucker(pts []geom.Point, tol float64) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if n <= 2 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		seg := geom.Segment{Start: pts[lo], End: pts[hi]}
+		worst, worstD := -1, tol
+		for i := lo + 1; i < hi; i++ {
+			if d := seg.DistToPoint(pts[i]); d > worstD {
+				worst, worstD = i, d
+			}
+		}
+		if worst >= 0 {
+			keep[worst] = true
+			rec(lo, worst)
+			rec(worst, hi)
+		}
+	}
+	rec(0, n-1)
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Uniform keeps every stride-th point plus both endpoints. stride < 1 is
+// treated as 1 (keep everything).
+func Uniform(pts []geom.Point, stride int) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	var out []int
+	for i := 0; i < n; i += stride {
+		out = append(out, i)
+	}
+	if out[len(out)-1] != n-1 {
+		out = append(out, n-1)
+	}
+	return out
+}
+
+// TopAngle keeps the k interior points with the largest turning angles,
+// plus the endpoints. k ≤ 0 keeps only the endpoints.
+func TopAngle(pts []geom.Point, k int) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if n <= 2 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	type cand struct {
+		idx   int
+		angle float64
+	}
+	cands := make([]cand, 0, n-2)
+	for i := 1; i < n-1; i++ {
+		in := geom.Segment{Start: pts[i-1], End: pts[i]}
+		out := geom.Segment{Start: pts[i], End: pts[i+1]}
+		cands = append(cands, cand{idx: i, angle: in.Angle(out)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].angle > cands[b].angle })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	chosen := map[int]bool{0: true, n - 1: true}
+	for i := 0; i < k; i++ {
+		chosen[cands[i].idx] = true
+	}
+	out := make([]int, 0, len(chosen))
+	for i := 0; i < n; i++ {
+		if chosen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxDeviation returns the largest perpendicular distance from any original
+// point to its covering simplified segment — the preciseness the paper's
+// L(D|H) measures, in raw geometric form.
+func MaxDeviation(pts []geom.Point, cps []int) float64 {
+	var worst float64
+	for i := 1; i < len(cps); i++ {
+		seg := geom.Segment{Start: pts[cps[i-1]], End: pts[cps[i]]}
+		for k := cps[i-1]; k <= cps[i]; k++ {
+			if d := seg.DistToPoint(pts[k]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// CompressionRatio returns len(pts)/len(cps) — the conciseness side of the
+// paper's trade-off. Returns +Inf for an empty simplification.
+func CompressionRatio(pts []geom.Point, cps []int) float64 {
+	if len(cps) == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(pts)) / float64(len(cps))
+}

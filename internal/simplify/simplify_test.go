@@ -1,0 +1,163 @@
+package simplify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func line(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i)*10, 0)
+	}
+	return pts
+}
+
+func TestDouglasPeuckerStraightLine(t *testing.T) {
+	got := DouglasPeucker(line(50), 0.5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 49 {
+		t.Errorf("straight line kept %v", got)
+	}
+}
+
+func TestDouglasPeuckerKeepsCorner(t *testing.T) {
+	pts := append(line(10), geom.Pt(90, 10), geom.Pt(90, 100))
+	got := DouglasPeucker(pts, 1)
+	found := false
+	for _, i := range got {
+		if i >= 9 && i <= 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corner dropped: %v", got)
+	}
+}
+
+func TestDouglasPeuckerToleranceMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := wiggle(rng, 200)
+	prev := len(DouglasPeucker(pts, 0.1))
+	for _, tol := range []float64{1, 5, 20, 80} {
+		cur := len(DouglasPeucker(pts, tol))
+		if cur > prev {
+			t.Errorf("tolerance %v kept more points (%d > %d)", tol, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestDouglasPeuckerRespectsTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		pts := wiggle(rng, 100)
+		tol := 1 + rng.Float64()*20
+		cps := DouglasPeucker(pts, tol)
+		if dev := MaxDeviation(pts, cps); dev > tol+1e-9 {
+			t.Fatalf("deviation %v exceeds tolerance %v", dev, tol)
+		}
+	}
+}
+
+func TestDouglasPeuckerEdgeCases(t *testing.T) {
+	if got := DouglasPeucker(nil, 1); got != nil {
+		t.Errorf("nil = %v", got)
+	}
+	if got := DouglasPeucker(line(1), 1); len(got) != 1 {
+		t.Errorf("single point = %v", got)
+	}
+	if got := DouglasPeucker(line(2), 1); len(got) != 2 {
+		t.Errorf("two points = %v", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	got := Uniform(line(10), 3)
+	want := []int{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Uniform = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Uniform = %v, want %v", got, want)
+		}
+	}
+	// Endpoint always appended.
+	got = Uniform(line(11), 3)
+	if got[len(got)-1] != 10 {
+		t.Errorf("endpoint missing: %v", got)
+	}
+	if got := Uniform(line(5), 0); len(got) != 5 {
+		t.Errorf("stride 0 = %v", got)
+	}
+	if got := Uniform(nil, 2); got != nil {
+		t.Errorf("nil = %v", got)
+	}
+}
+
+func TestTopAngle(t *testing.T) {
+	// A path with exactly two sharp corners.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(20, 0),
+		geom.Pt(20, 10), geom.Pt(20, 20), // corner at idx 2
+		geom.Pt(30, 20), geom.Pt(40, 20), // corner at idx 4
+	}
+	got := TopAngle(pts, 2)
+	has := func(i int) bool {
+		for _, v := range got {
+			if v == i {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(2) || !has(4) {
+		t.Errorf("corners missed: %v", got)
+	}
+	if !has(0) || !has(len(pts)-1) {
+		t.Errorf("endpoints missed: %v", got)
+	}
+	if got := TopAngle(pts, 0); len(got) != 2 {
+		t.Errorf("k=0 = %v", got)
+	}
+	if got := TopAngle(line(2), 5); len(got) != 2 {
+		t.Errorf("short input = %v", got)
+	}
+}
+
+func TestMaxDeviation(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(50, 7), geom.Pt(100, 0)}
+	if got := MaxDeviation(pts, []int{0, 2}); math.Abs(got-7) > 1e-9 {
+		t.Errorf("MaxDeviation = %v, want 7", got)
+	}
+	if got := MaxDeviation(pts, []int{0, 1, 2}); got != 0 {
+		t.Errorf("full keep deviation = %v", got)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if got := CompressionRatio(line(10), []int{0, 9}); got != 5 {
+		t.Errorf("ratio = %v", got)
+	}
+	if got := CompressionRatio(line(10), nil); !math.IsInf(got, 1) {
+		t.Errorf("empty ratio = %v", got)
+	}
+}
+
+func wiggle(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	x, y := 0.0, 0.0
+	heading := 0.0
+	for i := range pts {
+		if rng.Float64() < 0.15 {
+			heading += (rng.Float64() - 0.5) * 2
+		}
+		x += 10 * math.Cos(heading)
+		y += 10 * math.Sin(heading)
+		pts[i] = geom.Pt(x+rng.NormFloat64()*2, y+rng.NormFloat64()*2)
+	}
+	return pts
+}

@@ -1,0 +1,19 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRepresentative(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{50, 500} {
+		segs := horizontalCluster(n, 100, 3, rng)
+		b.Run(fmt.Sprintf("segments=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Representative(segs, nil, Config{MinLns: 5, Gamma: 8})
+			}
+		})
+	}
+}

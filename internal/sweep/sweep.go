@@ -1,0 +1,153 @@
+// Package sweep generates the representative trajectory of a cluster of
+// line segments (Section 4.3, Figures 13–15 of the TRACLUS paper): rotate
+// the axes so X is parallel to the cluster's average direction vector,
+// sweep a vertical line across the segments' endpoints in x′ order, and at
+// every sweep position hit by at least MinLns segments emit the average of
+// the segments' interpolated y′ coordinates (skipping positions closer
+// than γ to the previous emitted one), rotated back to the original frame.
+package sweep
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Config controls representative-trajectory generation.
+type Config struct {
+	// MinLns is the minimum (weighted) number of segments that must cross a
+	// sweep position for a representative point to be emitted — the same
+	// MinLns as clustering uses (Figure 15 input 2).
+	MinLns float64
+	// Gamma is the smoothing parameter γ: emitted points must be at least
+	// Gamma apart along the rotated X′ axis (Figure 15 input 3).
+	Gamma float64
+}
+
+// AverageDirection returns the cluster's average direction vector
+// (Definition 11): the plain vector mean of the segments' direction
+// vectors, so longer segments contribute more. If the mean degenerates to
+// (near) zero — segments cancelling out — the direction of the longest
+// segment is used so the sweep axis stays well defined.
+func AverageDirection(segs []geom.Segment) geom.Point {
+	var sum geom.Point
+	for _, s := range segs {
+		sum = sum.Add(s.Vector())
+	}
+	if len(segs) > 0 {
+		sum = sum.Scale(1 / float64(len(segs)))
+	}
+	var maxLen float64
+	var longest geom.Segment
+	for _, s := range segs {
+		if l := s.Length2(); l > maxLen {
+			maxLen, longest = l, s
+		}
+	}
+	if sum.Norm2() <= maxLen*1e-12 && maxLen > 0 {
+		return longest.Vector()
+	}
+	return sum
+}
+
+// event is one segment interval in the rotated frame.
+type interval struct {
+	lo, hi float64 // x′ extent, lo ≤ hi
+	seg    geom.Segment
+	rot    geom.Segment // rotated copy
+	weight float64
+}
+
+// Representative computes the representative trajectory of the given
+// cluster segments. weights may be nil (unit weights) or parallel to segs
+// (the weighted-trajectory extension). It returns nil when fewer than two
+// representative points survive the MinLns and γ filters — such a cluster
+// has no meaningful major-axis extent.
+func Representative(segs []geom.Segment, weights []float64, cfg Config) []geom.Point {
+	if len(segs) == 0 {
+		return nil
+	}
+	dir := AverageDirection(segs).Unit()
+	if dir.Norm2() == 0 {
+		return nil // all segments degenerate
+	}
+	phi := math.Atan2(dir.Y, dir.X)
+
+	ivs := make([]interval, len(segs))
+	positions := make([]float64, 0, 2*len(segs))
+	for i, s := range segs {
+		r := s.Rotate(-phi)
+		lo, hi := r.Start.X, r.End.X
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		ivs[i] = interval{lo: lo, hi: hi, seg: s, rot: r, weight: w}
+		positions = append(positions, lo, hi)
+	}
+	sort.Float64s(positions)
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].lo < ivs[b].lo })
+
+	var rep []geom.Point
+	active := make([]int, 0, len(ivs))
+	nextIv := 0
+	lastX := math.Inf(-1)
+	for _, x := range positions {
+		// Admit intervals starting at or before x; retire those ending
+		// before x.
+		for nextIv < len(ivs) && ivs[nextIv].lo <= x {
+			active = append(active, nextIv)
+			nextIv++
+		}
+		keep := active[:0]
+		for _, id := range active {
+			if ivs[id].hi >= x {
+				keep = append(keep, id)
+			}
+		}
+		active = keep
+
+		var count, ySum, wSum float64
+		for _, id := range active {
+			count += ivs[id].weight
+			y, w := yAt(ivs[id], x)
+			ySum += y * w
+			wSum += w
+		}
+		if count < cfg.MinLns || wSum == 0 {
+			continue
+		}
+		if x-lastX < cfg.Gamma {
+			continue
+		}
+		lastX = x
+		avg := geom.Point{X: x, Y: ySum / wSum}.Rotate(phi)
+		rep = append(rep, avg)
+	}
+	if len(rep) < 2 {
+		return nil
+	}
+	return rep
+}
+
+// yAt returns the rotated-frame y′ of the interval's segment at sweep
+// position x, with the interval's weight. Segments perpendicular to the
+// sweep axis (zero x′ extent) contribute their midpoint.
+func yAt(iv interval, x float64) (y, w float64) {
+	r := iv.rot
+	dx := r.End.X - r.Start.X
+	if dx == 0 {
+		return (r.Start.Y + r.End.Y) / 2, iv.weight
+	}
+	t := (x - r.Start.X) / dx
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return r.Start.Y + t*(r.End.Y-r.Start.Y), iv.weight
+}

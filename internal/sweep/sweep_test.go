@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func horizontalCluster(n int, y, jitter float64, rng *rand.Rand) []geom.Segment {
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		x := float64(i) * 20
+		segs[i] = geom.Seg(x, y+rng.NormFloat64()*jitter, x+120, y+rng.NormFloat64()*jitter)
+	}
+	return segs
+}
+
+func TestAverageDirection(t *testing.T) {
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 10, 0), // vector (10, 0)
+		geom.Seg(0, 0, 10, 2), // vector (10, 2)
+		geom.Seg(5, 5, 15, 3), // vector (10, -2)
+	}
+	got := AverageDirection(segs)
+	if got.X <= 0 {
+		t.Errorf("average direction should point +x: %v", got)
+	}
+	if !approx(got.X, 10, 1e-12) || !approx(got.Y, 0, 1e-12) {
+		t.Errorf("AverageDirection = %v, want (10, 0)", got)
+	}
+}
+
+func TestAverageDirectionLongerContributesMore(t *testing.T) {
+	// Definition 11 sums raw vectors, so the long segment dominates.
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(0, 0, 0, 5),
+	}
+	got := AverageDirection(segs).Unit()
+	if got.X < 0.99 {
+		t.Errorf("long segment should dominate: %v", got)
+	}
+}
+
+func TestAverageDirectionCancellingFallsBack(t *testing.T) {
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 10, 0),
+		geom.Seg(10, 1, 0, 1), // exactly opposite
+	}
+	got := AverageDirection(segs)
+	if got.Norm2() == 0 {
+		t.Error("cancelled direction not replaced by fallback")
+	}
+}
+
+func TestRepresentativeHorizontal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := horizontalCluster(20, 50, 1, rng)
+	rep := Representative(segs, nil, Config{MinLns: 3, Gamma: 5})
+	if len(rep) < 2 {
+		t.Fatalf("representative too short: %v", rep)
+	}
+	for _, p := range rep {
+		if math.Abs(p.Y-50) > 3 {
+			t.Errorf("representative strays from corridor: %v", p)
+		}
+	}
+	// Points must advance along the corridor.
+	for i := 1; i < len(rep); i++ {
+		if rep[i].X <= rep[i-1].X {
+			t.Errorf("representative not monotone along major axis: %v -> %v", rep[i-1], rep[i])
+		}
+	}
+}
+
+func TestRepresentativeAveragesY(t *testing.T) {
+	// Two exactly parallel segments: the representative runs midway.
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(0, 10, 100, 10),
+	}
+	rep := Representative(segs, nil, Config{MinLns: 2, Gamma: 0})
+	if len(rep) < 2 {
+		t.Fatalf("rep = %v", rep)
+	}
+	for _, p := range rep {
+		if !approx(p.Y, 5, 1e-9) {
+			t.Errorf("representative y = %v, want 5", p.Y)
+		}
+	}
+}
+
+func TestRepresentativeMinLnsThreshold(t *testing.T) {
+	// Only one segment crosses the far stretch — positions there are
+	// skipped (paper Figure 13, positions 5 and 6).
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(0, 4, 100, 4),
+		geom.Seg(0, 2, 300, 2), // lone tail
+	}
+	rep := Representative(segs, nil, Config{MinLns: 2, Gamma: 0})
+	if len(rep) == 0 {
+		t.Fatal("no representative")
+	}
+	for _, p := range rep {
+		if p.X > 110 {
+			t.Errorf("representative extends into sparse tail: %v", p)
+		}
+	}
+}
+
+func TestRepresentativeGammaSmoothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := horizontalCluster(30, 0, 0.5, rng)
+	dense := Representative(segs, nil, Config{MinLns: 3, Gamma: 0})
+	sparse := Representative(segs, nil, Config{MinLns: 3, Gamma: 40})
+	if len(sparse) >= len(dense) {
+		t.Errorf("gamma smoothing did not reduce points: %d vs %d", len(sparse), len(dense))
+	}
+	for i := 1; i < len(sparse); i++ {
+		if sparse[i].Dist(sparse[i-1]) < 40-1e-9 {
+			t.Errorf("points closer than gamma: %v %v", sparse[i-1], sparse[i])
+		}
+	}
+}
+
+func TestRepresentativeRotationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := horizontalCluster(15, 20, 0.5, rng)
+	cfg := Config{MinLns: 3, Gamma: 5}
+	base := Representative(segs, nil, cfg)
+	phi := math.Pi / 3
+	rot := make([]geom.Segment, len(segs))
+	for i, s := range segs {
+		rot[i] = s.Rotate(phi)
+	}
+	rotated := Representative(rot, nil, cfg)
+	if len(base) != len(rotated) {
+		t.Fatalf("point counts differ under rotation: %d vs %d", len(base), len(rotated))
+	}
+	for i := range base {
+		want := base[i].Rotate(phi)
+		if !rotated[i].NearEq(want, 1e-6) {
+			t.Errorf("point %d: %v, want %v", i, rotated[i], want)
+		}
+	}
+}
+
+func TestRepresentativeWeighted(t *testing.T) {
+	// The heavy segment dominates the average; with unit weights the
+	// representative would run midway (y=5), with weight 9:1 it runs at
+	// y = 0.9·10 + 0.1·0 = 9.
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(0, 10, 100, 10),
+	}
+	rep := Representative(segs, []float64{1, 9}, Config{MinLns: 2, Gamma: 0})
+	if len(rep) < 2 {
+		t.Fatalf("rep = %v", rep)
+	}
+	for _, p := range rep {
+		if !approx(p.Y, 9, 1e-9) {
+			t.Errorf("weighted representative y = %v, want 9", p.Y)
+		}
+	}
+	// Weighted MinLns: weights below the threshold suppress the sweep.
+	rep = Representative(segs, []float64{0.5, 0.5}, Config{MinLns: 2, Gamma: 0})
+	if rep != nil {
+		t.Errorf("under-weighted cluster produced representative %v", rep)
+	}
+}
+
+func TestRepresentativeDegenerateInputs(t *testing.T) {
+	if got := Representative(nil, nil, Config{MinLns: 2}); got != nil {
+		t.Errorf("empty input = %v", got)
+	}
+	point := []geom.Segment{geom.Seg(5, 5, 5, 5), geom.Seg(5, 5, 5, 5)}
+	if got := Representative(point, nil, Config{MinLns: 2}); got != nil {
+		t.Errorf("all-degenerate input = %v", got)
+	}
+	single := []geom.Segment{geom.Seg(0, 0, 10, 0)}
+	if got := Representative(single, nil, Config{MinLns: 2}); got != nil {
+		t.Errorf("below MinLns everywhere = %v", got)
+	}
+}
+
+func TestRepresentativeVerticalCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := make([]geom.Segment, 12)
+	for i := range segs {
+		y := float64(i) * 15
+		segs[i] = geom.Seg(30+rng.NormFloat64(), y, 30+rng.NormFloat64(), y+80)
+	}
+	rep := Representative(segs, nil, Config{MinLns: 3, Gamma: 5})
+	if len(rep) < 2 {
+		t.Fatalf("rep = %v", rep)
+	}
+	for _, p := range rep {
+		if math.Abs(p.X-30) > 3 {
+			t.Errorf("vertical representative strays: %v", p)
+		}
+	}
+	if rep[len(rep)-1].Y <= rep[0].Y {
+		t.Error("vertical representative not ascending")
+	}
+}
+
+func TestRepresentativePerpendicularSegmentContribution(t *testing.T) {
+	// A segment perpendicular to the sweep axis contributes its midpoint.
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(0, 10, 100, 10),
+		geom.Seg(50, -20, 50, 40), // perpendicular, midpoint y=10
+	}
+	rep := Representative(segs, nil, Config{MinLns: 2, Gamma: 0})
+	if len(rep) < 2 {
+		t.Fatal("no representative")
+	}
+}

@@ -1,0 +1,430 @@
+// Package synth generates the synthetic trajectory data sets that stand in
+// for the paper's experimental data (see DESIGN.md §2 for the substitution
+// rationale):
+//
+//   - Hurricanes: Atlantic-like tracks replacing the Best Track data set
+//     (570 trajectories, 17 736 points in the paper). Three families —
+//     straight east-to-west trade-wind tracks, recurving tracks that bend
+//     from east-to-west through south-to-north into west-to-east, and
+//     straight west-to-east extratropical tracks — reproduce the structure
+//     behind Figure 18's clusters.
+//   - AnimalMovements: Starkey-like telemetry replacing Elk1993 (33
+//     trajectories, 47 204 points) and Deer1995 (32 trajectories, 20 065
+//     points): home-range wandering mixed with travel along shared
+//     corridors of configurable count and usage.
+//   - Figure1: the paper's motivating five-trajectory scenario with one
+//     common sub-trajectory and divergent tails.
+//   - RandomWalks: pure-noise trajectories for the Section 5.5 robustness
+//     experiment (25 % noise).
+//
+// Everything is deterministic given the seed.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// World is the coordinate frame all generators share: an abstract plane
+// roughly 1000×600 units, sized so that the paper's ε values (≈25–35) are
+// meaningful neighbourhood radii.
+var World = geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1000, 600)}
+
+// HurricaneConfig parameterises the hurricane generator.
+type HurricaneConfig struct {
+	// NumTracks is the number of trajectories (paper: 570).
+	NumTracks int
+	// MeanPoints is the average track length in points (paper: ≈31,
+	// 6-hourly fixes). Individual lengths vary ±40 %.
+	MeanPoints int
+	// Jitter is the per-step positional noise amplitude.
+	Jitter float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// DefaultHurricaneConfig matches the paper's data scale: 570 tracks and
+// about 17.7 k points.
+func DefaultHurricaneConfig() HurricaneConfig {
+	return HurricaneConfig{NumTracks: 570, MeanPoints: 31, Jitter: 4, Seed: 1}
+}
+
+// Hurricanes generates the hurricane-like data set.
+func Hurricanes(cfg HurricaneConfig) []geom.Trajectory {
+	if cfg.NumTracks <= 0 {
+		return nil
+	}
+	if cfg.MeanPoints < 4 {
+		cfg.MeanPoints = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trs := make([]geom.Trajectory, 0, cfg.NumTracks)
+	for i := 0; i < cfg.NumTracks; i++ {
+		n := varyLen(rng, cfg.MeanPoints)
+		var pts []geom.Point
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			pts = eastToWest(rng, n, cfg.Jitter)
+		case r < 0.75:
+			pts = recurving(rng, n, cfg.Jitter)
+		default:
+			pts = westToEast(rng, n, cfg.Jitter)
+		}
+		trs = append(trs, geom.Trajectory{ID: i, Label: "hurricane", Weight: 1, Points: pts})
+	}
+	return trs
+}
+
+func varyLen(rng *rand.Rand, mean int) int {
+	n := int(float64(mean) * (0.6 + 0.8*rng.Float64()))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// recurveLongitudes are the preferred recurve corridors: real Atlantic
+// hurricanes recurve at a handful of climatologically favoured longitudes,
+// which is what produces the paper's distinct south-to-north clusters.
+var recurveLongitudes = []float64{180, 290, 400, 510, 620}
+
+// eastToWest: low-latitude trade-wind band moving right to left.
+func eastToWest(rng *rand.Rand, n int, jitter float64) []geom.Point {
+	y := 105 + rng.Float64()*30 // band y ∈ [105, 135]
+	x0 := 820 + rng.Float64()*150
+	x1 := 80 + rng.Float64()*150
+	drift := (rng.Float64() - 0.5) * 16
+	return samplePolyline(n, []geom.Point{
+		geom.Pt(x0, y),
+		geom.Pt(x1, y+drift),
+	}, rng, jitter)
+}
+
+// westToEast: higher-latitude band moving left to right.
+func westToEast(rng *rand.Rand, n int, jitter float64) []geom.Point {
+	y := 445 + rng.Float64()*30
+	x0 := 150 + rng.Float64()*120
+	x1 := 780 + rng.Float64()*140
+	drift := (rng.Float64() - 0.5) * 16
+	return samplePolyline(n, []geom.Point{
+		geom.Pt(x0, y),
+		geom.Pt(x1, y+drift),
+	}, rng, jitter)
+}
+
+// recurving: heads west in the trade-wind band, turns sharply north at one
+// of the favoured recurve longitudes, then exits east in the upper band —
+// the classic Atlantic recurve as a three-leg polyline.
+func recurving(rng *rand.Rand, n int, jitter float64) []geom.Point {
+	xTurn := recurveLongitudes[rng.Intn(len(recurveLongitudes))] + rng.NormFloat64()*10
+	x0 := 700 + rng.Float64()*200 // entry from the east
+	x1 := 680 + rng.Float64()*220 // exit to the east
+	y0 := 105 + rng.Float64()*30  // lower band
+	y1 := 445 + rng.Float64()*30  // upper band
+	return samplePolyline(n, []geom.Point{
+		geom.Pt(x0, y0),
+		geom.Pt(xTurn, y0+rng.Float64()*12),
+		geom.Pt(xTurn+rng.NormFloat64()*6, y1),
+		geom.Pt(x1, y1+rng.Float64()*12),
+	}, rng, jitter)
+}
+
+// samplePolyline distributes n jittered points along the waypoints,
+// proportionally to arc length.
+func samplePolyline(n int, wps []geom.Point, rng *rand.Rand, jitter float64) []geom.Point {
+	var total float64
+	for i := 1; i < len(wps); i++ {
+		total += wps[i-1].Dist(wps[i])
+	}
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		target := total * float64(i) / float64(n-1)
+		p := pointAtArc(wps, target)
+		pts = append(pts, geom.Pt(p.X+rng.NormFloat64()*jitter, p.Y+rng.NormFloat64()*jitter))
+	}
+	return pts
+}
+
+func pointAtArc(wps []geom.Point, target float64) geom.Point {
+	var acc float64
+	for i := 1; i < len(wps); i++ {
+		l := wps[i-1].Dist(wps[i])
+		if acc+l >= target && l > 0 {
+			return wps[i-1].Lerp(wps[i], (target-acc)/l)
+		}
+		acc += l
+	}
+	return wps[len(wps)-1]
+}
+
+// AnimalConfig parameterises the Starkey-like generator.
+type AnimalConfig struct {
+	// NumAnimals is the number of trajectories (Elk1993: 33; Deer1995: 32).
+	NumAnimals int
+	// PointsPer is the telemetry fixes per animal (Elk1993: ≈1430;
+	// Deer1995: ≈630).
+	PointsPer int
+	// Corridors is the number of shared movement corridors (more corridors
+	// → more clusters; elk-like ≈ 13, deer-like ≈ 2).
+	Corridors int
+	// CorridorUse is the probability an animal is travelling a corridor at
+	// any time (vs wandering its home range).
+	CorridorUse float64
+	// StepLen is the mean wander step length.
+	StepLen float64
+	// Jitter is positional noise while on a corridor.
+	Jitter float64
+	// Seed drives the generator.
+	Seed int64
+	// Species labels the trajectories.
+	Species string
+}
+
+// ElkConfig approximates Elk1993: many corridors, long trajectories.
+func ElkConfig() AnimalConfig {
+	return AnimalConfig{
+		NumAnimals: 33, PointsPer: 1430, Corridors: 13, CorridorUse: 0.55,
+		StepLen: 14, Jitter: 5, Seed: 2, Species: "elk",
+	}
+}
+
+// DeerConfig approximates Deer1995: two dominant corridors, shorter
+// trajectories.
+func DeerConfig() AnimalConfig {
+	return AnimalConfig{
+		NumAnimals: 32, PointsPer: 630, Corridors: 2, CorridorUse: 0.5,
+		StepLen: 14, Jitter: 5, Seed: 3, Species: "deer",
+	}
+}
+
+// AnimalMovements generates the telemetry-like data set. Animals move on a
+// shared trail network — a random spanning tree of well-separated habitat
+// nodes whose edges are the movement corridors — walking edge after edge
+// with telemetry jitter and occasionally milling around a node. This
+// mirrors how the Starkey animals produce a few dense shared corridors
+// (the clusters) amid angularly incoherent local movement (the noise).
+func AnimalMovements(cfg AnimalConfig) []geom.Trajectory {
+	if cfg.NumAnimals <= 0 || cfg.PointsPer < 2 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodes, edges := makeTrailNetwork(rng, cfg.Corridors)
+	adj := make([][]int, len(nodes))
+	for e, ed := range edges {
+		adj[ed[0]] = append(adj[ed[0]], e)
+		adj[ed[1]] = append(adj[ed[1]], e)
+	}
+	trs := make([]geom.Trajectory, 0, cfg.NumAnimals)
+	for a := 0; a < cfg.NumAnimals; a++ {
+		at := rng.Intn(len(nodes))
+		pts := make([]geom.Point, 0, cfg.PointsPer)
+		pts = append(pts, nodes[at])
+		pos := nodes[at]
+		for len(pts) < cfg.PointsPer {
+			if rng.Float64() >= cfg.CorridorUse {
+				// Mill around the current node: short incoherent wander.
+				steps := 3 + rng.Intn(8)
+				for s := 0; s < steps && len(pts) < cfg.PointsPer; s++ {
+					dir := rng.Float64() * 2 * math.Pi
+					step := geom.Pt(math.Cos(dir), math.Sin(dir)).Scale(cfg.StepLen * 0.7)
+					if pos.Dist(nodes[at]) > 35 {
+						step = nodes[at].Sub(pos).Unit().Scale(cfg.StepLen * 0.7)
+					}
+					pos = clampToWorld(pos.Add(step))
+					pts = append(pts, pos)
+				}
+				continue
+			}
+			// Walk a random incident corridor to its far node.
+			if len(adj[at]) == 0 {
+				break
+			}
+			e := adj[at][rng.Intn(len(adj[at]))]
+			far := edges[e][0]
+			if far == at {
+				far = edges[e][1]
+			}
+			seg := geom.Segment{Start: pos, End: nodes[far]}
+			steps := int(seg.Length()/cfg.StepLen) + 1
+			for s := 1; s <= steps && len(pts) < cfg.PointsPer; s++ {
+				p := seg.Start.Lerp(seg.End, float64(s)/float64(steps))
+				pos = geom.Pt(p.X+rng.NormFloat64()*cfg.Jitter, p.Y+rng.NormFloat64()*cfg.Jitter)
+				pts = append(pts, pos)
+			}
+			at = far
+		}
+		trs = append(trs, geom.Trajectory{ID: a, Label: cfg.Species, Weight: 1, Points: pts})
+	}
+	return trs
+}
+
+// makeTrailNetwork places numEdges+1 nodes with generous separation and
+// connects each node after the first to its nearest already-placed node —
+// a random spanning tree with exactly numEdges corridor edges.
+func makeTrailNetwork(rng *rand.Rand, numEdges int) ([]geom.Point, [][2]int) {
+	if numEdges < 1 {
+		numEdges = 1
+	}
+	n := numEdges + 1
+	nodes := make([]geom.Point, 0, n)
+	const minSep = 160
+	for len(nodes) < n {
+		cand := geom.Pt(
+			World.Min.X+70+rng.Float64()*(World.Width()-140),
+			World.Min.Y+70+rng.Float64()*(World.Height()-140),
+		)
+		ok := true
+		for _, p := range nodes {
+			if p.Dist(cand) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok || rng.Float64() < 0.02 { // escape hatch for crowded worlds
+			nodes = append(nodes, cand)
+		}
+	}
+	edges := make([][2]int, 0, numEdges)
+	for i := 1; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for j := 0; j < i; j++ {
+			if d := nodes[i].Dist(nodes[j]); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		edges = append(edges, [2]int{i, best})
+	}
+	return nodes, edges
+}
+
+func clampToWorld(p geom.Point) geom.Point {
+	if p.X < World.Min.X {
+		p.X = World.Min.X
+	}
+	if p.X > World.Max.X {
+		p.X = World.Max.X
+	}
+	if p.Y < World.Min.Y {
+		p.Y = World.Min.Y
+	}
+	if p.Y > World.Max.Y {
+		p.Y = World.Max.Y
+	}
+	return p
+}
+
+// Figure1 reproduces the paper's motivating example: five trajectories that
+// share one common sub-trajectory (a horizontal corridor) and then diverge
+// in five different directions. jitter > 0 adds noise; seed controls it.
+func Figure1(jitter float64, seed int64) []geom.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	corridorStart := geom.Pt(200, 300)
+	corridorEnd := geom.Pt(500, 300)
+	exits := []geom.Point{
+		geom.Pt(900, 560), // northeast
+		geom.Pt(900, 300), // east
+		geom.Pt(900, 40),  // southeast
+		geom.Pt(650, 580), // north
+		geom.Pt(650, 20),  // south
+	}
+	entries := []geom.Point{
+		geom.Pt(20, 520),
+		geom.Pt(20, 400),
+		geom.Pt(20, 300),
+		geom.Pt(20, 200),
+		geom.Pt(20, 80),
+	}
+	trs := make([]geom.Trajectory, 5)
+	for i := 0; i < 5; i++ {
+		var pts []geom.Point
+		pts = appendLine(pts, entries[i], corridorStart, 14, rng, jitter)
+		pts = appendLine(pts, corridorStart, corridorEnd, 14, rng, jitter)
+		pts = appendLine(pts, corridorEnd, exits[i], 14, rng, jitter)
+		trs[i] = geom.Trajectory{ID: i, Label: "figure1", Weight: 1, Points: pts}
+	}
+	return trs
+}
+
+func appendLine(pts []geom.Point, a, b geom.Point, steps int, rng *rand.Rand, jitter float64) []geom.Point {
+	for s := 0; s <= steps; s++ {
+		p := a.Lerp(b, float64(s)/float64(steps))
+		pts = append(pts, geom.Pt(p.X+rng.NormFloat64()*jitter, p.Y+rng.NormFloat64()*jitter))
+	}
+	return pts
+}
+
+// CorridorScene generates numPerCorridor trajectories along each of k
+// clearly separated straight corridors — the structured part of the
+// Section 5.5 robustness data set.
+func CorridorScene(k, numPerCorridor, pointsPer int, jitter float64, seed int64) []geom.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	var trs []geom.Trajectory
+	id := 0
+	for c := 0; c < k; c++ {
+		// Spread corridors: alternate horizontal and vertical bands.
+		var a, b geom.Point
+		if c%2 == 0 {
+			y := World.Min.Y + (float64(c/2)+1)*World.Height()/(float64(k/2)+2)
+			a, b = geom.Pt(100, y), geom.Pt(900, y)
+		} else {
+			x := World.Min.X + (float64(c/2)+1)*World.Width()/(float64((k+1)/2)+2)
+			a, b = geom.Pt(x, 80), geom.Pt(x, 520)
+		}
+		for t := 0; t < numPerCorridor; t++ {
+			start := a.Add(geom.Pt(rng.NormFloat64()*jitter*2, rng.NormFloat64()*jitter*2))
+			end := b.Add(geom.Pt(rng.NormFloat64()*jitter*2, rng.NormFloat64()*jitter*2))
+			pts := make([]geom.Point, 0, pointsPer)
+			for s := 0; s < pointsPer; s++ {
+				p := start.Lerp(end, float64(s)/float64(pointsPer-1))
+				pts = append(pts, geom.Pt(p.X+rng.NormFloat64()*jitter, p.Y+rng.NormFloat64()*jitter))
+			}
+			trs = append(trs, geom.Trajectory{ID: id, Label: "corridor", Weight: 1, Points: pts})
+			id++
+		}
+	}
+	return trs
+}
+
+// RandomWalks generates n pure-noise trajectories of the given length —
+// the noise component of the Section 5.5 experiment.
+func RandomWalks(n, pointsPer int, stepLen float64, seed int64) []geom.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	trs := make([]geom.Trajectory, n)
+	for i := 0; i < n; i++ {
+		pos := geom.Pt(
+			World.Min.X+rng.Float64()*World.Width(),
+			World.Min.Y+rng.Float64()*World.Height(),
+		)
+		pts := make([]geom.Point, 0, pointsPer)
+		pts = append(pts, pos)
+		heading := rng.Float64() * 2 * math.Pi
+		for len(pts) < pointsPer {
+			heading += (rng.Float64() - 0.5) * 2.2
+			pos = clampToWorld(pos.Add(geom.Pt(math.Cos(heading), math.Sin(heading)).Scale(stepLen)))
+			pts = append(pts, pos)
+		}
+		trs[i] = geom.Trajectory{ID: i, Label: "noise", Weight: 1, Points: pts}
+	}
+	return trs
+}
+
+// MixNoise combines a structured data set with a fraction of noise
+// trajectories (frac of the *total*), renumbering IDs so they stay unique.
+// frac=0.25 reproduces the paper's "25 % of trajectories are generated as
+// noises".
+func MixNoise(base []geom.Trajectory, frac float64, pointsPer int, seed int64) []geom.Trajectory {
+	if frac <= 0 || frac >= 1 {
+		return base
+	}
+	nNoise := int(math.Round(float64(len(base)) * frac / (1 - frac)))
+	noise := RandomWalks(nNoise, pointsPer, 18, seed)
+	out := make([]geom.Trajectory, 0, len(base)+nNoise)
+	out = append(out, base...)
+	for i, tr := range noise {
+		tr.ID = len(base) + i
+		out = append(out, tr)
+	}
+	return out
+}

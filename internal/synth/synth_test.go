@@ -1,0 +1,242 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestHurricanesScale(t *testing.T) {
+	trs := Hurricanes(DefaultHurricaneConfig())
+	if len(trs) != 570 {
+		t.Fatalf("tracks = %d, want 570 (the paper's Best Track count)", len(trs))
+	}
+	total := geom.TotalPoints(trs)
+	// The paper's data set has 17 736 points; ours should land within 20%.
+	if total < 14000 || total > 22000 {
+		t.Errorf("total points = %d, want ≈17 736", total)
+	}
+	for _, tr := range trs {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid track: %v", err)
+		}
+	}
+}
+
+func TestHurricanesDeterministic(t *testing.T) {
+	a := Hurricanes(DefaultHurricaneConfig())
+	b := Hurricanes(DefaultHurricaneConfig())
+	if len(a) != len(b) {
+		t.Fatal("count differs")
+	}
+	for i := range a {
+		if len(a[i].Points) != len(b[i].Points) {
+			t.Fatalf("track %d lengths differ", i)
+		}
+		for j := range a[i].Points {
+			if !a[i].Points[j].Eq(b[i].Points[j]) {
+				t.Fatalf("track %d point %d differs", i, j)
+			}
+		}
+	}
+	c := DefaultHurricaneConfig()
+	c.Seed = 99
+	other := Hurricanes(c)
+	same := true
+	for j := range a[0].Points {
+		if j < len(other[0].Points) && !a[0].Points[j].Eq(other[0].Points[j]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tracks")
+	}
+}
+
+func TestHurricanesFamilies(t *testing.T) {
+	trs := Hurricanes(DefaultHurricaneConfig())
+	// All three families must appear: tracks ending well north of start
+	// (recurves), tracks moving net-west, tracks moving net-east at high y.
+	var recurve, e2w, w2e int
+	for _, tr := range trs {
+		s, e := tr.Points[0], tr.Points[len(tr.Points)-1]
+		switch {
+		case e.Y-s.Y > 200:
+			recurve++
+		case e.X < s.X-200 && s.Y < 250:
+			e2w++
+		case e.X > s.X+200 && s.Y > 350:
+			w2e++
+		}
+	}
+	if recurve < 50 || e2w < 50 || w2e < 20 {
+		t.Errorf("families: recurve=%d e2w=%d w2e=%d", recurve, e2w, w2e)
+	}
+}
+
+func TestHurricanesEdgeCases(t *testing.T) {
+	if got := Hurricanes(HurricaneConfig{NumTracks: 0}); got != nil {
+		t.Errorf("zero tracks = %v", got)
+	}
+	tiny := Hurricanes(HurricaneConfig{NumTracks: 3, MeanPoints: 1, Seed: 1})
+	for _, tr := range tiny {
+		if len(tr.Points) < 4 {
+			t.Errorf("track with %d points", len(tr.Points))
+		}
+	}
+}
+
+func TestAnimalMovementsScale(t *testing.T) {
+	elk := AnimalMovements(ElkConfig())
+	if len(elk) != 33 {
+		t.Fatalf("elk animals = %d, want 33", len(elk))
+	}
+	for _, tr := range elk {
+		if len(tr.Points) != ElkConfig().PointsPer {
+			t.Fatalf("elk track has %d points, want %d", len(tr.Points), ElkConfig().PointsPer)
+		}
+		if tr.Label != "elk" {
+			t.Fatalf("label = %q", tr.Label)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deer := AnimalMovements(DeerConfig())
+	if len(deer) != 32 {
+		t.Fatalf("deer animals = %d, want 32", len(deer))
+	}
+}
+
+func TestAnimalMovementsInsideWorld(t *testing.T) {
+	cfg := ElkConfig()
+	cfg.PointsPer = 300
+	slack := World.Expand(60) // jitter may exceed the border slightly
+	for _, tr := range AnimalMovements(cfg) {
+		for _, p := range tr.Points {
+			if !slack.Contains(p) {
+				t.Fatalf("point outside world: %v", p)
+			}
+		}
+	}
+}
+
+func TestAnimalMovementsDeterministic(t *testing.T) {
+	cfg := DeerConfig()
+	cfg.PointsPer = 100
+	a := AnimalMovements(cfg)
+	b := AnimalMovements(cfg)
+	for i := range a {
+		for j := range a[i].Points {
+			if !a[i].Points[j].Eq(b[i].Points[j]) {
+				t.Fatal("non-deterministic")
+			}
+		}
+	}
+}
+
+func TestAnimalMovementsEdgeCases(t *testing.T) {
+	if got := AnimalMovements(AnimalConfig{NumAnimals: 0, PointsPer: 10}); got != nil {
+		t.Errorf("zero animals = %v", got)
+	}
+	if got := AnimalMovements(AnimalConfig{NumAnimals: 1, PointsPer: 1}); got != nil {
+		t.Errorf("one point = %v", got)
+	}
+	one := AnimalMovements(AnimalConfig{
+		NumAnimals: 2, PointsPer: 50, Corridors: 0, CorridorUse: 1,
+		StepLen: 10, Jitter: 2, Seed: 1,
+	})
+	if len(one) != 2 {
+		t.Errorf("corridors=0 should still produce animals (clamped to 1 edge)")
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	trs := Figure1(0, 1) // no jitter: exact corridor
+	if len(trs) != 5 {
+		t.Fatalf("trajectories = %d, want 5", len(trs))
+	}
+	// Every trajectory passes through the corridor y=300, x∈[200,500].
+	for i, tr := range trs {
+		touches := 0
+		for _, p := range tr.Points {
+			if p.X >= 195 && p.X <= 505 && math.Abs(p.Y-300) < 5 {
+				touches++
+			}
+		}
+		if touches < 10 {
+			t.Errorf("trajectory %d only touches corridor %d times", i, touches)
+		}
+	}
+	// Endpoints diverge: pairwise final-point distances are large.
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			pi := trs[i].Points[len(trs[i].Points)-1]
+			pj := trs[j].Points[len(trs[j].Points)-1]
+			if pi.Dist(pj) < 100 {
+				t.Errorf("exits %d and %d too close", i, j)
+			}
+		}
+	}
+}
+
+func TestCorridorScene(t *testing.T) {
+	trs := CorridorScene(4, 6, 20, 3, 1)
+	if len(trs) != 24 {
+		t.Fatalf("trajectories = %d, want 24", len(trs))
+	}
+	ids := map[int]bool{}
+	for _, tr := range trs {
+		if ids[tr.ID] {
+			t.Fatalf("duplicate id %d", tr.ID)
+		}
+		ids[tr.ID] = true
+		if len(tr.Points) != 20 {
+			t.Fatalf("points = %d", len(tr.Points))
+		}
+	}
+}
+
+func TestRandomWalks(t *testing.T) {
+	trs := RandomWalks(10, 30, 15, 2)
+	if len(trs) != 10 {
+		t.Fatalf("walks = %d", len(trs))
+	}
+	for _, tr := range trs {
+		if len(tr.Points) != 30 {
+			t.Fatalf("points = %d", len(tr.Points))
+		}
+		for _, p := range tr.Points {
+			if !World.Contains(p) {
+				t.Fatalf("walk left the world: %v", p)
+			}
+		}
+	}
+}
+
+func TestMixNoise(t *testing.T) {
+	base := CorridorScene(2, 6, 15, 3, 1)
+	mixed := MixNoise(base, 0.25, 15, 2)
+	noise := len(mixed) - len(base)
+	frac := float64(noise) / float64(len(mixed))
+	if math.Abs(frac-0.25) > 0.07 {
+		t.Errorf("noise fraction = %v, want ≈0.25", frac)
+	}
+	// IDs stay unique.
+	ids := map[int]bool{}
+	for _, tr := range mixed {
+		if ids[tr.ID] {
+			t.Fatalf("duplicate id %d", tr.ID)
+		}
+		ids[tr.ID] = true
+	}
+	// Degenerate fractions are no-ops.
+	if got := MixNoise(base, 0, 15, 2); len(got) != len(base) {
+		t.Error("frac=0 changed the data")
+	}
+	if got := MixNoise(base, 1, 15, 2); len(got) != len(base) {
+		t.Error("frac=1 changed the data")
+	}
+}

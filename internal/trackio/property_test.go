@@ -1,0 +1,104 @@
+package trackio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// randomTrajectories builds structurally valid random trajectories for
+// round-trip property tests. Coordinates are quantised to the format's
+// 3-decimal precision so round trips are exact.
+func randomTrajectories(rng *rand.Rand) []geom.Trajectory {
+	n := 1 + rng.Intn(6)
+	trs := make([]geom.Trajectory, n)
+	for i := range trs {
+		m := 2 + rng.Intn(20)
+		pts := make([]geom.Point, m)
+		for j := range pts {
+			pts[j] = geom.Pt(
+				float64(rng.Intn(2_000_000))/1000-1000,
+				float64(rng.Intn(2_000_000))/1000-1000,
+			)
+		}
+		trs[i] = geom.Trajectory{ID: i, Label: "spec", Weight: 1, Points: pts}
+	}
+	return trs
+}
+
+func trajectoriesEqual(a, b []geom.Trajectory) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Points) != len(b[i].Points) {
+			return false
+		}
+		for j := range a[i].Points {
+			if !a[i].Points[j].NearEq(b[i].Points[j], 1e-9) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBestTrackRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trs := randomTrajectories(rng)
+		var buf bytes.Buffer
+		if err := WriteBestTrack(&buf, trs); err != nil {
+			return false
+		}
+		got, err := ReadBestTrack(&buf)
+		if err != nil {
+			return false
+		}
+		return trajectoriesEqual(trs, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTelemetryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trs := randomTrajectories(rng)
+		var buf bytes.Buffer
+		if err := WriteTelemetry(&buf, trs); err != nil {
+			return false
+		}
+		got, err := ReadTelemetry(&buf, "")
+		if err != nil {
+			return false
+		}
+		return trajectoriesEqual(trs, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trs := randomTrajectories(rng)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, trs); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return trajectoriesEqual(trs, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+package trackio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synth"
+)
+
+func sample() []geom.Trajectory {
+	return []geom.Trajectory{
+		{ID: 0, Label: "a", Weight: 1, Points: []geom.Point{geom.Pt(1.5, 2.25), geom.Pt(3, 4)}},
+		{ID: 1, Label: "b", Weight: 1, Points: []geom.Point{geom.Pt(-1, 0), geom.Pt(0, 0), geom.Pt(5, -2.5)}},
+	}
+}
+
+func pointsEqual(t *testing.T, got, want []geom.Trajectory, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trajectories = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i].Points) != len(want[i].Points) {
+			t.Fatalf("traj %d: %d points, want %d", i, len(got[i].Points), len(want[i].Points))
+		}
+		for j := range want[i].Points {
+			if !got[i].Points[j].NearEq(want[i].Points[j], tol) {
+				t.Fatalf("traj %d point %d: %v, want %v", i, j, got[i].Points[j], want[i].Points[j])
+			}
+		}
+	}
+}
+
+func TestBestTrackRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBestTrack(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBestTrack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsEqual(t, got, sample(), 1e-3) // format keeps 3 decimals
+}
+
+func TestBestTrackFullScale(t *testing.T) {
+	trs := synth.Hurricanes(synth.HurricaneConfig{NumTracks: 50, MeanPoints: 20, Jitter: 3, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteBestTrack(&buf, trs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBestTrack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("storms = %d", len(got))
+	}
+	if geom.TotalPoints(got) != geom.TotalPoints(trs) {
+		t.Error("point count changed in round trip")
+	}
+}
+
+func TestBestTrackErrors(t *testing.T) {
+	cases := []string{
+		"AL011950, X",                                      // short header
+		"AL011950, X, notanumber",                          // bad count
+		"AL011950, X, 2\n1, 2, 3, 4, 5, 6\n",               // truncated storm
+		"AL011950, X, 1\n1, 2, 3\n",                        // short fix line
+		"AL011950, X, 1\n19500812, 0000, bad, 4, 5, 6\n",   // bad latitude
+		"AL011950, X, 1\n19500812, 0000, 1.0, bad, 5, 6\n", // bad longitude
+	}
+	for i, c := range cases {
+		if _, err := ReadBestTrack(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestBestTrackEmpty(t *testing.T) {
+	got, err := ReadBestTrack(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input = %v", got)
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTelemetry(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTelemetry(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsEqual(t, got, sample(), 1e-3)
+	if got[0].Label != "a" || got[1].Label != "b" {
+		t.Error("labels lost")
+	}
+}
+
+func TestTelemetrySpeciesFilter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTelemetry(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTelemetry(bytes.NewReader(buf.Bytes()), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Label != "a" {
+		t.Fatalf("filter = %+v", got)
+	}
+	got, err = ReadTelemetry(bytes.NewReader(buf.Bytes()), "nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("unknown species = %v", got)
+	}
+}
+
+func TestTelemetryOutOfOrderFixes(t *testing.T) {
+	in := "species\tanimal\tseq\tx\ty\n" +
+		"elk\t3\t2\t30.0\t0.0\n" +
+		"elk\t3\t0\t10.0\t0.0\n" +
+		"elk\t3\t1\t20.0\t0.0\n"
+	got, err := ReadTelemetry(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Points) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i, want := range []float64{10, 20, 30} {
+		if got[0].Points[i].X != want {
+			t.Errorf("point %d x = %v, want %v", i, got[0].Points[i].X, want)
+		}
+	}
+}
+
+func TestTelemetryErrors(t *testing.T) {
+	cases := []string{
+		"elk\t1\t0\t1.0\n",      // 4 fields
+		"elk\tx\t0\t1.0\t2.0\n", // bad animal
+		"elk\t1\tx\t1.0\t2.0\n", // bad seq
+		"elk\t1\t0\tx\t2.0\n",   // bad x
+		"elk\t1\t0\t1.0\tx\n",   // bad y
+	}
+	for i, c := range cases {
+		if _, err := ReadTelemetry(strings.NewReader(c), ""); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsEqual(t, got, sample(), 1e-6)
+	if got[0].ID != 0 || got[1].ID != 1 {
+		t.Error("ids lost")
+	}
+}
+
+func TestCSVHeaderOptional(t *testing.T) {
+	in := "5,1.0,2.0\n5,3.0,4.0\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 5 || len(got[0].Points) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCSVPreservesFirstAppearanceOrder(t *testing.T) {
+	in := "traj_id,x,y\n9,0,0\n2,1,1\n9,2,2\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 9 || got[1].ID != 2 {
+		t.Fatalf("order = %+v", got)
+	}
+	if len(got[0].Points) != 2 {
+		t.Errorf("grouping wrong: %+v", got[0])
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, name := range []string{"csv", "besttrack", "telemetry"} {
+		if _, err := ParseFormat(name); err != nil {
+			t.Errorf("ParseFormat(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseFormat("json"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]Format{
+		"atlantic.bt":   FormatBestTrack,
+		"storms.hurdat": FormatBestTrack,
+		"elk.tsv":       FormatTelemetry,
+		"tracks.csv":    FormatCSV,
+		"no-extension":  FormatCSV,
+	}
+	for path, want := range cases {
+		if got := DetectFormat(path); got != want {
+			t.Errorf("DetectFormat(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestGenericReadWriteDispatch(t *testing.T) {
+	trs := sample()
+	for _, f := range []Format{FormatCSV, FormatBestTrack, FormatTelemetry} {
+		var buf bytes.Buffer
+		if err := Write(&buf, f, trs); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got, err := Read(&buf, f, "")
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		pointsEqual(t, got, trs, 1e-3)
+	}
+	if err := Write(nil, Format("bogus"), trs); err == nil {
+		t.Error("bogus write format accepted")
+	}
+	if _, err := Read(strings.NewReader(""), Format("bogus"), ""); err == nil {
+		t.Error("bogus read format accepted")
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tracks.csv"
+	if err := WriteFile(path, FormatCSV, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, FormatCSV, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointsEqual(t, got, sample(), 1e-3)
+	if _, err := ReadFile(dir+"/missing.csv", FormatCSV, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := WriteFile(dir+"/nosuchdir/x.csv", FormatCSV, sample()); err == nil {
+		t.Error("uncreatable path accepted")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2\n",          // 2 fields
+		"1,x,3\n",        // bad x
+		"1,2,x\n",        // bad y
+		"a,b,c\nx,2,3\n", // bad id on non-header line
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package tsdist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchTrajPair(n int) (a, b []geom.Point) {
+	rng := rand.New(rand.NewSource(1))
+	return randTraj(rng, n), randTraj(rng, n)
+}
+
+func BenchmarkDTW(b *testing.B) {
+	x, y := benchTrajPair(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DTW(x, y, -1)
+	}
+}
+
+func BenchmarkDTWWindowed(b *testing.B) {
+	x, y := benchTrajPair(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DTW(x, y, 20)
+	}
+}
+
+func BenchmarkLCSS(b *testing.B) {
+	x, y := benchTrajPair(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LCSS(x, y, 10, -1)
+	}
+}
+
+func BenchmarkEDR(b *testing.B) {
+	x, y := benchTrajPair(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EDR(x, y, 10)
+	}
+}
+
+func BenchmarkFrechet(b *testing.B) {
+	x, y := benchTrajPair(120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Frechet(x, y)
+	}
+}

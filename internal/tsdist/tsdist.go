@@ -1,0 +1,338 @@
+// Package tsdist implements the whole-trajectory distance measures the
+// TRACLUS paper's related-work section positions itself against: LCSS
+// (Vlachos et al., ICDE 2002), EDR (Chen et al., SIGMOD 2005), dynamic time
+// warping (Keogh, VLDB 2002), and the discrete Fréchet distance, plus
+// simple whole-trajectory clustering on top of them (k-medoids and
+// single-link agglomerative).
+//
+// These measures compare trajectories *as wholes*, so — as the paper argues
+// — "the distance could be large although some portions of trajectories are
+// very similar"; the experiments use them to demonstrate exactly that.
+package tsdist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// LCSS returns the Longest Common SubSequence similarity count between two
+// point sequences: points match when both coordinate differences are within
+// eps. delta ≥ 0 bounds how far apart in index matched points may be
+// (delta < 0 disables the bound). The returned value is the LCSS length.
+func LCSS(a, b []geom.Point, eps float64, delta int) int {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			switch {
+			case delta >= 0 && abs(i-j) > delta:
+				cur[j] = max(prev[j], cur[j-1])
+			case math.Abs(a[i-1].X-b[j-1].X) <= eps && math.Abs(a[i-1].Y-b[j-1].Y) <= eps:
+				cur[j] = prev[j-1] + 1
+			default:
+				cur[j] = max(prev[j], cur[j-1])
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// LCSSDist converts LCSS similarity into a normalised distance in [0, 1]:
+// 1 - LCSS/min(n, m).
+func LCSSDist(a, b []geom.Point, eps float64, delta int) float64 {
+	n := min(len(a), len(b))
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(LCSS(a, b, eps, delta))/float64(n)
+}
+
+// EDR returns the Edit Distance on Real sequence: the minimum number of
+// insert/delete/replace edits to equalise the sequences, where two points
+// match when both coordinate differences are within eps.
+func EDR(a, b []geom.Point, eps float64) int {
+	n, m := len(a), len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if math.Abs(a[i-1].X-b[j-1].X) <= eps && math.Abs(a[i-1].Y-b[j-1].Y) <= eps {
+				cost = 0
+			}
+			cur[j] = min(prev[j-1]+cost, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// EDRDist normalises EDR by max(n, m) into [0, 1].
+func EDRDist(a, b []geom.Point, eps float64) float64 {
+	d := max(len(a), len(b))
+	if d == 0 {
+		return 0
+	}
+	return float64(EDR(a, b, eps)) / float64(d)
+}
+
+// DTW returns the dynamic time warping distance with Euclidean point costs
+// and an optional Sakoe-Chiba band of half-width window (window < 0
+// disables the band).
+func DTW(a, b []geom.Point, window int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	if window >= 0 && window < abs(n-m) {
+		window = abs(n - m)
+	}
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := 1, m
+		if window >= 0 {
+			lo = max(1, i-window)
+			hi = min(m, i+window)
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i-1].Dist(b[j-1])
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// Frechet returns the discrete Fréchet distance between the sequences.
+func Frechet(a, b []geom.Point) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	ca := make([][]float64, n)
+	for i := range ca {
+		ca[i] = make([]float64, m)
+		for j := range ca[i] {
+			ca[i][j] = -1
+		}
+	}
+	var rec func(i, j int) float64
+	rec = func(i, j int) float64 {
+		if ca[i][j] >= 0 {
+			return ca[i][j]
+		}
+		d := a[i].Dist(b[j])
+		switch {
+		case i == 0 && j == 0:
+			ca[i][j] = d
+		case i == 0:
+			ca[i][j] = math.Max(rec(0, j-1), d)
+		case j == 0:
+			ca[i][j] = math.Max(rec(i-1, 0), d)
+		default:
+			ca[i][j] = math.Max(math.Min(rec(i-1, j), math.Min(rec(i-1, j-1), rec(i, j-1))), d)
+		}
+		return ca[i][j]
+	}
+	return rec(n-1, m-1)
+}
+
+// DistFunc is a whole-trajectory distance.
+type DistFunc func(a, b []geom.Point) float64
+
+// Matrix computes the full pairwise distance matrix.
+func Matrix(trs []geom.Trajectory, d DistFunc) [][]float64 {
+	n := len(trs)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := d(trs[i].Points, trs[j].Points)
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	return m
+}
+
+// KMedoids clusters by the distance matrix into k clusters using the PAM
+// build step plus swap-style refinement, deterministic for a seed. It
+// returns the medoid indexes and each trajectory's cluster assignment.
+func KMedoids(dm [][]float64, k int, seed int64) (medoids []int, assign []int, err error) {
+	n := len(dm)
+	if k <= 0 || k > n {
+		return nil, nil, errors.New("tsdist: invalid k")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids = rng.Perm(n)[:k]
+	assign = make([]int, n)
+	assignAll := func() float64 {
+		var cost float64
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.MaxFloat64
+			for mi, m := range medoids {
+				if dm[i][m] < bestD {
+					best, bestD = mi, dm[i][m]
+				}
+			}
+			assign[i] = best
+			cost += bestD
+		}
+		return cost
+	}
+	cost := assignAll()
+	for iter := 0; iter < 50; iter++ {
+		improved := false
+		for mi := 0; mi < k; mi++ {
+			for cand := 0; cand < n; cand++ {
+				if contains(medoids, cand) {
+					continue
+				}
+				old := medoids[mi]
+				medoids[mi] = cand
+				if c := assignAll(); c < cost {
+					cost = c
+					improved = true
+				} else {
+					medoids[mi] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	assignAll()
+	return medoids, assign, nil
+}
+
+// SingleLink performs agglomerative clustering with single linkage until k
+// clusters remain, returning per-item assignments 0..k-1.
+func SingleLink(dm [][]float64, k int) ([]int, error) {
+	n := len(dm)
+	if k <= 0 || k > n {
+		return nil, errors.New("tsdist: invalid k")
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, edge{dm[i][j], i, j})
+		}
+	}
+	// Sort edges ascending (heapsort to stay stdlib-lean).
+	sortEdges(edges)
+	clusters := n
+	for _, e := range edges {
+		if clusters == k {
+			break
+		}
+		ra, rb := find(e.a), find(e.b)
+		if ra != rb {
+			parent[ra] = rb
+			clusters--
+		}
+	}
+	// Relabel roots densely.
+	label := map[int]int{}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := label[r]; !ok {
+			label[r] = len(label)
+		}
+		out[i] = label[r]
+	}
+	return out, nil
+}
+
+// edge is a candidate merge for single-link clustering.
+type edge struct {
+	d    float64
+	a, b int
+}
+
+func sortEdges(es []edge) {
+	n := len(es)
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(es, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		es[0], es[i] = es[i], es[0]
+		sift(es, 0, i)
+	}
+}
+
+func sift(es []edge, lo, hi int) {
+	root := lo
+	for {
+		c := 2*root + 1
+		if c >= hi {
+			return
+		}
+		if c+1 < hi && es[c].d < es[c+1].d {
+			c++
+		}
+		if es[root].d >= es[c].d {
+			return
+		}
+		es[root], es[c] = es[c], es[root]
+		root = c
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,281 @@
+package tsdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func pts(vals ...float64) []geom.Point {
+	out := make([]geom.Point, len(vals)/2)
+	for i := range out {
+		out[i] = geom.Pt(vals[2*i], vals[2*i+1])
+	}
+	return out
+}
+
+func TestLCSSIdentical(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0, 3, 0)
+	if got := LCSS(a, a, 0.1, -1); got != 4 {
+		t.Errorf("LCSS self = %d", got)
+	}
+	if got := LCSSDist(a, a, 0.1, -1); got != 0 {
+		t.Errorf("LCSSDist self = %v", got)
+	}
+}
+
+func TestLCSSKnownValue(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0)
+	b := pts(0, 0, 5, 5, 2, 0)
+	if got := LCSS(a, b, 0.5, -1); got != 2 {
+		t.Errorf("LCSS = %d, want 2", got)
+	}
+}
+
+func TestLCSSDeltaWindow(t *testing.T) {
+	a := pts(0, 0, 1, 1, 2, 2, 3, 3)
+	b := pts(9, 9, 9, 9, 9, 9, 0, 0)
+	// Without a window, (a0, b3) matches.
+	if got := LCSS(a, b, 0.1, -1); got != 1 {
+		t.Errorf("unwindowed LCSS = %d", got)
+	}
+	// |i-j| = 3 > delta=1 forbids it.
+	if got := LCSS(a, b, 0.1, 1); got != 0 {
+		t.Errorf("windowed LCSS = %d", got)
+	}
+}
+
+func TestLCSSEmpty(t *testing.T) {
+	if got := LCSS(nil, pts(0, 0), 1, -1); got != 0 {
+		t.Errorf("LCSS empty = %d", got)
+	}
+	if got := LCSSDist(nil, nil, 1, -1); got != 1 {
+		t.Errorf("LCSSDist empty = %v", got)
+	}
+}
+
+func TestEDRIdentical(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0)
+	if got := EDR(a, a, 0.1); got != 0 {
+		t.Errorf("EDR self = %d", got)
+	}
+}
+
+func TestEDRKnownValue(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0)
+	b := pts(0, 0, 9, 9, 2, 0)
+	// One replacement.
+	if got := EDR(a, b, 0.5); got != 1 {
+		t.Errorf("EDR = %d, want 1", got)
+	}
+	// Pure insertion cost.
+	if got := EDR(a, a[:2], 0.5); got != 1 {
+		t.Errorf("EDR insert = %d, want 1", got)
+	}
+	if got := EDR(nil, b, 0.5); got != 3 {
+		t.Errorf("EDR from empty = %d, want 3", got)
+	}
+}
+
+func TestEDRDistNormalised(t *testing.T) {
+	a := pts(0, 0, 1, 0)
+	b := pts(9, 9, 9, 9, 9, 9, 9, 9)
+	got := EDRDist(a, b, 0.5)
+	if got != 1 {
+		t.Errorf("EDRDist = %v, want 1", got)
+	}
+	if got := EDRDist(nil, nil, 1); got != 0 {
+		t.Errorf("EDRDist empty = %v", got)
+	}
+}
+
+func TestDTWIdentical(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0, 3, 0)
+	if got := DTW(a, a, -1); got != 0 {
+		t.Errorf("DTW self = %v", got)
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	a := pts(0, 0, 1, 0)
+	b := pts(0, 1, 1, 1)
+	// Both points warp straight across: cost 1 + 1.
+	if got := DTW(a, b, -1); !approx(got, 2, 1e-12) {
+		t.Errorf("DTW = %v, want 2", got)
+	}
+}
+
+func TestDTWHandlesDifferentLengths(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0, 3, 0)
+	b := pts(0, 0, 3, 0)
+	got := DTW(a, b, -1)
+	// Optimal warping: a0→b0 (0), a1→b0 or b1 (1), a2→b1 (1), a3→b1 (0).
+	if !approx(got, 2, 1e-12) {
+		t.Errorf("DTW = %v, want 2", got)
+	}
+}
+
+func TestDTWWindowWidensToLengthGap(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0, 3, 0, 4, 0)
+	b := pts(0, 0, 4, 0)
+	// Window 0 would be infeasible for unequal lengths; it must widen.
+	got := DTW(a, b, 0)
+	if math.IsInf(got, 1) {
+		t.Error("window not widened to |n-m|")
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if got := DTW(nil, pts(0, 0), -1); !math.IsInf(got, 1) {
+		t.Errorf("DTW empty = %v", got)
+	}
+}
+
+func TestFrechetKnown(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0)
+	b := pts(0, 1, 1, 1, 2, 1)
+	if got := Frechet(a, b); !approx(got, 1, 1e-12) {
+		t.Errorf("Frechet = %v, want 1", got)
+	}
+	if got := Frechet(a, a); got != 0 {
+		t.Errorf("Frechet self = %v", got)
+	}
+	if got := Frechet(nil, a); !math.IsInf(got, 1) {
+		t.Errorf("Frechet empty = %v", got)
+	}
+}
+
+func TestFrechetAtLeastMaxMinDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randTraj(rng, 8)
+		b := randTraj(rng, 6)
+		fr := Frechet(a, b)
+		// Fréchet ≥ max over a's points of min distance to b's points is
+		// not exactly true pointwise, but Fréchet ≥ dist(a0, b0) endpoints
+		// coupling start together:
+		if fr < a[0].Dist(b[0])-1e-9 {
+			t.Fatalf("Frechet %v below start-pair distance", fr)
+		}
+		if fr < a[len(a)-1].Dist(b[len(b)-1])-1e-9 {
+			t.Fatalf("Frechet %v below end-pair distance", fr)
+		}
+	}
+}
+
+func TestSymmetryProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := randTraj(rng, 5+rng.Intn(5))
+		b := randTraj(rng, 5+rng.Intn(5))
+		if DTW(a, b, -1) != DTW(b, a, -1) {
+			t.Fatal("DTW asymmetric")
+		}
+		if LCSS(a, b, 5, -1) != LCSS(b, a, 5, -1) {
+			t.Fatal("LCSS asymmetric")
+		}
+		if EDR(a, b, 5) != EDR(b, a, 5) {
+			t.Fatal("EDR asymmetric")
+		}
+		if Frechet(a, b) != Frechet(b, a) {
+			t.Fatal("Frechet asymmetric")
+		}
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trs := []geom.Trajectory{
+		geom.NewTrajectory(0, randTraj(rng, 6)),
+		geom.NewTrajectory(1, randTraj(rng, 7)),
+		geom.NewTrajectory(2, randTraj(rng, 5)),
+	}
+	dm := Matrix(trs, func(a, b []geom.Point) float64 { return DTW(a, b, -1) })
+	for i := range dm {
+		if dm[i][i] != 0 {
+			t.Errorf("diagonal not zero at %d", i)
+		}
+		for j := range dm {
+			if dm[i][j] != dm[j][i] {
+				t.Errorf("matrix asymmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestKMedoidsSeparatesBlobs(t *testing.T) {
+	// Distance matrix with two obvious groups.
+	dm := [][]float64{
+		{0, 1, 1, 9, 9, 9},
+		{1, 0, 1, 9, 9, 9},
+		{1, 1, 0, 9, 9, 9},
+		{9, 9, 9, 0, 1, 1},
+		{9, 9, 9, 1, 0, 1},
+		{9, 9, 9, 1, 1, 0},
+	}
+	_, assign, err := KMedoids(dm, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Errorf("group 1 split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Errorf("group 2 split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Errorf("groups merged: %v", assign)
+	}
+}
+
+func TestKMedoidsErrors(t *testing.T) {
+	dm := [][]float64{{0}}
+	if _, _, err := KMedoids(dm, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := KMedoids(dm, 2, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestSingleLink(t *testing.T) {
+	dm := [][]float64{
+		{0, 1, 8, 8},
+		{1, 0, 8, 8},
+		{8, 8, 0, 1},
+		{8, 8, 1, 0},
+	}
+	assign, err := SingleLink(dm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != assign[1] || assign[2] != assign[3] || assign[0] == assign[2] {
+		t.Errorf("single link = %v", assign)
+	}
+	if _, err := SingleLink(dm, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	all, err := SingleLink(dm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[int]bool{}
+	for _, l := range all {
+		labels[l] = true
+	}
+	if len(labels) != 4 {
+		t.Errorf("k=n should keep singletons: %v", all)
+	}
+}
+
+func randTraj(rng *rand.Rand, n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package validate provides external clustering validation measures. The
+// paper observes that "there is no well-defined measure for density-based
+// clustering methods" and falls back on QMeasure plus visual inspection;
+// this package supplies the standard label-comparison measures (Rand index,
+// adjusted Rand index, normalised mutual information, purity) so the
+// experiments and tests can *quantify* agreement — e.g. between index
+// strategies, against planted corridor ground truth, or across parameter
+// settings — instead of eyeballing it.
+//
+// All measures take two parallel label slices. The conventional noise label
+// -1 is treated as its own class, so "both called it noise" counts as
+// agreement.
+package validate
+
+import (
+	"errors"
+	"math"
+)
+
+// contingency builds the joint count table of two labelings.
+type contingency struct {
+	n     int
+	joint map[[2]int]int
+	a, b  map[int]int
+}
+
+func tabulate(a, b []int) (*contingency, error) {
+	if len(a) != len(b) {
+		return nil, errors.New("validate: label slices differ in length")
+	}
+	if len(a) == 0 {
+		return nil, errors.New("validate: empty labelings")
+	}
+	c := &contingency{
+		n:     len(a),
+		joint: map[[2]int]int{},
+		a:     map[int]int{},
+		b:     map[int]int{},
+	}
+	for i := range a {
+		c.joint[[2]int{a[i], b[i]}]++
+		c.a[a[i]]++
+		c.b[b[i]]++
+	}
+	return c, nil
+}
+
+func choose2(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+// Rand returns the Rand index in [0, 1]: the fraction of item pairs on
+// which the two labelings agree (same-same or different-different).
+func Rand(a, b []int) (float64, error) {
+	c, err := tabulate(a, b)
+	if err != nil {
+		return 0, err
+	}
+	var sumJoint, sumA, sumB float64
+	for _, v := range c.joint {
+		sumJoint += choose2(v)
+	}
+	for _, v := range c.a {
+		sumA += choose2(v)
+	}
+	for _, v := range c.b {
+		sumB += choose2(v)
+	}
+	total := choose2(c.n)
+	if total == 0 {
+		return 1, nil
+	}
+	// agreements = pairs together in both + pairs apart in both.
+	agree := sumJoint + (total - sumA - sumB + sumJoint)
+	return agree / total, nil
+}
+
+// AdjustedRand returns the adjusted Rand index (Hubert & Arabie): 1 for
+// identical partitions, ≈0 for independent ones, possibly negative for
+// worse-than-chance agreement.
+func AdjustedRand(a, b []int) (float64, error) {
+	c, err := tabulate(a, b)
+	if err != nil {
+		return 0, err
+	}
+	var sumJoint, sumA, sumB float64
+	for _, v := range c.joint {
+		sumJoint += choose2(v)
+	}
+	for _, v := range c.a {
+		sumA += choose2(v)
+	}
+	for _, v := range c.b {
+		sumB += choose2(v)
+	}
+	total := choose2(c.n)
+	if total == 0 {
+		return 1, nil
+	}
+	expected := sumA * sumB / total
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		return 1, nil // both partitions trivial (all singletons or one blob)
+	}
+	return (sumJoint - expected) / (maxIndex - expected), nil
+}
+
+// NMI returns the normalised mutual information I(A;B)/sqrt(H(A)·H(B)) in
+// [0, 1]; by convention 1 when both labelings are constant.
+func NMI(a, b []int) (float64, error) {
+	c, err := tabulate(a, b)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(c.n)
+	var mi float64
+	for k, v := range c.joint {
+		pxy := float64(v) / n
+		px := float64(c.a[k[0]]) / n
+		py := float64(c.b[k[1]]) / n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	ha := entropyOf(c.a, n)
+	hb := entropyOf(c.b, n)
+	if ha == 0 && hb == 0 {
+		return 1, nil
+	}
+	if ha == 0 || hb == 0 {
+		return 0, nil
+	}
+	v := mi / math.Sqrt(ha*hb)
+	if v > 1 {
+		v = 1 // numerical guard
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+func entropyOf(counts map[int]int, n float64) float64 {
+	var h float64
+	for _, v := range counts {
+		p := float64(v) / n
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// Purity returns the purity of labeling a with respect to reference b:
+// assign each a-cluster to its majority b-class and count the fraction of
+// items correctly covered. Asymmetric; in [0, 1].
+func Purity(a, ref []int) (float64, error) {
+	c, err := tabulate(a, ref)
+	if err != nil {
+		return 0, err
+	}
+	best := map[int]int{}
+	for k, v := range c.joint {
+		if v > best[k[0]] {
+			best[k[0]] = v
+		}
+	}
+	var sum int
+	for _, v := range best {
+		sum += v
+	}
+	return float64(sum) / float64(c.n), nil
+}
+
+// NoiseAgreement returns the fraction of items on which both labelings
+// agree about noisehood (label -1) — a focused check for the Section 5.5
+// robustness experiment.
+func NoiseAgreement(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("validate: label slices differ in length")
+	}
+	if len(a) == 0 {
+		return 0, errors.New("validate: empty labelings")
+	}
+	agree := 0
+	for i := range a {
+		if (a[i] == -1) == (b[i] == -1) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a)), nil
+}

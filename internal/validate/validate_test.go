@@ -1,0 +1,215 @@
+package validate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRandIdenticalPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	for _, f := range []func([]int, []int) (float64, error){Rand, AdjustedRand, NMI, Purity} {
+		got, err := f(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(got, 1, 1e-12) {
+			t.Errorf("identical partitions scored %v", got)
+		}
+	}
+}
+
+func TestRandRelabeledPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{7, 7, 3, 3, 9, 9} // same partition, different labels
+	for _, f := range []func([]int, []int) (float64, error){Rand, AdjustedRand, NMI, Purity} {
+		got, err := f(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(got, 1, 1e-12) {
+			t.Errorf("relabeled partitions scored %v", got)
+		}
+	}
+}
+
+func TestRandKnownValue(t *testing.T) {
+	// Classic example: a = {0,0,1,1}, b = {0,1,1,1}.
+	// Pairs: (0,1) together in a, apart in b — disagree. (0,2),(0,3)
+	// apart/apart and apart/together... counting agreements: pairs
+	// {2,3} together in both = 1; pairs apart in both: {0,2},{0,3} = 2.
+	// Rand = (1+2)/6 = 0.5.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 1, 1}
+	got, err := Rand(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 0.5, 1e-12) {
+		t.Errorf("Rand = %v, want 0.5", got)
+	}
+}
+
+func TestAdjustedRandChanceLevel(t *testing.T) {
+	// Random independent labelings → ARI near 0 (can be slightly
+	// negative); identical → 1.
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(5)
+		b[i] = rng.Intn(5)
+	}
+	got, err := AdjustedRand(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 0.05 {
+		t.Errorf("independent labelings ARI = %v, want ≈0", got)
+	}
+	plain, err := Rand(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain < 0.5 {
+		t.Errorf("unadjusted Rand = %v unexpectedly low", plain)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(4)
+		b[i] = rng.Intn(4)
+	}
+	got, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.05 {
+		t.Errorf("independent NMI = %v, want ≈0", got)
+	}
+}
+
+func TestNMIConstantLabelings(t *testing.T) {
+	a := []int{1, 1, 1}
+	got, err := NMI(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("constant/constant NMI = %v", got)
+	}
+	b := []int{0, 1, 2}
+	got, err = NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("constant/varied NMI = %v", got)
+	}
+}
+
+func TestPurityAsymmetric(t *testing.T) {
+	// Singletons are perfectly pure against anything.
+	a := []int{0, 1, 2, 3}
+	ref := []int{0, 0, 1, 1}
+	got, err := Purity(a, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("singleton purity = %v", got)
+	}
+	// One blob against two classes: purity = majority fraction.
+	blob := []int{5, 5, 5, 5}
+	got, err = Purity(blob, []int{0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 0.75, 1e-12) {
+		t.Errorf("blob purity = %v, want 0.75", got)
+	}
+}
+
+func TestNoiseAgreement(t *testing.T) {
+	a := []int{-1, 0, 1, -1}
+	b := []int{-1, 2, -1, 0}
+	got, err := NoiseAgreement(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 0.5, 1e-12) {
+		t.Errorf("NoiseAgreement = %v, want 0.5", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4) - 1
+			b[i] = rng.Intn(4) - 1
+		}
+		for name, f := range map[string]func([]int, []int) (float64, error){
+			"Rand": Rand, "ARI": AdjustedRand, "NMI": NMI, "NoiseAgreement": NoiseAgreement,
+		} {
+			x, err := f(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, err := f(b, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !approx(x, y, 1e-9) {
+				t.Errorf("%s asymmetric: %v vs %v", name, x, y)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, f := range []func([]int, []int) (float64, error){Rand, AdjustedRand, NMI, Purity, NoiseAgreement} {
+		if _, err := f([]int{1}, []int{1, 2}); err == nil {
+			t.Error("length mismatch accepted")
+		}
+		if _, err := f(nil, nil); err == nil {
+			t.Error("empty accepted")
+		}
+	}
+}
+
+func TestBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(100)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(6) - 1
+			b[i] = rng.Intn(6) - 1
+		}
+		if v, _ := Rand(a, b); v < 0 || v > 1 {
+			t.Fatalf("Rand out of bounds: %v", v)
+		}
+		if v, _ := NMI(a, b); v < 0 || v > 1 {
+			t.Fatalf("NMI out of bounds: %v", v)
+		}
+		if v, _ := Purity(a, b); v <= 0 || v > 1 {
+			t.Fatalf("Purity out of bounds: %v", v)
+		}
+		if v, _ := AdjustedRand(a, b); v > 1+1e-9 {
+			t.Fatalf("ARI above 1: %v", v)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package traclus implements TRACLUS, the trajectory clustering algorithm
+// of Lee, Han, and Whang ("Trajectory Clustering: A Partition-and-Group
+// Framework", SIGMOD 2007).
+//
+// TRACLUS discovers common sub-trajectories: instead of clustering whole
+// trajectories, it (1) partitions every trajectory into line segments at
+// characteristic points chosen by the minimum description length principle,
+// (2) groups similar segments with a density-based clustering algorithm
+// under a three-component segment distance (perpendicular + parallel +
+// angle), and (3) summarises each cluster with a sweep-line representative
+// trajectory.
+//
+// Quickstart:
+//
+//	trs := []traclus.Trajectory{ ... }
+//	out, err := traclus.Run(trs, traclus.Config{Eps: 30, MinLns: 6})
+//	for _, c := range out.Clusters {
+//		fmt.Println(c.Representative) // a common sub-trajectory
+//	}
+//
+// When ε and MinLns are unknown, EstimateParameters applies the paper's
+// entropy-minimisation heuristic (Section 4.4).
+package traclus
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lsdist"
+	"repro/internal/mdl"
+	"repro/internal/params"
+	"repro/internal/quality"
+	"repro/internal/segclust"
+)
+
+// Re-exported geometric types. A Trajectory is a sequence of points with an
+// ID (used by the trajectory-cardinality filter) and an optional Weight
+// (weighted-trajectory extension).
+type (
+	Point      = geom.Point
+	Segment    = geom.Segment
+	Trajectory = geom.Trajectory
+	Rect       = geom.Rect
+)
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// NewTrajectory builds a unit-weight trajectory.
+func NewTrajectory(id int, pts []Point) Trajectory { return geom.NewTrajectory(id, pts) }
+
+// Weights are the distance component multipliers w⊥, w∥, wθ.
+type Weights = lsdist.Weights
+
+// IndexKind selects how ε-neighborhoods are computed.
+type IndexKind = segclust.IndexKind
+
+// Index strategies.
+const (
+	IndexGrid  = segclust.IndexGrid  // uniform grid prefilter (default)
+	IndexRTree = segclust.IndexRTree // R-tree prefilter
+	IndexNone  = segclust.IndexNone  // exhaustive O(n²) scan
+)
+
+// Config holds the user-facing TRACLUS parameters.
+type Config struct {
+	// Eps is the ε-neighborhood radius (same units as the coordinates).
+	Eps float64
+	// MinLns is the core-segment density threshold; with weighted
+	// trajectories it is compared against the summed weights.
+	MinLns float64
+	// MinTrajs is the minimum number of distinct trajectories per cluster
+	// (Definition 10); 0 uses MinLns.
+	MinTrajs int
+	// Weights override the distance weights; the zero value means the
+	// paper's default w⊥ = w∥ = wθ = 1.
+	Weights Weights
+	// Undirected ignores segment direction in the angle distance.
+	Undirected bool
+	// CostAdvantage suppresses partitioning (Section 4.1.3); 0 reproduces
+	// Figure 8 exactly, positive values lengthen partitions.
+	CostAdvantage float64
+	// MinSegmentLength drops trajectory partitions shorter than this.
+	// Short segments have low directional strength and can induce
+	// over-clustering (Section 4.1.3, Figure 11); 0 keeps everything.
+	MinSegmentLength float64
+	// Gamma is the representative-trajectory smoothing parameter γ;
+	// 0 defaults to Eps/4.
+	Gamma float64
+	// Index selects the neighborhood strategy (default IndexGrid).
+	Index IndexKind
+	// Workers bounds parallelism (≤ 0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) core() core.Config {
+	w := c.Weights
+	if (w == Weights{}) {
+		w = lsdist.DefaultWeights()
+	}
+	return core.Config{
+		Eps:       c.Eps,
+		MinLns:    c.MinLns,
+		MinTrajs:  c.MinTrajs,
+		Partition: mdl.Config{CostAdvantage: c.CostAdvantage, MinLength: c.MinSegmentLength},
+		Distance:  lsdist.Options{Weights: w, Undirected: c.Undirected},
+		Index:     c.Index,
+		Gamma:     c.Gamma,
+		Workers:   c.Workers,
+	}
+}
+
+// Cluster is one discovered group of trajectory partitions together with
+// its representative trajectory (the common sub-trajectory).
+type Cluster struct {
+	// Segments are the member trajectory partitions.
+	Segments []Segment
+	// Trajectories is the sorted list of participating trajectory IDs.
+	Trajectories []int
+	// Representative is the cluster's representative trajectory; nil when
+	// no stable sweep points exist.
+	Representative []Point
+}
+
+// Result is the outcome of a TRACLUS run.
+type Result struct {
+	// Clusters in deterministic discovery order.
+	Clusters []Cluster
+	// NoiseSegments counts partitions classified as noise.
+	NoiseSegments int
+	// TotalSegments counts all partitions produced by the first phase.
+	TotalSegments int
+	// RemovedClusters counts density-connected sets rejected by the
+	// trajectory-cardinality filter.
+	RemovedClusters int
+
+	out *core.Output
+	cfg core.Config
+}
+
+// Run executes the complete TRACLUS algorithm: partition every trajectory,
+// group the pooled segments, and generate a representative trajectory per
+// cluster.
+func Run(trs []Trajectory, cfg Config) (*Result, error) {
+	if cfg.Eps <= 0 {
+		return nil, errors.New("traclus: Config.Eps must be positive (use EstimateParameters to find one)")
+	}
+	if cfg.MinLns <= 0 {
+		return nil, errors.New("traclus: Config.MinLns must be positive")
+	}
+	ccfg := cfg.core()
+	out, err := core.Run(trs, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	return newResult(out, ccfg), nil
+}
+
+func newResult(out *core.Output, ccfg core.Config) *Result {
+	res := &Result{
+		NoiseSegments:   out.Result.NoiseCount(),
+		TotalSegments:   len(out.Items),
+		RemovedClusters: out.Result.Removed,
+		out:             out,
+		cfg:             ccfg,
+	}
+	for _, c := range out.Clusters {
+		res.Clusters = append(res.Clusters, Cluster{
+			Segments:       c.Segments,
+			Trajectories:   c.Trajectories,
+			Representative: c.Representative,
+		})
+	}
+	return res
+}
+
+// QMeasure evaluates the paper's clustering quality measure (Formula 11:
+// total SSE plus noise penalty) for this result. Smaller is better.
+func (r *Result) QMeasure() float64 {
+	b := quality.Measure(r.out.Items, r.out.Result, r.cfg.Distance, r.cfg.Workers)
+	return b.QMeasure()
+}
+
+// Partition exposes phase one alone: the MDL-chosen characteristic points
+// of a single trajectory, as indices into its points.
+func Partition(tr Trajectory, costAdvantage float64) []int {
+	return mdl.ApproximatePartition(tr.Dedup().Points, mdl.Config{CostAdvantage: costAdvantage})
+}
+
+// PartitionSegments exposes phase one as segments.
+func PartitionSegments(tr Trajectory, costAdvantage float64) []Segment {
+	return mdl.Partition(tr, mdl.Config{CostAdvantage: costAdvantage})
+}
+
+// Distance returns the TRACLUS line-segment distance with default weights —
+// useful for custom tooling on top of the library.
+func Distance(a, b Segment) float64 { return lsdist.Dist(a, b) }
+
+// Estimate is the outcome of the parameter heuristic.
+type Estimate struct {
+	Eps          float64 // entropy-minimising ε
+	Entropy      float64 // H(X) at that ε
+	AvgNeighbors float64 // avg|Nε(L)|
+	MinLnsLo     int     // suggested MinLns range (avg+1 .. avg+3)
+	MinLnsHi     int
+}
+
+// EstimateParameters applies the Section 4.4 heuristic: simulated annealing
+// over ε ∈ [lo, hi] minimising neighborhood entropy, then MinLns =
+// avg|Nε|+1..3. The cfg's weights/index/workers are honoured; Eps and
+// MinLns are ignored.
+func EstimateParameters(trs []Trajectory, lo, hi float64, cfg Config) (Estimate, error) {
+	ccfg := cfg.core()
+	items := core.PartitionAll(trs, ccfg)
+	est, err := params.EstimateEps(items, lo, hi, ccfg.Distance, ccfg.Index,
+		params.AnnealOptions{Workers: cfg.Workers})
+	if err != nil {
+		return Estimate{}, fmt.Errorf("traclus: %w", err)
+	}
+	return Estimate{
+		Eps:          est.Eps,
+		Entropy:      est.Entropy,
+		AvgNeighbors: est.AvgNeighbors,
+		MinLnsLo:     est.MinLnsLo,
+		MinLnsHi:     est.MinLnsHi,
+	}, nil
+}

@@ -186,6 +186,71 @@ func BenchmarkTraclusEndToEnd(b *testing.B) {
 	}
 }
 
+// ---- Parallel pipeline scaling ----
+
+// BenchmarkRunParallel measures the whole pipeline (partition + group +
+// representatives) at increasing worker counts on a large synthetic
+// workload; on a ≥ 4-core machine the parallel variants must beat
+// workers=1. workers=all is the library default (Workers: 0).
+func BenchmarkRunParallel(b *testing.B) {
+	cfg := synth.DefaultHurricaneConfig()
+	cfg.NumTracks = 480
+	trs := synth.Hurricanes(cfg)
+	for _, w := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			runCfg := traclus.Config{
+				Eps: 30, MinLns: 6,
+				CostAdvantage:    15,
+				MinSegmentLength: 40,
+				Workers:          w,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := traclus.Run(trs, runCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunParallelPhases isolates each phase's parallel speedup:
+// partitioning alone, grouping alone (on fixed items), and the sweep via
+// the full run on pre-partitioned items.
+func BenchmarkRunParallelPhases(b *testing.B) {
+	scfg := synth.DefaultHurricaneConfig()
+	scfg.NumTracks = 480
+	trs := synth.Hurricanes(scfg)
+	base := core.DefaultConfig()
+	base.Eps, base.MinLns = 30, 6
+	base.Partition = mdl.Config{CostAdvantage: 15, MinLength: 40}
+	items := core.PartitionAll(trs, base)
+	for _, w := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=all"
+		}
+		ccfg := base
+		ccfg.Workers = w
+		b.Run("partition/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.PartitionAll(trs, ccfg)
+			}
+		})
+		b.Run("group+sweep/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunOnItems(items, ccfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- Distance microbenchmarks ----
 
 func BenchmarkDistance(b *testing.B) {

@@ -6,7 +6,7 @@
 //
 //	traclus -in tracks.csv [-format csv|besttrack|telemetry] [-species elk]
 //	        [-eps 30] [-minlns 6] [-auto] [-undirected]
-//	        [-cost-advantage 0] [-min-seg-len 0]
+//	        [-cost-advantage 0] [-min-seg-len 0] [-workers 0]
 //	        [-svg out.svg] [-reps reps.csv] [-map]
 //
 // With -auto the ε/MinLns heuristic of the paper's Section 4.4 is applied
@@ -36,6 +36,7 @@ func main() {
 	undirected := flag.Bool("undirected", false, "ignore segment direction in the angle distance")
 	costAdv := flag.Float64("cost-advantage", 0, "partition suppression constant (Section 4.1.3)")
 	minSegLen := flag.Float64("min-seg-len", 0, "drop trajectory partitions shorter than this")
+	workers := flag.Int("workers", 0, "parallelism for all pipeline phases (0 = all CPUs, 1 = serial)")
 	svgOut := flag.String("svg", "", "write an SVG rendering of the clustering here")
 	repsOut := flag.String("reps", "", "write representative trajectories as CSV here")
 	asciiMap := flag.Bool("map", false, "print an ASCII map of the result")
@@ -68,6 +69,7 @@ func main() {
 		Undirected:       *undirected,
 		CostAdvantage:    *costAdv,
 		MinSegmentLength: *minSegLen,
+		Workers:          *workers,
 	}
 	if *auto {
 		bounds, _ := geom.BoundsOf(trs)

@@ -2,6 +2,7 @@ package traclus_test
 
 import (
 	"fmt"
+	"reflect"
 
 	traclus "repro"
 )
@@ -32,6 +33,38 @@ func ExampleRun() {
 	// Output:
 	// clusters: 1
 	// participants: [0 1 2 3 4]
+}
+
+// ExampleConfig_workers shows that Workers is purely a throughput knob:
+// running the pipeline serially (Workers: 1) and on many goroutines
+// (Workers: 8) yields bit-identical clusters, representatives included.
+func ExampleConfig_workers() {
+	var trs []traclus.Trajectory
+	for i := 0; i < 8; i++ {
+		dy := float64(i) * 2
+		trs = append(trs, traclus.NewTrajectory(i, []traclus.Point{
+			traclus.Pt(0, 100+dy),
+			traclus.Pt(120, 100+dy),
+			traclus.Pt(240, 100+dy),
+			traclus.Pt(360, 100+dy),
+			traclus.Pt(480, 100+dy+float64(i-4)*40),
+		}))
+	}
+	serial, err := traclus.Run(trs, traclus.Config{Eps: 25, MinLns: 5, Workers: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	parallel, err := traclus.Run(trs, traclus.Config{Eps: 25, MinLns: 5, Workers: 8})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("clusters: %d\n", len(parallel.Clusters))
+	fmt.Printf("parallel identical to serial: %v\n", reflect.DeepEqual(serial.Clusters, parallel.Clusters))
+	// Output:
+	// clusters: 1
+	// parallel identical to serial: true
 }
 
 // ExamplePartition shows phase one alone: the MDL-chosen characteristic

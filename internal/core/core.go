@@ -2,16 +2,21 @@
 // paper): MDL partitioning of every trajectory, density-based clustering of
 // the pooled line segments, and representative-trajectory generation per
 // cluster. It is the engine behind the public traclus package.
+//
+// All three phases are parallel across Config.Workers goroutines
+// (trajectories, ε-neighborhood queries, and clusters respectively are
+// independent units of work), and every phase writes into pre-sized,
+// index-aligned slots, so the output is bit-identical for every worker
+// count — the serial path is just the one-worker special case.
 package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
+	"repro/internal/par"
 	"repro/internal/segclust"
 	"repro/internal/sweep"
 )
@@ -31,7 +36,9 @@ type Config struct {
 	Index segclust.IndexKind
 	// Gamma is the sweep smoothing parameter γ; 0 defaults to Eps/4.
 	Gamma float64
-	// Workers bounds partitioning parallelism (≤ 0 = GOMAXPROCS).
+	// Workers bounds the parallelism of every phase — MDL partitioning,
+	// ε-neighborhood precomputation, and per-cluster representative sweeps
+	// (≤ 0 = all CPUs). Results are bit-identical for every worker count.
 	Workers int
 }
 
@@ -92,39 +99,11 @@ func (o *Output) AvgSegmentsPerCluster() float64 {
 }
 
 // PartitionAll runs the MDL partitioning phase over all trajectories in
-// parallel and pools the resulting segments as clusterable items
-// (Figure 4, lines 1–3). Trajectory weights default to 1 when unset.
+// parallel (a mdl.PartitionAll worker pool with per-worker scratch) and
+// pools the resulting segments as clusterable items (Figure 4, lines 1–3).
+// Trajectory weights default to 1 when unset.
 func PartitionAll(trs []geom.Trajectory, cfg Config) []segclust.Item {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(trs) {
-		workers = len(trs)
-	}
-	perTraj := make([][]geom.Segment, len(trs))
-	if workers <= 1 {
-		for i := range trs {
-			perTraj[i] = mdl.Partition(trs[i], cfg.Partition)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int, 2*workers)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					perTraj[i] = mdl.Partition(trs[i], cfg.Partition)
-				}
-			}()
-		}
-		for i := range trs {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	perTraj := mdl.PartitionAll(trs, cfg.Partition, cfg.Workers)
 	var items []segclust.Item
 	for i, segs := range perTraj {
 		w := trs[i].Weight
@@ -151,7 +130,11 @@ func Run(trs []geom.Trajectory, cfg Config) (*Output, error) {
 
 // RunOnItems executes the grouping and representative phases on
 // pre-partitioned items. It is exposed so experiments can reuse one
-// partitioning across parameter sweeps.
+// partitioning across parameter sweeps. Both phases honour cfg.Workers:
+// grouping precomputes ε-neighborhoods concurrently and the per-cluster
+// sweep-line representatives fan out across a worker pool (each cluster's
+// sweep is independent and writes only its own slot, so the output is
+// identical to the serial order for every worker count).
 func RunOnItems(items []segclust.Item, cfg Config) (*Output, error) {
 	res, err := segclust.Run(items, segclust.Config{
 		Eps:      cfg.Eps,
@@ -159,25 +142,28 @@ func RunOnItems(items []segclust.Item, cfg Config) (*Output, error) {
 		MinTrajs: cfg.MinTrajs,
 		Options:  cfg.Distance,
 		Index:    cfg.Index,
+		Workers:  cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &Output{Items: items, Result: res}
 	swCfg := sweep.Config{MinLns: cfg.MinLns, Gamma: cfg.gamma()}
-	for _, c := range res.Clusters {
+	out.Clusters = make([]Cluster, len(res.Clusters))
+	par.ForEach(cfg.Workers, len(res.Clusters), func(_, ci int) {
+		c := res.Clusters[ci]
 		segs := make([]geom.Segment, len(c.Members))
 		weights := make([]float64, len(c.Members))
 		for i, m := range c.Members {
 			segs[i] = items[m].Seg
 			weights[i] = items[m].Weight
 		}
-		out.Clusters = append(out.Clusters, Cluster{
+		out.Clusters[ci] = Cluster{
 			Segments:       segs,
 			Members:        c.Members,
 			Trajectories:   c.Trajectories,
 			Representative: sweep.Representative(segs, weights, swCfg),
-		})
-	}
+		}
+	})
 	return out, nil
 }

@@ -154,7 +154,10 @@ func DistOpt(a, b geom.Segment, opt Options) float64 {
 }
 
 // Func is the signature shared by all pairwise segment distances in this
-// repository.
+// repository. Distances may be evaluated from many goroutines at once (the
+// clustering pipeline fans neighborhood queries out across workers); every
+// Func in this package is a pure function and therefore safe, and custom
+// implementations must be too — or the caller must limit Workers to 1.
 type Func func(a, b geom.Segment) float64
 
 // New returns a distance Func closed over the options. Invalid weights fall

@@ -80,18 +80,24 @@ func MDLNoPar(pts []geom.Point, i, j int) float64 {
 // the first and last point. Trajectories with fewer than two points return
 // all indices unchanged.
 func ApproximatePartition(pts []geom.Point, cfg Config) []int {
+	return appendApproximatePartition(nil, pts, cfg)
+}
+
+// appendApproximatePartition is ApproximatePartition writing into a caller
+// supplied buffer (typically a Partitioner's scratch, reset to length zero),
+// so repeated partitioning allocates nothing beyond buffer growth.
+func appendApproximatePartition(cps []int, pts []geom.Point, cfg Config) []int {
 	n := len(pts)
 	if n == 0 {
-		return nil
+		return cps
 	}
 	if n <= 2 {
-		cps := make([]int, n)
-		for i := range cps {
-			cps[i] = i
+		for i := 0; i < n; i++ {
+			cps = append(cps, i)
 		}
 		return cps
 	}
-	cps := []int{0}
+	cps = append(cps, 0)
 	startIndex, length := 0, 1
 	for startIndex+length < n {
 		currIndex := startIndex + length
@@ -197,20 +203,8 @@ func Precision(approx, exact []int) float64 {
 // Partition applies ApproximatePartition to a trajectory and materialises
 // the resulting trajectory partitions as segments, dropping degenerate or
 // sub-MinLength pieces. The trajectory is deduplicated first so repeated
-// fixes cannot yield zero-length partitions.
+// fixes cannot yield zero-length partitions. For many trajectories prefer
+// PartitionAll (or a reused Partitioner), which amortises scratch buffers.
 func Partition(tr geom.Trajectory, cfg Config) []geom.Segment {
-	tr = tr.Dedup()
-	if len(tr.Points) < 2 {
-		return nil
-	}
-	cps := ApproximatePartition(tr.Points, cfg)
-	segs := make([]geom.Segment, 0, len(cps)-1)
-	for i := 1; i < len(cps); i++ {
-		s := geom.Segment{Start: tr.Points[cps[i-1]], End: tr.Points[cps[i]]}
-		if s.IsDegenerate() || s.Length() < cfg.MinLength {
-			continue
-		}
-		segs = append(segs, s)
-	}
-	return segs
+	return NewPartitioner(cfg).Partition(tr)
 }

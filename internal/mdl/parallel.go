@@ -1,0 +1,74 @@
+package mdl
+
+// This file holds the worker-pool side of the MDL phase: partitioning is
+// embarrassingly parallel across trajectories (each partitioning reads only
+// its own points), so PartitionAll fans trajectories out over a pool of
+// Partitioners, one per worker, each with private scratch buffers. Results
+// land in per-trajectory slots, so the output is identical to the serial
+// loop regardless of scheduling.
+
+import (
+	"repro/internal/geom"
+	"repro/internal/par"
+)
+
+// Partitioner partitions trajectories while reusing internal scratch
+// (the dedup point buffer and the characteristic-point index buffer), so a
+// worker processing many trajectories allocates only the output segments.
+// A Partitioner is not safe for concurrent use; give each goroutine its own.
+type Partitioner struct {
+	cfg Config
+	cps []int        // characteristic-point scratch
+	pts []geom.Point // deduplicated-point scratch
+}
+
+// NewPartitioner returns a Partitioner for the given configuration.
+func NewPartitioner(cfg Config) *Partitioner { return &Partitioner{cfg: cfg} }
+
+// Partition behaves exactly like the package-level Partition but reuses the
+// receiver's scratch buffers across calls.
+func (p *Partitioner) Partition(tr geom.Trajectory) []geom.Segment {
+	p.pts = appendDedup(p.pts[:0], tr.Points)
+	pts := p.pts
+	if len(pts) < 2 {
+		return nil
+	}
+	p.cps = appendApproximatePartition(p.cps[:0], pts, p.cfg)
+	cps := p.cps
+	segs := make([]geom.Segment, 0, len(cps)-1)
+	for i := 1; i < len(cps); i++ {
+		s := geom.Segment{Start: pts[cps[i-1]], End: pts[cps[i]]}
+		if s.IsDegenerate() || s.Length() < p.cfg.MinLength {
+			continue
+		}
+		segs = append(segs, s)
+	}
+	return segs
+}
+
+// appendDedup is geom.Trajectory.Dedup into a reusable buffer: consecutive
+// equal points collapse to one.
+func appendDedup(dst, pts []geom.Point) []geom.Point {
+	for _, q := range pts {
+		if len(dst) == 0 || !q.Eq(dst[len(dst)-1]) {
+			dst = append(dst, q)
+		}
+	}
+	return dst
+}
+
+// PartitionAll partitions every trajectory concurrently (Figure 4 lines
+// 1–3 as a parallel phase) and returns one segment slice per input
+// trajectory, index-aligned with trs. workers ≤ 0 uses all CPUs; the result
+// is bit-identical for every worker count.
+func PartitionAll(trs []geom.Trajectory, cfg Config, workers int) [][]geom.Segment {
+	out := make([][]geom.Segment, len(trs))
+	scratch := make([]*Partitioner, par.Workers(workers, len(trs)))
+	for w := range scratch {
+		scratch[w] = NewPartitioner(cfg)
+	}
+	par.ForEach(workers, len(trs), func(w, i int) {
+		out[i] = scratch[w].Partition(trs[i])
+	})
+	return out
+}

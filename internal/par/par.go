@@ -1,0 +1,69 @@
+// Package par is the repo-wide worker-pool primitive behind every parallel
+// phase of the TRACLUS pipeline (MDL partitioning, ε-neighborhood
+// precomputation, representative sweeps, quality evaluation). It exists so
+// all phases resolve a Workers request the same way — ≤ 0 means "all CPUs"
+// (GOMAXPROCS), and parallelism never exceeds the number of independent
+// work items — and so determinism reasoning lives in one place: ForEach
+// dispatches items dynamically, therefore callers must write results into
+// per-item (or per-worker) slots rather than fold them in arrival order.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count request against n independent work items:
+// requested ≤ 0 becomes runtime.GOMAXPROCS(0), and the result is clamped to
+// n so no goroutine ever idles from birth. n ≤ 0 yields 0.
+func Workers(requested, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > n {
+		requested = n
+	}
+	return requested
+}
+
+// ForEach invokes fn(worker, i) exactly once for every i in [0, n), fanned
+// out across Workers(requested, n) goroutines. The worker argument is in
+// [0, workers) and identifies the calling goroutine, so callers can index
+// per-worker scratch (buffers, counters) without locking. Items are handed
+// out dynamically (good load balance when per-item cost varies, as with
+// trajectories of different lengths or neighborhoods of different sizes),
+// so fn must not depend on which worker serves which item beyond scratch
+// indexing. With one worker everything runs inline on the calling
+// goroutine — the serial path stays goroutine-free.
+//
+// It returns the resolved worker count (useful for sizing scratch before
+// the call via Workers, or for asserting the serial path in tests).
+func ForEach(requested, n int, fn func(worker, i int)) int {
+	workers := Workers(requested, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return workers
+	}
+	next := make(chan int, 2*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				fn(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return workers
+}

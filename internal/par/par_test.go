@@ -1,0 +1,88 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cpus := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 10, min(cpus, 10)},
+		{-3, 10, min(cpus, 10)},
+		{4, 10, 4},
+		{4, 2, 2},
+		{1, 100, 1},
+		{4, 0, 0},
+		{4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(workers, n, func(_, i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsIndexScratch(t *testing.T) {
+	const n = 500
+	workers := Workers(4, n)
+	scratch := make([]int, workers)
+	got := ForEach(4, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range [0,%d)", w, workers)
+		}
+		scratch[w]++ // data race here would fail -race if ids were shared
+	})
+	if got != workers {
+		t.Fatalf("ForEach returned %d workers, want %d", got, workers)
+	}
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("scratch counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestForEachSerialRunsInline(t *testing.T) {
+	const n = 10
+	last := -1
+	ForEach(1, n, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial path used worker id %d", w)
+		}
+		if i != last+1 {
+			t.Fatalf("serial path visited %d after %d, want in-order", i, last)
+		}
+		last = i
+	})
+	if last != n-1 {
+		t.Fatalf("serial path stopped at %d", last)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if got := ForEach(4, 0, func(_, _ int) { called = true }); got != 0 || called {
+		t.Fatalf("ForEach over empty range: workers=%d called=%v", got, called)
+	}
+}

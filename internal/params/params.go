@@ -6,6 +6,11 @@
 // The intuition from the paper: in a worst-case clustering |Nε(L)| is
 // uniform (entropy maximal — ε far too small or far too large), while a
 // good clustering makes |Nε(L)| skewed (entropy smaller).
+//
+// Every ε evaluation rides segclust's shared parallel neighborhood pass
+// (one immutable SharedIndex built at the maximum ε, per-worker query
+// views), so the heuristic scales with the same Workers knob as the
+// clustering phase itself.
 package params
 
 import (

@@ -1,0 +1,96 @@
+package segclust
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lsdist"
+)
+
+// TestWorkersEquivalence is the grouping-phase determinism contract: for
+// every index strategy, every worker count yields a Result deep-equal to
+// the serial one — including DistCalls, because the serial algorithm also
+// evaluates each item's neighborhood exactly once.
+func TestWorkersEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := corridorItemsSpread(rng, 600, 3, 25, 700)
+	for _, kind := range []IndexKind{IndexGrid, IndexRTree, IndexNone} {
+		cfg := defaultCfg()
+		cfg.Index = kind
+		cfg.Workers = 1
+		serial, err := Run(items, cfg)
+		if err != nil {
+			t.Fatalf("index=%v serial: %v", kind, err)
+		}
+		for _, workers := range []int{2, 5, 16, 0} {
+			cfg.Workers = workers
+			parallel, err := Run(items, cfg)
+			if err != nil {
+				t.Fatalf("index=%v workers=%d: %v", kind, workers, err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("index=%v workers=%d: result differs from serial\nserial:   %d clusters, %d distcalls\nparallel: %d clusters, %d distcalls",
+					kind, workers,
+					serial.NumClusters(), serial.DistCalls,
+					parallel.NumClusters(), parallel.DistCalls)
+			}
+		}
+	}
+}
+
+// TestRunWithDistanceWorkersEquivalence covers the custom-distance path,
+// which always scans but still fans neighborhood computation out.
+func TestRunWithDistanceWorkersEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	items := corridorItemsSpread(rng, 200, 2, 10, 300)
+	dist := func(a, b geom.Segment) float64 {
+		return a.Midpoint().Dist(b.Midpoint())
+	}
+	cfg := Config{Eps: 60, MinLns: 3, Options: lsdist.DefaultOptions(), Workers: 1}
+	serial, err := RunWithDistance(items, dist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 6
+	parallel, err := RunWithDistance(items, dist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("custom distance: parallel result differs from serial")
+	}
+}
+
+// TestPrecomputedHoodsMatchLazy checks the precomputed neighborhood lists
+// against independently computed lazy ones, id for id and in order.
+func TestPrecomputedHoodsMatchLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	items := corridorItemsSpread(rng, 300, 3, 15, 500)
+	cfg := defaultCfg()
+	shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
+	hoods := make([][]int, len(items))
+	weights := make([]float64, len(items))
+	calls := shared.forEachNeighborhood(cfg.Eps, 8, lsdist.New(cfg.Options),
+		func(i int, hood []int, w float64) {
+			hoods[i] = append([]int(nil), hood...)
+			weights[i] = w
+		})
+
+	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: newSource(items, cfg)}
+	var hood []int
+	for i := range items {
+		var w float64
+		hood, w = lazy.neighborhood(i, hood[:0])
+		if !reflect.DeepEqual(append([]int(nil), hood...), hoods[i]) {
+			t.Fatalf("item %d: precomputed hood %v != lazy %v", i, hoods[i], hood)
+		}
+		if w != weights[i] {
+			t.Fatalf("item %d: precomputed weight %v != lazy %v", i, weights[i], w)
+		}
+	}
+	if calls != lazy.calls {
+		t.Errorf("distance calls: precomputed %d != lazy %d", calls, lazy.calls)
+	}
+}

@@ -7,18 +7,21 @@
 //
 // ε-neighborhoods are computed either by brute force or through a spatial
 // index (grid or R-tree) using the sound Euclidean prefilter of
-// internal/lsdist; all three paths produce identical clusterings.
+// internal/lsdist; all three paths produce identical clusterings. With
+// Config.Workers > 1 every neighborhood is precomputed concurrently through
+// per-worker views of one immutable SharedIndex and the expansion then
+// consumes the cached lists — bit-identical to the serial path, because the
+// serial algorithm also evaluates each item's neighborhood exactly once.
 package segclust
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/gridindex"
 	"repro/internal/lsdist"
+	"repro/internal/par"
 	"repro/internal/rtree"
 )
 
@@ -85,6 +88,19 @@ type Config struct {
 	Options lsdist.Options
 	// Index selects the neighborhood strategy.
 	Index IndexKind
+	// Workers bounds parallelism (≤ 0 = all CPUs). With more than one
+	// worker every ε-neighborhood is precomputed concurrently through
+	// per-worker views of a shared index, and the DBSCAN-style expansion
+	// then consumes the cached lists. Because the serial path also computes
+	// each item's neighborhood exactly once, the result — cluster
+	// membership, noise, and even DistCalls — is bit-identical for every
+	// worker count.
+	//
+	// The cached lists cost O(Σ|Nε|) memory (the classic cached-DBSCAN
+	// trade), which approaches O(n²) when ε covers a large fraction of the
+	// data extent. Set Workers to 1 to keep the lazy serial path's
+	// O(max|Nε|) footprint on memory-constrained or pathological-ε runs.
+	Workers int
 }
 
 // Validate reports the first invalid field.
@@ -218,13 +234,22 @@ type engine struct {
 	labels []int // unclassified / Noise / cluster id
 	calls  int
 	cand   []int // candidate scratch
+
+	// Parallel path: neighborhoods precomputed up front (hoods non-nil),
+	// index-aligned with items; hoodW holds the weighted cardinalities.
+	hoods [][]int
+	hoodW []float64
 }
 
 const unclassified = -2
 
 // neighborhood returns the ids (including i) within ε of item i, and the
-// weighted cardinality.
+// weighted cardinality. On the parallel path it serves the precomputed
+// list; callers must treat the returned slice as read-only either way.
 func (e *engine) neighborhood(i int, dst []int) ([]int, float64) {
+	if e.hoods != nil {
+		return e.hoods[i], e.hoodW[i]
+	}
 	e.cand = e.src.candidates(i, e.cand[:0])
 	var weight float64
 	for _, j := range e.cand {
@@ -237,15 +262,21 @@ func (e *engine) neighborhood(i int, dst []int) ([]int, float64) {
 	return dst, weight
 }
 
-// Run executes the Figure-12 algorithm.
+// Run executes the Figure-12 algorithm. cfg.Workers > 1 precomputes the
+// ε-neighborhoods concurrently; the clustering is identical either way.
 func Run(items []Item, cfg Config) (*Result, error) {
-	return run(items, cfg, lsdist.New(cfg.Options), newSource(items, cfg))
+	return run(items, cfg, lsdist.New(cfg.Options))
 }
 
 // RunWithDistance executes the Figure-12 algorithm under an arbitrary
 // segment distance. No geometric prefilter can be assumed for an unknown
 // function, so neighborhoods are computed by full scan (the paper's
-// index-free O(n²) bound). Used by the distance-function ablations.
+// index-free O(n²) bound) — though still across cfg.Workers goroutines.
+// Because the default (zero-value) Workers uses all CPUs, dist must be
+// safe for concurrent use — every distance in internal/lsdist is, being a
+// pure function; a stateful closure (memoizer, call counter) needs its own
+// synchronisation or cfg.Workers = 1. Used by the distance-function
+// ablations.
 func RunWithDistance(items []Item, dist lsdist.Func, cfg Config) (*Result, error) {
 	if !cfg.Options.Weights.Valid() {
 		// The weights are unused on this path (the caller's dist decides
@@ -253,10 +284,11 @@ func RunWithDistance(items []Item, dist lsdist.Func, cfg Config) (*Result, error
 		// Eps/MinLns.
 		cfg.Options.Weights = lsdist.DefaultWeights()
 	}
-	return run(items, cfg, dist, scanSource{n: len(items)})
+	cfg.Index = IndexNone // no prefilter is sound for an unknown distance
+	return run(items, cfg, dist)
 }
 
-func run(items []Item, cfg Config, dist lsdist.Func, src neighborSource) (*Result, error) {
+func run(items []Item, cfg Config, dist lsdist.Func) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -268,8 +300,22 @@ func run(items []Item, cfg Config, dist lsdist.Func, src neighborSource) (*Resul
 		items:  items,
 		cfg:    cfg,
 		dist:   dist,
-		src:    src,
 		labels: make([]int, len(items)),
+	}
+	if par.Workers(cfg.Workers, len(items)) > 1 {
+		// Parallel phase: materialise every neighborhood up front through
+		// per-worker views of a shared index. The expansion loop below then
+		// never computes a distance — it drains cached lists.
+		shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
+		e.hoods = make([][]int, len(items))
+		e.hoodW = make([]float64, len(items))
+		e.calls = shared.forEachNeighborhood(cfg.Eps, cfg.Workers, dist,
+			func(i int, hood []int, weight float64) {
+				e.hoods[i] = append(make([]int, 0, len(hood)), hood...)
+				e.hoodW[i] = weight
+			})
+	} else {
+		e.src = newSource(items, cfg)
 	}
 	for i := range e.labels {
 		e.labels[i] = unclassified
@@ -437,37 +483,43 @@ func (s *SharedIndex) view() neighborSource {
 	}
 }
 
+// forEachNeighborhood is the shared parallel neighborhood pass: it computes
+// the ε-neighborhood of every item across par.Workers(workers, n)
+// goroutines — each holding its own view of the shared index and its own
+// scratch — and invokes visit(i, hood, weight) exactly once per item. visit
+// is called concurrently for distinct i and must not retain hood (it is
+// worker-owned scratch; copy if needed). The return value is the total
+// number of exact distance evaluations, which is independent of the worker
+// count. Both the clustering precompute (Run with Workers > 1) and the
+// Section 4.4 parameter heuristic ride this one pass.
+func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, dist lsdist.Func, visit func(i int, hood []int, weight float64)) int {
+	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt, Index: s.kind}
+	engines := make([]*engine, par.Workers(workers, len(s.items)))
+	hoods := make([][]int, len(engines))
+	for w := range engines {
+		engines[w] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view()}
+	}
+	par.ForEach(workers, len(s.items), func(w, i int) {
+		var weight float64
+		hoods[w], weight = engines[w].neighborhood(i, hoods[w][:0])
+		visit(i, hoods[w], weight)
+	})
+	calls := 0
+	for _, e := range engines {
+		calls += e.calls
+	}
+	return calls
+}
+
 // NeighborhoodWeights returns, for every item, the weighted cardinality of
 // its ε-neighborhood (eps must not exceed the maxEps the index was built
 // with). It backs the parameter-selection heuristic of Section 4.4
 // (entropy over |Nε| and avg|Nε|) and parallelises across workers (≤ 0
-// means GOMAXPROCS).
+// means all CPUs).
 func (s *SharedIndex) NeighborhoodWeights(eps float64, workers int) []float64 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt, Index: s.kind}
 	out := make([]float64, len(s.items))
-	var wg sync.WaitGroup
-	next := make(chan int, 4*workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			e := &engine{items: s.items, cfg: cfg, dist: lsdist.New(s.opt), src: s.view()}
-			var hood []int
-			var weight float64
-			for i := range next {
-				hood, weight = e.neighborhood(i, hood[:0])
-				out[i] = weight
-			}
-		}()
-	}
-	for i := range s.items {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	s.forEachNeighborhood(eps, workers, lsdist.New(s.opt),
+		func(i int, _ []int, weight float64) { out[i] = weight })
 	return out
 }
 

@@ -91,7 +91,15 @@ type Config struct {
 	Gamma float64
 	// Index selects the neighborhood strategy (default IndexGrid).
 	Index IndexKind
-	// Workers bounds parallelism (≤ 0 = GOMAXPROCS).
+	// Workers bounds the parallelism of the whole pipeline: MDL
+	// partitioning fans out across trajectories, ε-neighborhood
+	// precomputation across segments, and representative generation across
+	// clusters. ≤ 0 (the default) uses every CPU; 1 forces the serial
+	// path. The result is bit-identical for every worker count — cluster
+	// membership, noise counts, and representatives do not depend on
+	// scheduling. The parallel grouping phase caches every ε-neighborhood
+	// up front (O(Σ|Nε|) memory); prefer Workers: 1 when memory is tighter
+	// than time.
 	Workers int
 }
 

@@ -1,0 +1,281 @@
+package traclus
+
+// This file implements online classification of unseen trajectories against
+// a built clustering — the serving-side counterpart of Run. A Classifier
+// snapshots a Result's representative trajectories as indexed reference
+// segments; Classify then partitions a query trajectory with the same MDL
+// configuration the model was built with and assigns it to the cluster whose
+// representative segments are nearest under the same three-component
+// distance, length-weighted across the query's partitions.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/gridindex"
+	"repro/internal/lsdist"
+	"repro/internal/mdl"
+	"repro/internal/quality"
+	"repro/internal/rtree"
+)
+
+// ErrNoClusters is returned when a Result holds no clusters (or no usable
+// reference segments) to classify against.
+var ErrNoClusters = errors.New("traclus: result has no clusters to classify against")
+
+// Classifier assigns unseen trajectories to the nearest cluster of a built
+// Result. It is immutable after construction and safe for concurrent use:
+// every Classify call owns its scratch buffers, and the underlying
+// grid/R-tree index is only read. Build it once per model (NewClassifier or
+// the lazy Result.Classify) — construction indexes every reference segment.
+type Classifier struct {
+	part        mdl.Config
+	dist        lsdist.Func
+	eps         float64
+	numClusters int
+
+	// Pooled reference segments: segs[i] belongs to cluster owner[i].
+	segs  []geom.Segment
+	owner []int
+
+	// factor is the lower-bound constant of lsdist (dist ≥ factor·mindist);
+	// 0 means no sound Euclidean prefilter exists and queries fall back to
+	// full scans. grid/tree mirror the Result's Config.Index choice.
+	factor float64
+	grid   *gridindex.Index
+	tree   *rtree.Tree
+
+	// scratchPool recycles per-call query buffers (candidate ids and the
+	// grid's seen marks, which gridindex clears after each query) so the
+	// serving hot path does not allocate O(len(segs)) per trajectory.
+	scratchPool sync.Pool
+}
+
+// NewClassifier builds a classifier over the result's representative
+// trajectories. Clusters whose representative collapsed (fewer than two
+// sweep points) are represented by their member segments instead, so every
+// cluster stays reachable. Returns ErrNoClusters when there is nothing to
+// classify against.
+func NewClassifier(res *Result) (*Classifier, error) {
+	if res == nil || len(res.Clusters) == 0 {
+		return nil, ErrNoClusters
+	}
+	c := &Classifier{
+		part:        res.cfg.Partition,
+		dist:        lsdist.New(res.cfg.Distance),
+		eps:         res.cfg.Eps,
+		numClusters: len(res.Clusters),
+	}
+	for ci, cl := range res.Clusters {
+		for _, s := range referenceSegments(cl) {
+			c.segs = append(c.segs, s)
+			c.owner = append(c.owner, ci)
+		}
+	}
+	if len(c.segs) == 0 {
+		return nil, ErrNoClusters
+	}
+	c.factor = lsdist.LowerBoundFactor(res.cfg.Distance.Weights)
+	if c.factor > 0 && res.cfg.Index != IndexNone {
+		if res.cfg.Index == IndexRTree {
+			rects := make([]geom.Rect, len(c.segs))
+			for i, s := range c.segs {
+				rects[i] = s.Bounds()
+			}
+			c.tree = rtree.Bulk(rects)
+		} else {
+			c.grid = gridindex.Build(c.segs, 0)
+		}
+	}
+	c.scratchPool.New = func() any {
+		sc := &classifyScratch{}
+		if c.grid != nil {
+			sc.seen = make([]bool, len(c.segs))
+		}
+		return sc
+	}
+	return c, nil
+}
+
+// referenceSegments returns the segments standing in for a cluster: the
+// consecutive segments of its representative trajectory, or its member
+// partitions when no usable representative exists.
+func referenceSegments(cl Cluster) []geom.Segment {
+	if len(cl.Representative) >= 2 {
+		segs := make([]geom.Segment, 0, len(cl.Representative)-1)
+		for i := 1; i < len(cl.Representative); i++ {
+			s := geom.Segment{Start: cl.Representative[i-1], End: cl.Representative[i]}
+			if !s.IsDegenerate() {
+				segs = append(segs, s)
+			}
+		}
+		if len(segs) > 0 {
+			return segs
+		}
+	}
+	return cl.Segments
+}
+
+// NumClusters returns the number of clusters the classifier assigns into.
+func (c *Classifier) NumClusters() int { return c.numClusters }
+
+// classifyScratch holds the per-call buffers of nearest-segment queries so
+// concurrent Classify calls never share mutable state.
+type classifyScratch struct {
+	cand []int
+	seen []bool
+}
+
+// nearest returns the cluster owning the reference segment closest to q and
+// that distance. With an index it performs an expanding-radius search: the
+// lower bound dist ≥ factor·mindist guarantees that once the best exact
+// distance found among candidates within Euclidean radius r is ≤ factor·r,
+// no segment outside the candidate set can be closer. Ties break toward the
+// lower cluster id, keeping the assignment deterministic regardless of
+// candidate enumeration order.
+func (c *Classifier) nearest(q geom.Segment, sc *classifyScratch) (cluster int, d float64) {
+	if c.grid == nil && c.tree == nil {
+		return c.scanNearest(q)
+	}
+	r := c.eps / c.factor
+	if !(r > 0) || math.IsInf(r, 0) {
+		return c.scanNearest(q)
+	}
+	bounds := q.Bounds()
+	for iter := 0; iter < 48; iter++ {
+		sc.cand = sc.cand[:0]
+		if c.grid != nil {
+			sc.cand = c.grid.Candidates(bounds, r, sc.cand, sc.seen)
+		} else {
+			c.tree.WithinDist(bounds, r, func(id int) bool {
+				sc.cand = append(sc.cand, id)
+				return true
+			})
+		}
+		best, bestD := c.bestOf(q, sc.cand)
+		if best >= 0 && bestD <= c.factor*r {
+			return best, bestD
+		}
+		r *= 2
+		if math.IsInf(r, 0) {
+			break
+		}
+	}
+	return c.scanNearest(q)
+}
+
+func (c *Classifier) scanNearest(q geom.Segment) (cluster int, d float64) {
+	return c.best(q, len(c.segs), func(i int) int { return i })
+}
+
+func (c *Classifier) bestOf(q geom.Segment, cand []int) (cluster int, best float64) {
+	return c.best(q, len(cand), func(i int) int { return cand[i] })
+}
+
+// best scans n reference segments selected by idx. A cluster of -1 means no
+// segment compared below +Inf — possible when extreme (finite) coordinates
+// overflow the distance computation — and callers must skip the segment.
+func (c *Classifier) best(q geom.Segment, n int, idx func(int) int) (cluster int, best float64) {
+	cluster, best = -1, math.Inf(1)
+	for i := 0; i < n; i++ {
+		j := idx(i)
+		d := c.dist(q, c.segs[j])
+		if d < best || (d == best && d < math.Inf(1) && c.owner[j] < cluster) {
+			cluster, best = c.owner[j], d
+		}
+	}
+	return cluster, best
+}
+
+// Classify assigns one trajectory to its nearest cluster. The trajectory is
+// partitioned with the model's MDL configuration; each partition votes for
+// the cluster owning its nearest reference segment, weighted by partition
+// length. The returned distance is the length-weighted mean distance of the
+// winning cluster's votes — small when the trajectory hugs the cluster's
+// representative, growing as it strays.
+func (c *Classifier) Classify(tr Trajectory) (clusterID int, distance float64, err error) {
+	if err := tr.Validate(); err != nil {
+		return -1, 0, fmt.Errorf("traclus: %w", err)
+	}
+	qsegs := mdl.Partition(tr, c.part)
+	if len(qsegs) == 0 {
+		return -1, 0, fmt.Errorf("traclus: trajectory %d yields no partitions to classify", tr.ID)
+	}
+	sc := c.scratchPool.Get().(*classifyScratch)
+	defer c.scratchPool.Put(sc)
+	votes := make([]float64, c.numClusters)
+	dsum := make([]float64, c.numClusters)
+	for _, s := range qsegs {
+		if s.IsDegenerate() {
+			continue
+		}
+		cl, d := c.nearest(s, sc)
+		if cl < 0 {
+			continue // every distance overflowed; this partition can't vote
+		}
+		w := s.Length()
+		votes[cl] += w
+		dsum[cl] += d * w
+	}
+	best := -1
+	for i := range votes {
+		if votes[i] == 0 {
+			continue
+		}
+		if best == -1 || votes[i] > votes[best] ||
+			(votes[i] == votes[best] && dsum[i]/votes[i] < dsum[best]/votes[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return -1, 0, fmt.Errorf("traclus: trajectory %d has no classifiable partitions (degenerate or out of numeric range)", tr.ID)
+	}
+	return best, dsum[best] / votes[best], nil
+}
+
+// Classify assigns an unseen trajectory to its nearest cluster using a
+// classifier built lazily (once) over this result. For high-throughput
+// serving, build the classifier explicitly with NewClassifier; both paths
+// share the same assignment semantics and are safe for concurrent use.
+func (r *Result) Classify(tr Trajectory) (clusterID int, distance float64, err error) {
+	r.clsOnce.Do(func() { r.cls, r.clsErr = NewClassifier(r) })
+	if r.clsErr != nil {
+		return -1, 0, r.clsErr
+	}
+	return r.cls.Classify(tr)
+}
+
+// ClusterStat summarises one cluster for monitoring and serving.
+type ClusterStat struct {
+	// Cluster is the cluster's index in Result.Clusters.
+	Cluster int `json:"cluster"`
+	// Segments is the member-partition count.
+	Segments int `json:"segments"`
+	// Trajectories is |PTR(C)|, the distinct participating trajectories.
+	Trajectories int `json:"trajectories"`
+	// RepresentativePoints is the length of the representative trajectory.
+	RepresentativePoints int `json:"representative_points"`
+	// SSE is the cluster's term of the paper's Total SSE (Formula 11):
+	// mean pairwise squared distance — a compactness measure.
+	SSE float64 `json:"sse"`
+}
+
+// ClusterStats returns per-cluster statistics (sizes and the per-cluster
+// SSE terms of Formula 11), index-aligned with Result.Clusters.
+func (r *Result) ClusterStats() []ClusterStat {
+	sses := quality.ClusterSSEs(r.out.Items, r.out.Result, r.cfg.Distance, r.cfg.Workers)
+	stats := make([]ClusterStat, len(r.Clusters))
+	for i, c := range r.Clusters {
+		stats[i] = ClusterStat{
+			Cluster:              i,
+			Segments:             len(c.Segments),
+			Trajectories:         len(c.Trajectories),
+			RepresentativePoints: len(c.Representative),
+			SSE:                  sses[i],
+		}
+	}
+	return stats
+}

@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/geom"
@@ -26,52 +28,113 @@ import (
 	traclus "repro"
 )
 
-func main() {
-	in := flag.String("in", "", "input trajectory file (required)")
-	format := flag.String("format", "", "input format: csv, besttrack, or telemetry (default: by extension)")
-	species := flag.String("species", "", "species filter for telemetry input")
-	eps := flag.Float64("eps", 30, "ε-neighborhood radius")
-	minLns := flag.Float64("minlns", 6, "MinLns density threshold")
-	auto := flag.Bool("auto", false, "estimate eps and MinLns with the Section 4.4 heuristic")
-	undirected := flag.Bool("undirected", false, "ignore segment direction in the angle distance")
-	costAdv := flag.Float64("cost-advantage", 0, "partition suppression constant (Section 4.1.3)")
-	minSegLen := flag.Float64("min-seg-len", 0, "drop trajectory partitions shorter than this")
-	workers := flag.Int("workers", 0, "parallelism for all pipeline phases (0 = all CPUs, 1 = serial)")
-	svgOut := flag.String("svg", "", "write an SVG rendering of the clustering here")
-	repsOut := flag.String("reps", "", "write representative trajectories as CSV here")
-	asciiMap := flag.Bool("map", false, "print an ASCII map of the result")
-	flag.Parse()
+// errReported marks parse errors the FlagSet already printed to stderr, so
+// main exits without printing them a second time.
+var errReported = errors.New("flag error already reported")
 
+// options is the parsed command line. parseOptions and run are separated
+// from main so tests can drive flag parsing and whole runs in-process.
+type options struct {
+	in       string
+	format   trackio.Format
+	species  string
+	auto     bool
+	svgOut   string
+	repsOut  string
+	asciiMap bool
+	cfg      traclus.Config
+}
+
+// parseOptions parses args (without the program name) into options. Flag
+// errors and usage output go to stderr. The input format is resolved here:
+// detected from the file extension, overridden by -format.
+func parseOptions(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("traclus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input trajectory file (required)")
+	format := fs.String("format", "", "input format: csv, besttrack, or telemetry (default: by extension)")
+	species := fs.String("species", "", "species filter for telemetry input")
+	eps := fs.Float64("eps", 30, "ε-neighborhood radius")
+	minLns := fs.Float64("minlns", 6, "MinLns density threshold")
+	auto := fs.Bool("auto", false, "estimate eps and MinLns with the Section 4.4 heuristic")
+	undirected := fs.Bool("undirected", false, "ignore segment direction in the angle distance")
+	costAdv := fs.Float64("cost-advantage", 0, "partition suppression constant (Section 4.1.3)")
+	minSegLen := fs.Float64("min-seg-len", 0, "drop trajectory partitions shorter than this")
+	workers := fs.Int("workers", 0, "parallelism for all pipeline phases (0 = all CPUs, 1 = serial)")
+	svgOut := fs.String("svg", "", "write an SVG rendering of the clustering here")
+	repsOut := fs.String("reps", "", "write representative trajectories as CSV here")
+	asciiMap := fs.Bool("map", false, "print an ASCII map of the result")
+	if err := fs.Parse(args); err != nil {
+		// fs already reported the problem (and usage) to stderr.
+		return nil, errors.Join(errReported, err)
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "traclus: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return nil, fmt.Errorf("-in is required")
 	}
 	f := trackio.DetectFormat(*in)
 	if *format != "" {
 		var err error
 		if f, err = trackio.ParseFormat(*format); err != nil {
-			fatal(err)
+			return nil, err
 		}
 	}
-	trs, err := trackio.ReadFile(*in, f, *species)
+	opts := &options{
+		in:       *in,
+		format:   f,
+		species:  *species,
+		auto:     *auto,
+		svgOut:   *svgOut,
+		repsOut:  *repsOut,
+		asciiMap: *asciiMap,
+		cfg: traclus.Config{
+			Eps:              *eps,
+			MinLns:           *minLns,
+			Undirected:       *undirected,
+			CostAdvantage:    *costAdv,
+			MinSegmentLength: *minSegLen,
+			Workers:          *workers,
+		},
+	}
+	if !opts.auto {
+		if err := opts.cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return opts, nil
+}
+
+func main() {
+	opts, err := parseOptions(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0) // -h is a success, matching the previous ExitOnError behavior
+	}
 	if err != nil {
+		// Usage errors exit 2 (the flag-package convention the previous
+		// ExitOnError code followed); runtime failures below exit 1.
+		if !errors.Is(err, errReported) {
+			fmt.Fprintln(os.Stderr, "traclus:", err)
+		}
+		os.Exit(2)
+	}
+	if err := run(opts, os.Stdout); err != nil {
 		fatal(err)
 	}
-	if len(trs) == 0 {
-		fatal(fmt.Errorf("no trajectories in %s", *in))
-	}
-	fmt.Printf("loaded %d trajectories, %d points\n", len(trs), geom.TotalPoints(trs))
+}
 
-	cfg := traclus.Config{
-		Eps:              *eps,
-		MinLns:           *minLns,
-		Undirected:       *undirected,
-		CostAdvantage:    *costAdv,
-		MinSegmentLength: *minSegLen,
-		Workers:          *workers,
+// run executes the clustering described by opts, reporting to out.
+func run(opts *options, out io.Writer) error {
+	trs, err := trackio.ReadFile(opts.in, opts.format, opts.species)
+	if err != nil {
+		return err
 	}
-	if *auto {
+	if len(trs) == 0 {
+		return fmt.Errorf("no trajectories in %s", opts.in)
+	}
+	fmt.Fprintf(out, "loaded %d trajectories, %d points\n", len(trs), geom.TotalPoints(trs))
+
+	cfg := opts.cfg
+	if opts.auto {
 		bounds, _ := geom.BoundsOf(trs)
 		hi := bounds.Margin() / 10
 		if hi <= 1 {
@@ -79,51 +142,55 @@ func main() {
 		}
 		est, err := traclus.EstimateParameters(trs, hi/60, hi, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg.Eps = est.Eps
 		cfg.MinLns = float64(est.MinLnsLo+est.MinLnsHi) / 2
-		fmt.Printf("heuristic: eps=%.2f (entropy %.4f, avg|Neps|=%.2f), MinLns=%.0f (range %d..%d)\n",
+		fmt.Fprintf(out, "heuristic: eps=%.2f (entropy %.4f, avg|Neps|=%.2f), MinLns=%.0f (range %d..%d)\n",
 			est.Eps, est.Entropy, est.AvgNeighbors, cfg.MinLns, est.MinLnsLo, est.MinLnsHi)
 	}
 
 	res, err := traclus.Run(trs, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("clusters=%d segments=%d noise=%d removed=%d\n",
+	fmt.Fprintf(out, "clusters=%d segments=%d noise=%d removed=%d\n",
 		len(res.Clusters), res.TotalSegments, res.NoiseSegments, res.RemovedClusters)
 	var reps [][]traclus.Point
 	for i, c := range res.Clusters {
-		fmt.Printf("cluster %d: %d segments from %d trajectories, representative has %d points\n",
+		fmt.Fprintf(out, "cluster %d: %d segments from %d trajectories, representative has %d points\n",
 			i, len(c.Segments), len(c.Trajectories), len(c.Representative))
 		reps = append(reps, c.Representative)
 	}
 
-	if *asciiMap {
-		fmt.Println(render.ClusterMap(110, 34, trs, reps))
+	if opts.asciiMap {
+		fmt.Fprintln(out, render.ClusterMap(110, 34, trs, reps))
 	}
-	if *svgOut != "" {
-		if err := os.WriteFile(*svgOut, []byte(render.ClusterSVG(trs, reps)), 0o644); err != nil {
-			fatal(err)
+	if opts.svgOut != "" {
+		if err := os.WriteFile(opts.svgOut, []byte(render.ClusterSVG(trs, reps)), 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %s\n", *svgOut)
+		fmt.Fprintf(out, "wrote %s\n", opts.svgOut)
 	}
-	if *repsOut != "" {
+	if opts.repsOut != "" {
 		var repTrs []geom.Trajectory
 		for i, rep := range reps {
 			repTrs = append(repTrs, geom.Trajectory{ID: i, Weight: 1, Points: rep})
 		}
-		f, err := os.Create(*repsOut)
+		f, err := os.Create(opts.repsOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer f.Close()
 		if err := trackio.WriteCSV(f, repTrs); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
-		fmt.Printf("wrote %s\n", *repsOut)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", opts.repsOut)
 	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,463 @@
+// Command traclusd is the TRACLUS serving daemon: it builds clustering
+// models from uploaded trajectory data and answers online classification
+// queries about new trajectories — the batch-model-then-serve-updates split
+// the batch CLI cannot provide.
+//
+// Usage:
+//
+//	traclusd [-addr :8125] [-workers 0] [-max-models 16]
+//	         [-max-body 33554432] [-max-points 5000000]
+//	         [-max-trajectories 500000] [-max-builds 4]
+//	         [-classify-timeout 30s]
+//
+// API:
+//
+//	POST /models?name=<id>&eps=<ε>&minlns=<m>[&format=csv|besttrack|telemetry]
+//	     body: trajectory data in the given format
+//	     → 202 {"id":"job-1","model":"<id>",...}; poll the job
+//	GET  /jobs/{id}        → job state: running | done | failed
+//	GET  /models/{name}    → model summary + per-cluster stats
+//	POST /models/{name}/classify
+//	     body: trajectories as CSV (traj_id,x,y)
+//	     → 200 {"model":"<id>","results":[{traj_id,cluster,distance},...]}
+//	DELETE /models/{name}  → evict a model
+//	GET  /healthz          → liveness + model/job counts
+//
+// Build parameters mirror cmd/traclus flags: eps, minlns, mintrajs,
+// undirected, cost_advantage, min_seg_len, gamma, species. Invalid
+// parameters (NaN/negative ε, bad weights, …) are rejected with 400 and the
+// typed validation message; oversized bodies with 413. Model builds are
+// asynchronous and deduplicated: concurrent builds of the same name share
+// one underlying clustering run, and finished models are served from an LRU
+// cache. A POST for a name already in the cache answers 200 with
+// {"cached":true} and does not rebuild — DELETE the model first to rebuild
+// with new data or parameters.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"regexp"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/trackio"
+
+	traclus "repro"
+)
+
+func main() {
+	fs := flag.NewFlagSet("traclusd", flag.ExitOnError)
+	addr := fs.String("addr", ":8125", "listen address")
+	workers := fs.Int("workers", 0, "parallelism for builds and classification (0 = all CPUs)")
+	maxModels := fs.Int("max-models", 16, "LRU capacity of the model cache (0 = unbounded)")
+	maxBody := fs.Int64("max-body", 32<<20, "maximum request body size in bytes")
+	maxPoints := fs.Int("max-points", 0, "maximum points per upload (0 = default 5M)")
+	maxTrajs := fs.Int("max-trajectories", 0, "maximum trajectories per upload (0 = default 500k)")
+	maxBuilds := fs.Int("max-builds", 0, "maximum concurrently running builds (0 = default 4)")
+	classifyTimeout := fs.Duration("classify-timeout", 30*time.Second, "per-request classification deadline")
+	_ = fs.Parse(os.Args[1:])
+
+	s := newServer(serverConfig{
+		workers:         *workers,
+		maxModels:       *maxModels,
+		maxBody:         *maxBody,
+		maxPoints:       *maxPoints,
+		maxTrajectories: *maxTrajs,
+		maxBuilds:       *maxBuilds,
+		classifyTimeout: *classifyTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("traclusd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("traclusd: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight requests.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("traclusd: shutdown: %v", err)
+	}
+	log.Printf("traclusd: stopped")
+}
+
+// serverConfig carries the daemon's tunables; the zero value is usable in
+// tests (unbounded cache, no body cap, long timeout).
+type serverConfig struct {
+	workers         int
+	maxModels       int
+	maxBody         int64
+	maxPoints       int // cap on points per upload (0 = default)
+	maxTrajectories int // cap on trajectories per upload (0 = default)
+	maxBuilds       int // cap on concurrently running builds (0 = default)
+	classifyTimeout time.Duration
+
+	// buildModel is the model builder; tests inject a counting wrapper to
+	// verify single-flight deduplication. nil means service.Build.
+	buildModel func(name string, trs []traclus.Trajectory, cfg traclus.Config) (*service.Model, error)
+}
+
+type server struct {
+	cfg   serverConfig
+	store *service.Store
+	jobs  *service.Jobs
+	mux   *http.ServeMux
+
+	// buildSem gates concurrently running builds: each is a full clustering
+	// run fanning out across all workers while holding its upload, so the
+	// count must be bounded — single-flight only collapses same-name
+	// duplicates. Handlers try-acquire (429 when full); the build goroutine
+	// releases.
+	buildSem chan struct{}
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.buildModel == nil {
+		cfg.buildModel = service.Build
+	}
+	if cfg.classifyTimeout <= 0 {
+		cfg.classifyTimeout = 30 * time.Second
+	}
+	if cfg.maxPoints == 0 {
+		cfg.maxPoints = 5_000_000
+	}
+	if cfg.maxTrajectories == 0 {
+		cfg.maxTrajectories = 500_000
+	}
+	if cfg.maxBuilds == 0 {
+		cfg.maxBuilds = 4
+	}
+	s := &server{
+		cfg:      cfg,
+		store:    service.NewStore(cfg.maxModels),
+		jobs:     service.NewJobs(),
+		mux:      http.NewServeMux(),
+		buildSem: make(chan struct{}, cfg.maxBuilds),
+	}
+	s.mux.HandleFunc("POST /models", s.handleBuild)
+	s.mux.HandleFunc("GET /models/{name}", s.handleModelGet)
+	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
+	s.mux.HandleFunc("POST /models/{name}/classify", s.handleClassify)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var modelName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// handleBuild reads the full training upload synchronously (the body dies
+// with the request), then clusters asynchronously: the response is a 202
+// with a job to poll. Duplicate concurrent builds of one name collapse into
+// a single run via the store's single-flight path.
+func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if !modelName.MatchString(name) {
+		writeError(w, http.StatusBadRequest, "model name must match "+modelName.String())
+		return
+	}
+	// A name already in the cache is answered explicitly instead of
+	// silently dropping the new upload: the client learns the model was
+	// served from cache and must DELETE first to rebuild with new data or
+	// parameters.
+	if _, ok := s.store.Get(name); ok {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"model":  name,
+			"state":  service.JobDone,
+			"cached": true,
+		})
+		return
+	}
+	cfg, err := buildConfigFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg.Workers = s.cfg.workers
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	format := trackio.FormatCSV
+	if f := r.URL.Query().Get("format"); f != "" {
+		if format, err = trackio.ParseFormat(f); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	trs, err := s.readBody(w, r, format)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if len(trs) == 0 {
+		writeError(w, http.StatusBadRequest, "no trajectories in request body")
+		return
+	}
+	// Only requests that may start a fresh clustering run consume a build
+	// slot and retain their upload; a request for a name already in flight
+	// joins that build instead — its job merely waits on the shared outcome
+	// (Store.Wait), so it neither 429s unrelated builds nor parks its
+	// parsed body for the build's duration. The Pending check is advisory:
+	// a race can let same-name duplicates each take a slot (the semaphore
+	// tolerates the over-count; single-flight still runs one build), or
+	// land a join on a build that just failed, which reports a retryable
+	// job failure.
+	joins := s.store.Pending(name)
+	var startJob func() (string, error)
+	if joins {
+		startJob = func() (string, error) {
+			_, found, err := s.store.Wait(name)
+			if err != nil {
+				return "", err
+			}
+			if !found {
+				return "", fmt.Errorf("concurrent build of %q failed and was dropped; retry", name)
+			}
+			return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
+		}
+	} else {
+		select {
+		case s.buildSem <- struct{}{}:
+		default:
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("too many builds in flight (max %d); retry after a job finishes", s.cfg.maxBuilds))
+			return
+		}
+		startJob = func() (string, error) {
+			defer func() { <-s.buildSem }()
+			_, built, err := s.store.GetOrBuild(name, func() (*service.Model, error) {
+				return s.cfg.buildModel(name, trs, cfg)
+			})
+			if err == nil && !built {
+				return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
+			}
+			return "", err
+		}
+	}
+	writeJSON(w, http.StatusAccepted, s.jobs.Start(name, startJob))
+}
+
+// readBody parses the request body in the given format under the configured
+// size cap. CSV goes through the streaming decoder so hostile inputs are
+// bounded before they are materialised.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request, format trackio.Format) ([]traclus.Trajectory, error) {
+	body := r.Body
+	if s.cfg.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	}
+	var trs []traclus.Trajectory
+	var err error
+	if format == trackio.FormatCSV {
+		d := trackio.NewCSVDecoder(body)
+		d.MaxPoints = s.cfg.maxPoints
+		d.MaxTrajectories = s.cfg.maxTrajectories
+		trs, err = d.DecodeAllCSV()
+		// Merge non-contiguous runs of one id so the daemon parses CSV
+		// exactly like the CLI's ReadCSV, interleaved ids included.
+		if err == nil {
+			trs = trackio.MergeByID(trs)
+		}
+	} else {
+		trs, err = trackio.Read(body, format, r.URL.Query().Get("species"))
+		if err == nil {
+			// These formats have no streaming decoder yet; enforce the same
+			// per-upload caps post-parse so they are never silently wider
+			// than the CSV path.
+			err = checkUploadLimits(trs, s.cfg.maxPoints, s.cfg.maxTrajectories)
+		}
+	}
+	if err != nil {
+		// A body truncated at the size cap surfaces as a parse error on the
+		// cut-off line before the reader reports the cap; probe one more
+		// byte so such failures answer 413 rather than 400.
+		var maxErr *http.MaxBytesError
+		if !errors.As(err, &maxErr) {
+			var b [1]byte
+			if _, perr := body.Read(b[:]); perr != nil && errors.As(perr, &maxErr) {
+				return nil, perr
+			}
+		}
+		return nil, err
+	}
+	return trs, nil
+}
+
+// checkUploadLimits applies the points/trajectories caps to an already
+// parsed upload, mirroring the CSVDecoder's streaming enforcement.
+func checkUploadLimits(trs []traclus.Trajectory, maxPoints, maxTrajs int) error {
+	if maxTrajs > 0 && len(trs) > maxTrajs {
+		return &trackio.LimitError{What: "trajectories", Limit: maxTrajs}
+	}
+	if maxPoints > 0 {
+		total := 0
+		for _, tr := range trs {
+			total += len(tr.Points)
+		}
+		if total > maxPoints {
+			return &trackio.LimitError{What: "points", Limit: maxPoints}
+		}
+	}
+	return nil
+}
+
+func buildConfigFromQuery(r *http.Request) (traclus.Config, error) {
+	cfg := traclus.Config{Eps: 30, MinLns: 6}
+	q := r.URL.Query()
+	for key, dst := range map[string]*float64{
+		"eps":            &cfg.Eps,
+		"minlns":         &cfg.MinLns,
+		"cost_advantage": &cfg.CostAdvantage,
+		"min_seg_len":    &cfg.MinSegmentLength,
+		"gamma":          &cfg.Gamma,
+	} {
+		v := q.Get(key)
+		if v == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad %s %q", key, v)
+		}
+		*dst = f
+	}
+	if v := q.Get("mintrajs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return cfg, fmt.Errorf("bad mintrajs %q", v)
+		}
+		cfg.MinTrajs = n
+	}
+	if v := q.Get("undirected"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("bad undirected %q", v)
+		}
+		cfg.Undirected = b
+	}
+	return cfg, nil
+}
+
+func (s *server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "model not found")
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Summary())
+}
+
+func (s *server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Delete(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "model not found")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "model not found")
+		return
+	}
+	trs, err := s.readBody(w, r, trackio.FormatCSV)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if len(trs) == 0 {
+		writeError(w, http.StatusBadRequest, "no trajectories in request body")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.classifyTimeout)
+	defer cancel()
+	results := m.ClassifyBatch(ctx, trs, s.cfg.workers)
+	if r.Context().Err() != nil {
+		return // client is gone; nothing to answer
+	}
+	// On deadline expiry, completed assignments are still returned (the
+	// stragglers carry the context error per item); a batch where nothing
+	// completed is a plain timeout.
+	timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
+	if timedOut {
+		done := 0
+		for _, a := range results {
+			if a.Err == "" {
+				done++
+			}
+		}
+		if done == 0 {
+			writeError(w, http.StatusGatewayTimeout, "classification timed out")
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":     m.Name(),
+		"results":   results,
+		"timed_out": timedOut,
+	})
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job not found")
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": s.store.Len(),
+		"jobs":   s.jobs.Len(),
+	})
+}
+
+// writeBodyError maps body-read failures to status codes: size-cap hits are
+// 413, everything else (parse errors) 400.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	var limitErr *trackio.LimitError
+	if errors.As(err, &maxErr) || errors.As(err, &limitErr) {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("traclusd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

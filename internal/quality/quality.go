@@ -24,21 +24,41 @@ type Breakdown struct {
 func (b Breakdown) QMeasure() float64 { return b.TotalSSE + b.NoisePenalty }
 
 // Measure computes the quality breakdown of a clustering result over its
-// input items. workers ≤ 0 uses GOMAXPROCS.
+// input items. workers ≤ 0 uses GOMAXPROCS. TotalSSE is the sum of the
+// per-cluster terms returned by ClusterSSEs, so the two views can never
+// diverge.
 func Measure(items []segclust.Item, res *segclust.Result, opt lsdist.Options, workers int) Breakdown {
-	dist := lsdist.New(opt)
 	var b Breakdown
-	for _, c := range res.Clusters {
-		b.TotalSSE += groupSSE(items, c.Members, dist, workers)
+	for _, sse := range ClusterSSEs(items, res, opt, workers) {
+		b.TotalSSE += sse
 	}
+	b.NoisePenalty = NoisePenalty(items, res, opt, workers)
+	return b
+}
+
+// NoisePenalty computes the noise term of Formula 11 alone: the SSE form
+// applied to the set of noise segments.
+func NoisePenalty(items []segclust.Item, res *segclust.Result, opt lsdist.Options, workers int) float64 {
 	var noise []int
 	for i, l := range res.ClusterOf {
 		if l == segclust.Noise {
 			noise = append(noise, i)
 		}
 	}
-	b.NoisePenalty = groupSSE(items, noise, dist, workers)
-	return b
+	return groupSSE(items, noise, lsdist.New(opt), workers)
+}
+
+// ClusterSSEs returns the SSE term of every cluster individually (the
+// summands of Formula 11's Total SSE), index-aligned with res.Clusters.
+// The serving layer reports them as per-cluster compactness statistics.
+// workers ≤ 0 uses GOMAXPROCS.
+func ClusterSSEs(items []segclust.Item, res *segclust.Result, opt lsdist.Options, workers int) []float64 {
+	dist := lsdist.New(opt)
+	out := make([]float64, len(res.Clusters))
+	for i, c := range res.Clusters {
+		out[i] = groupSSE(items, c.Members, dist, workers)
+	}
+	return out
 }
 
 // groupSSE computes 1/(2|G|)·Σ_{x∈G}Σ_{y∈G} dist(x,y)² over the item index

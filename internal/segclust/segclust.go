@@ -15,8 +15,8 @@
 package segclust
 
 import (
-	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/gridindex"
@@ -103,16 +103,55 @@ type Config struct {
 	Workers int
 }
 
-// Validate reports the first invalid field.
-func (c Config) Validate() error {
-	if c.Eps <= 0 {
-		return fmt.Errorf("segclust: Eps must be positive, got %v", c.Eps)
+// ConfigError is the typed validation error returned by Config.Validate
+// (and re-exported by the root traclus package). Serving layers match it
+// with errors.As to map bad parameters to client errors (HTTP 400) instead
+// of internal failures.
+type ConfigError struct {
+	// Field is the offending configuration field, e.g. "Eps".
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what the field must satisfy.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("invalid config: %s %s, got %v", e.Field, e.Reason, e.Value)
+}
+
+// CheckPositive returns a ConfigError unless v is finite and > 0. NaN fails
+// explicitly: NaN compares false against every threshold, so an untyped
+// `v <= 0` check would silently accept it.
+func CheckPositive(field string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return &ConfigError{Field: field, Value: v, Reason: "must be positive and finite"}
 	}
-	if c.MinLns <= 0 {
-		return fmt.Errorf("segclust: MinLns must be positive, got %v", c.MinLns)
+	return nil
+}
+
+// CheckNonNegative returns a ConfigError unless v is finite and ≥ 0.
+func CheckNonNegative(field string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return &ConfigError{Field: field, Value: v, Reason: "must be non-negative and finite"}
+	}
+	return nil
+}
+
+// Validate reports the first invalid field as a *ConfigError.
+func (c Config) Validate() error {
+	if err := CheckPositive("Eps", c.Eps); err != nil {
+		return err
+	}
+	if err := CheckPositive("MinLns", c.MinLns); err != nil {
+		return err
+	}
+	if c.MinTrajs < 0 {
+		return &ConfigError{Field: "MinTrajs", Value: c.MinTrajs, Reason: "must be non-negative"}
 	}
 	if !c.Options.Weights.Valid() {
-		return errors.New("segclust: invalid distance weights")
+		return &ConfigError{Field: "Weights", Value: c.Options.Weights,
+			Reason: "must be finite and non-negative with at least one positive component"}
 	}
 	return nil
 }

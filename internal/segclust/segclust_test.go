@@ -1,6 +1,8 @@
 package segclust
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -47,6 +49,33 @@ func TestConfigValidate(t *testing.T) {
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestConfigValidateTyped pins the typed-error contract: NaN/Inf values —
+// which sail through plain sign checks — are rejected, and every rejection
+// is a *ConfigError so serving layers can map it to a client error.
+func TestConfigValidateTyped(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := []Config{
+		{Eps: nan, MinLns: 3, Options: lsdist.DefaultOptions()},
+		{Eps: inf, MinLns: 3, Options: lsdist.DefaultOptions()},
+		{Eps: 10, MinLns: nan, Options: lsdist.DefaultOptions()},
+		{Eps: 10, MinLns: 3, MinTrajs: -1, Options: lsdist.DefaultOptions()},
+		{Eps: 10, MinLns: 3, Options: lsdist.Options{Weights: lsdist.Weights{Perpendicular: nan}}},
+	}
+	for i, c := range bad {
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("case %d: error %T is not a *ConfigError", i, err)
+		} else if ce.Field == "" || ce.Reason == "" {
+			t.Errorf("case %d: incomplete ConfigError %+v", i, ce)
 		}
 	}
 }

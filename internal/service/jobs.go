@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of an asynchronous build job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job describes one asynchronous model build. The daemon returns its ID
+// from POST /models and clients poll GET /jobs/{id} until the state leaves
+// JobRunning.
+type Job struct {
+	ID    string   `json:"id"`
+	Model string   `json:"model"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	Note  string   `json:"note,omitempty"` // e.g. deduplicated into another build
+	// Finished is nil while the job runs (omitempty has no effect on
+	// struct values, so a pointer keeps running jobs free of a bogus
+	// zero timestamp).
+	Started  time.Time  `json:"started"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Jobs is a concurrent registry of build jobs. Finished jobs are retained
+// only up to a cap (oldest evicted first), so a long-running daemon does
+// not leak one entry per build forever; running jobs are never evicted.
+type Jobs struct {
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*Job
+	keep     int
+	finished []string // terminal-state job ids, oldest first
+}
+
+// defaultKeepFinished bounds the finished-job history of NewJobs.
+const defaultKeepFinished = 256
+
+// NewJobs creates an empty registry retaining the most recent
+// defaultKeepFinished finished jobs.
+func NewJobs() *Jobs {
+	return &Jobs{jobs: map[string]*Job{}, keep: defaultKeepFinished}
+}
+
+// Start registers a job for the named model and runs fn on a new goroutine,
+// transitioning the job to JobDone or JobFailed when fn returns; a non-empty
+// note is recorded on the finished job (e.g. that the build was
+// deduplicated into a concurrent one). The returned snapshot carries the
+// assigned ID.
+func (j *Jobs) Start(model string, fn func() (note string, err error)) Job {
+	j.mu.Lock()
+	j.seq++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%d", j.seq),
+		Model:   model,
+		State:   JobRunning,
+		Started: time.Now().UTC(),
+	}
+	j.jobs[job.ID] = job
+	snap := *job
+	j.mu.Unlock()
+
+	go func() {
+		note, err := fn()
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		now := time.Now().UTC()
+		job.Finished = &now
+		job.Note = note
+		if err != nil {
+			job.State = JobFailed
+			job.Error = err.Error()
+		} else {
+			job.State = JobDone
+		}
+		j.finished = append(j.finished, job.ID)
+		for j.keep > 0 && len(j.finished) > j.keep {
+			delete(j.jobs, j.finished[0])
+			j.finished = j.finished[1:]
+		}
+	}()
+	return snap
+}
+
+// Get returns a snapshot of the identified job.
+func (j *Jobs) Get(id string) (Job, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	job, ok := j.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+// Len returns the number of registered jobs (all states).
+func (j *Jobs) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.jobs)
+}

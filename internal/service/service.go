@@ -1,0 +1,155 @@
+// Package service is the serving layer over the TRACLUS batch pipeline: it
+// wraps a built traclus.Result into an immutable, concurrently-queryable
+// Model, manages named models behind an LRU cache with single-flight build
+// deduplication (Store), and tracks asynchronous build jobs (Jobs). It is
+// the engine behind cmd/traclusd — the batch job builds the model once, the
+// service answers online classification queries about new trajectories for
+// as long as the model lives.
+//
+// Concurrency contract: a *Model is deeply immutable after Build returns —
+// every field is written exactly once, and Classify/ClassifyBatch only read
+// shared state (the classifier owns per-call scratch). A Store hands the
+// same *Model to many goroutines; eviction drops the cache reference only,
+// so in-flight requests holding the pointer finish safely on the evicted
+// model.
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	traclus "repro"
+	"repro/internal/par"
+)
+
+// Assignment is the outcome of classifying one trajectory against a model.
+type Assignment struct {
+	// TrajID echoes the query trajectory's id.
+	TrajID int `json:"traj_id"`
+	// Cluster is the assigned cluster index, or -1 on failure.
+	Cluster int `json:"cluster"`
+	// Distance is the length-weighted mean distance to the winning
+	// cluster's representative segments.
+	Distance float64 `json:"distance"`
+	// Err carries a per-trajectory failure (e.g. too short to partition)
+	// without failing the whole batch.
+	Err string `json:"error,omitempty"`
+}
+
+// Summary is the serializable description of a model.
+type Summary struct {
+	Name            string                `json:"name"`
+	Clusters        int                   `json:"clusters"`
+	TotalSegments   int                   `json:"total_segments"`
+	NoiseSegments   int                   `json:"noise_segments"`
+	RemovedClusters int                   `json:"removed_clusters"`
+	Trajectories    int                   `json:"trajectories"`
+	Points          int                   `json:"points"`
+	Eps             float64               `json:"eps"`
+	MinLns          float64               `json:"min_lns"`
+	QMeasure        float64               `json:"q_measure"`
+	BuiltAt         time.Time             `json:"built_at"`
+	BuildDuration   time.Duration         `json:"build_duration_ns"`
+	ClusterStats    []traclus.ClusterStat `json:"cluster_stats"`
+}
+
+// Model is an immutable snapshot of one built clustering plus everything
+// needed to serve it: the classifier and precomputed summary statistics.
+// All fields are written once inside Build; afterwards the model is safe
+// for unlimited concurrent reads.
+type Model struct {
+	summary Summary
+	res     *traclus.Result
+	cls     *traclus.Classifier
+}
+
+// Build runs the full TRACLUS pipeline over the training trajectories and
+// wraps the result as a servable model. It validates cfg up front (a
+// *traclus.ConfigError maps to a client error in the daemon) and precomputes
+// the summary statistics so serving reads never trigger O(n²) work. A model
+// whose clustering found no clusters is still valid — its summary reports
+// zero clusters and Classify returns traclus.ErrNoClusters.
+func Build(name string, trs []traclus.Trajectory, cfg traclus.Config) (*Model, error) {
+	start := time.Now()
+	res, err := traclus.Run(trs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	points := 0
+	for _, tr := range trs {
+		points += len(tr.Points)
+	}
+	// QMeasure = Σ per-cluster SSE + noise penalty; assembling it from the
+	// ClusterStats pass avoids running the O(n²) pairwise SSE twice.
+	stats := res.ClusterStats()
+	qmeasure := res.NoisePenalty()
+	for _, st := range stats {
+		qmeasure += st.SSE
+	}
+	m := &Model{
+		res: res,
+		summary: Summary{
+			Name:            name,
+			Clusters:        len(res.Clusters),
+			TotalSegments:   res.TotalSegments,
+			NoiseSegments:   res.NoiseSegments,
+			RemovedClusters: res.RemovedClusters,
+			Trajectories:    len(trs),
+			Points:          points,
+			Eps:             cfg.Eps,
+			MinLns:          cfg.MinLns,
+			QMeasure:        qmeasure,
+			ClusterStats:    stats,
+		},
+	}
+	if len(res.Clusters) > 0 {
+		if m.cls, err = traclus.NewClassifier(res); err != nil {
+			return nil, fmt.Errorf("service: building classifier for %q: %w", name, err)
+		}
+	}
+	m.summary.BuiltAt = time.Now().UTC()
+	m.summary.BuildDuration = time.Since(start)
+	return m, nil
+}
+
+// Name returns the model's name.
+func (m *Model) Name() string { return m.summary.Name }
+
+// Summary returns the model's precomputed statistics (a copy; the shared
+// ClusterStats slice must be treated as read-only).
+func (m *Model) Summary() Summary { return m.summary }
+
+// Result exposes the underlying clustering (read-only by convention).
+func (m *Model) Result() *traclus.Result { return m.res }
+
+// Classify assigns one trajectory to its nearest cluster.
+func (m *Model) Classify(tr traclus.Trajectory) (clusterID int, distance float64, err error) {
+	if m.cls == nil {
+		return -1, 0, traclus.ErrNoClusters
+	}
+	return m.cls.Classify(tr)
+}
+
+// ClassifyBatch classifies many trajectories, fanned out across workers
+// (≤ 0 = all CPUs) via the repo-wide par pool. Per-trajectory failures are
+// reported in the corresponding Assignment rather than aborting the batch;
+// once ctx is done the remaining items are marked with the context error
+// without computing anything.
+func (m *Model) ClassifyBatch(ctx context.Context, trs []traclus.Trajectory, workers int) []Assignment {
+	out := make([]Assignment, len(trs))
+	par.ForEach(workers, len(trs), func(_, i int) {
+		out[i] = Assignment{TrajID: trs[i].ID, Cluster: -1}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		cl, d, err := m.Classify(trs[i])
+		if err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		out[i].Cluster, out[i].Distance = cl, d
+	})
+	return out
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+
+	traclus "repro"
+)
+
+func trainingSet() []traclus.Trajectory {
+	return synth.CorridorScene(2, 10, 24, 4, 11)
+}
+
+func buildConfig() traclus.Config {
+	return traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+}
+
+func TestBuildSummary(t *testing.T) {
+	trs := trainingSet()
+	m, err := Build("corridors", trs, buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.Summary()
+	if sum.Name != "corridors" {
+		t.Errorf("Name = %q", sum.Name)
+	}
+	if sum.Clusters != 2 {
+		t.Errorf("Clusters = %d, want 2", sum.Clusters)
+	}
+	if sum.Trajectories != len(trs) {
+		t.Errorf("Trajectories = %d, want %d", sum.Trajectories, len(trs))
+	}
+	if len(sum.ClusterStats) != sum.Clusters {
+		t.Errorf("ClusterStats has %d entries, want %d", len(sum.ClusterStats), sum.Clusters)
+	}
+	if sum.QMeasure <= 0 {
+		t.Errorf("QMeasure = %v", sum.QMeasure)
+	}
+	if sum.BuiltAt.IsZero() {
+		t.Error("BuiltAt unset")
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	if _, err := Build("bad", trainingSet(), traclus.Config{Eps: -1, MinLns: 6}); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestModelClassifyBatch(t *testing.T) {
+	trs := trainingSet()
+	m, err := Build("corridors", trs, buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix valid queries with one unpartitionable trajectory; the batch must
+	// report the failure per item without aborting.
+	queries := append([]traclus.Trajectory{}, trs[:4]...)
+	queries = append(queries, traclus.NewTrajectory(999, []traclus.Point{traclus.Pt(0, 0)}))
+	for _, workers := range []int{1, 0} {
+		out := m.ClassifyBatch(context.Background(), queries, workers)
+		if len(out) != len(queries) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out), len(queries))
+		}
+		for i, a := range out[:4] {
+			if a.Err != "" || a.Cluster < 0 {
+				t.Errorf("workers=%d: query %d: %+v", workers, i, a)
+			}
+			if a.TrajID != queries[i].ID {
+				t.Errorf("workers=%d: query %d TrajID = %d, want %d", workers, i, a.TrajID, queries[i].ID)
+			}
+		}
+		if bad := out[4]; bad.Err == "" || bad.Cluster != -1 {
+			t.Errorf("workers=%d: invalid query not reported: %+v", workers, bad)
+		}
+	}
+}
+
+func TestClassifyBatchHonoursContext(t *testing.T) {
+	m, err := Build("corridors", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := m.ClassifyBatch(ctx, trainingSet(), 1)
+	for i, a := range out {
+		if !strings.Contains(a.Err, "context canceled") || a.Cluster != -1 {
+			t.Fatalf("item %d computed despite cancelled context: %+v", i, a)
+		}
+	}
+}
+
+func TestBuildWithNoClusters(t *testing.T) {
+	m, err := Build("sparse", trainingSet()[:2], traclus.Config{Eps: 1, MinLns: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Summary().Clusters != 0 {
+		t.Fatalf("Clusters = %d, want 0", m.Summary().Clusters)
+	}
+	if _, _, err := m.Classify(trainingSet()[0]); err == nil {
+		t.Error("classification against an empty model succeeded")
+	}
+}
+
+func TestJobsLifecycle(t *testing.T) {
+	jobs := NewJobs()
+	release := make(chan struct{})
+	job := jobs.Start("m1", func() (string, error) {
+		<-release
+		return "", nil
+	})
+	if job.ID == "" || job.State != JobRunning || job.Model != "m1" {
+		t.Fatalf("unexpected initial job: %+v", job)
+	}
+	if got, ok := jobs.Get(job.ID); !ok || got.State != JobRunning {
+		t.Fatalf("running job not found: %+v", got)
+	}
+	close(release)
+	waitForState(t, jobs, job.ID, JobDone)
+
+	fail := jobs.Start("m2", func() (string, error) { return "", context.Canceled })
+	waitForState(t, jobs, fail.ID, JobFailed)
+	got, _ := jobs.Get(fail.ID)
+	if got.Error == "" || got.Finished.IsZero() {
+		t.Errorf("failed job missing error/finish time: %+v", got)
+	}
+	if _, ok := jobs.Get("job-999"); ok {
+		t.Error("unknown job found")
+	}
+}
+
+func TestJobsPruneFinished(t *testing.T) {
+	jobs := NewJobs()
+	jobs.keep = 3
+	var ids []string
+	for i := 0; i < 5; i++ {
+		job := jobs.Start("m", func() (string, error) { return "", nil })
+		waitForState(t, jobs, job.ID, JobDone)
+		ids = append(ids, job.ID)
+	}
+	if n := jobs.Len(); n != 3 {
+		t.Fatalf("Len = %d after pruning, want 3", n)
+	}
+	for _, id := range ids[:2] {
+		if _, ok := jobs.Get(id); ok {
+			t.Errorf("pruned job %s still present", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := jobs.Get(id); !ok {
+			t.Errorf("recent job %s evicted", id)
+		}
+	}
+}
+
+func waitForState(t *testing.T, jobs *Jobs, id string, want JobState) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if job, ok := jobs.Get(id); ok && job.State == want {
+			return
+		}
+		sleep()
+	}
+	job, _ := jobs.Get(id)
+	t.Fatalf("job %s never reached %s: %+v", id, want, job)
+}

@@ -1,0 +1,167 @@
+package trackio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// LimitError reports that a streaming decode exceeded a configured bound.
+// Servers match it with errors.As to answer 413 instead of 400.
+type LimitError struct {
+	// What names the exhausted bound ("points" or "trajectories").
+	What string
+	// Limit is the configured maximum.
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("trackio: input exceeds %d %s", e.Limit, e.What)
+}
+
+// CSVDecoder streams "traj_id,x,y" rows (header optional) into trajectories
+// one at a time, without buffering the whole input — the request-body reader
+// behind cmd/traclusd. Unlike ReadCSV, which groups rows by id across the
+// whole file, the decoder treats each maximal contiguous run of one id as a
+// trajectory (the order WriteCSV produces), so memory is bounded by the
+// longest single trajectory plus the configured limits.
+type CSVDecoder struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+
+	// cur is the trajectory being accumulated; curSet marks it live.
+	cur    geom.Trajectory
+	curSet bool
+
+	// MaxPoints and MaxTrajectories bound the total input when positive;
+	// exceeding either yields a *LimitError. Set them before the first Next.
+	MaxPoints       int
+	MaxTrajectories int
+	points, trajs   int
+}
+
+// NewCSVDecoder wraps r for streaming CSV decoding.
+func NewCSVDecoder(r io.Reader) *CSVDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &CSVDecoder{sc: sc}
+}
+
+// Next returns the next trajectory, or io.EOF after the last one. Any other
+// error is a parse failure or limit violation; decoding cannot continue
+// after either.
+func (d *CSVDecoder) Next() (geom.Trajectory, error) {
+	if d.err != nil {
+		return geom.Trajectory{}, d.err
+	}
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
+		if text == "" {
+			continue
+		}
+		f := splitCSV(text)
+		if len(f) != 3 {
+			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: expected 3 CSV fields, got %d", d.line, len(f)))
+		}
+		id, err := strconv.Atoi(f[0])
+		if err != nil {
+			if d.line == 1 {
+				continue // header
+			}
+			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: bad traj_id %q", d.line, f[0]))
+		}
+		x, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: bad x %q", d.line, f[1]))
+		}
+		y, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: bad y %q", d.line, f[2]))
+		}
+		if d.MaxPoints > 0 && d.points >= d.MaxPoints {
+			return geom.Trajectory{}, d.fail(&LimitError{What: "points", Limit: d.MaxPoints})
+		}
+		d.points++
+		if d.curSet && id != d.cur.ID {
+			out := d.cur
+			d.cur = geom.Trajectory{ID: id, Weight: 1, Points: []geom.Point{geom.Pt(x, y)}}
+			if err := d.countTrajectory(); err != nil {
+				return geom.Trajectory{}, err
+			}
+			return out, nil
+		}
+		if !d.curSet {
+			d.curSet = true
+			d.cur = geom.Trajectory{ID: id, Weight: 1}
+			if err := d.countTrajectory(); err != nil {
+				return geom.Trajectory{}, err
+			}
+		}
+		d.cur.Points = append(d.cur.Points, geom.Pt(x, y))
+	}
+	if err := d.sc.Err(); err != nil {
+		return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: %w", err))
+	}
+	if d.curSet {
+		d.curSet = false
+		return d.cur, nil
+	}
+	return geom.Trajectory{}, d.fail(io.EOF)
+}
+
+func (d *CSVDecoder) countTrajectory() error {
+	if d.MaxTrajectories > 0 && d.trajs >= d.MaxTrajectories {
+		return d.fail(&LimitError{What: "trajectories", Limit: d.MaxTrajectories})
+	}
+	d.trajs++
+	return nil
+}
+
+func (d *CSVDecoder) fail(err error) error {
+	d.err = err
+	return err
+}
+
+// DecodeAllCSV drains the decoder into a slice — the convenience form for
+// callers that need the whole (bounded) batch at once. Pass the result
+// through MergeByID to recover ReadCSV's whole-input id grouping.
+func (d *CSVDecoder) DecodeAllCSV() ([]geom.Trajectory, error) {
+	var trs []geom.Trajectory
+	for {
+		tr, err := d.Next()
+		if err == io.EOF {
+			return trs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		trs = append(trs, tr)
+	}
+}
+
+// MergeByID merges trajectories sharing an ID by concatenating their points
+// in slice order, keeping first-appearance order — exactly ReadCSV's
+// grouping. Combined with DecodeAllCSV it makes the streaming path parse
+// interleaved-id input identically to ReadCSV; a later duplicate's
+// label/weight are ignored in favour of the first's. The returned slice is
+// new, but its Points slices may alias (and extend) the inputs' backing
+// arrays — treat the input as consumed.
+func MergeByID(trs []geom.Trajectory) []geom.Trajectory {
+	out := make([]geom.Trajectory, 0, len(trs))
+	at := map[int]int{} // id → index in out
+	for _, tr := range trs {
+		if i, ok := at[tr.ID]; ok {
+			out[i].Points = append(out[i].Points, tr.Points...)
+			continue
+		}
+		at[tr.ID] = len(out)
+		out = append(out, tr)
+	}
+	return out
+}

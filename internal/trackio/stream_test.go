@@ -1,0 +1,164 @@
+package trackio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestCSVDecoderRoundTrip(t *testing.T) {
+	trs := []geom.Trajectory{
+		{ID: 3, Weight: 1, Points: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 2), geom.Pt(3, 4)}},
+		{ID: 1, Weight: 1, Points: []geom.Point{geom.Pt(-5, 5), geom.Pt(6, -6)}},
+		{ID: 7, Weight: 1, Points: []geom.Point{geom.Pt(9, 9), geom.Pt(10, 10)}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, trs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewCSVDecoder(&buf).DecodeAllCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trs) {
+		t.Fatalf("decoded %d trajectories, want %d", len(got), len(trs))
+	}
+	for i := range got {
+		if got[i].ID != trs[i].ID || len(got[i].Points) != len(trs[i].Points) {
+			t.Errorf("trajectory %d: id=%d len=%d, want id=%d len=%d",
+				i, got[i].ID, len(got[i].Points), trs[i].ID, len(trs[i].Points))
+		}
+		for j, p := range got[i].Points {
+			if !p.NearEq(trs[i].Points[j], 1e-6) {
+				t.Errorf("trajectory %d point %d = %v, want %v", i, j, p, trs[i].Points[j])
+			}
+		}
+	}
+}
+
+func TestCSVDecoderStreamsOneAtATime(t *testing.T) {
+	in := "traj_id,x,y\n1,0,0\n1,1,1\n2,5,5\n2,6,6\n"
+	d := NewCSVDecoder(strings.NewReader(in))
+	first, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != 1 || len(first.Points) != 2 {
+		t.Fatalf("first = id %d with %d points", first.ID, len(first.Points))
+	}
+	second, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != 2 || len(second.Points) != 2 {
+		t.Fatalf("second = id %d with %d points", second.ID, len(second.Points))
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+	// The decoder stays terminated.
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("repeated Next err = %v, want io.EOF", err)
+	}
+}
+
+// TestCSVDecoderContiguousRuns pins the documented difference from ReadCSV:
+// a re-appearing id starts a fresh trajectory instead of merging.
+func TestCSVDecoderContiguousRuns(t *testing.T) {
+	in := "1,0,0\n1,1,1\n2,5,5\n2,5,6\n1,9,9\n1,9,8\n"
+	got, err := NewCSVDecoder(strings.NewReader(in)).DecodeAllCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d trajectories, want 3 contiguous runs", len(got))
+	}
+	if got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 1 {
+		t.Fatalf("ids = %d,%d,%d, want 1,2,1", got[0].ID, got[1].ID, got[2].ID)
+	}
+	merged, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("ReadCSV merged into %d trajectories, want 2", len(merged))
+	}
+}
+
+func TestCSVDecoderErrors(t *testing.T) {
+	bad := []string{
+		"1,2\n",            // wrong field count
+		"1,x,3\n",          // bad x
+		"1,2,y\n",          // bad y
+		"zzz,1,2\nq,1,2\n", // bad id past the header line
+	}
+	for _, in := range bad {
+		if _, err := NewCSVDecoder(strings.NewReader(in)).DecodeAllCSV(); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	// Blank lines and a header are fine.
+	got, err := NewCSVDecoder(strings.NewReader("traj_id,x,y\n\n1,2,3\n\n")).DecodeAllCSV()
+	if err != nil || len(got) != 1 {
+		t.Fatalf("header+blanks: %v, %d trajectories", err, len(got))
+	}
+}
+
+// TestMergeByIDMatchesReadCSV pins format parity between the streaming and
+// whole-file CSV paths: DecodeAllCSV + MergeByID must group interleaved ids
+// exactly like ReadCSV.
+func TestMergeByIDMatchesReadCSV(t *testing.T) {
+	in := "0,0,0\n0,1,1\n0,2,2\n1,5,5\n1,6,6\n1,7,7\n0,3,3\n2,9,9\n1,8,8\n"
+	want, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := NewCSVDecoder(strings.NewReader(in)).DecodeAllCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MergeByID(streamed)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d trajectories, ReadCSV %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || len(got[i].Points) != len(want[i].Points) {
+			t.Fatalf("trajectory %d: id=%d len=%d, ReadCSV id=%d len=%d",
+				i, got[i].ID, len(got[i].Points), want[i].ID, len(want[i].Points))
+		}
+		for j := range got[i].Points {
+			if !got[i].Points[j].Eq(want[i].Points[j]) {
+				t.Errorf("trajectory %d point %d = %v, ReadCSV %v", i, j, got[i].Points[j], want[i].Points[j])
+			}
+		}
+	}
+}
+
+func TestCSVDecoderLimits(t *testing.T) {
+	in := "1,0,0\n1,1,1\n2,5,5\n2,6,6\n3,7,7\n"
+	d := NewCSVDecoder(strings.NewReader(in))
+	d.MaxPoints = 3
+	_, err := d.DecodeAllCSV()
+	var le *LimitError
+	if !errors.As(err, &le) || le.What != "points" {
+		t.Fatalf("err = %v, want points LimitError", err)
+	}
+
+	d = NewCSVDecoder(strings.NewReader(in))
+	d.MaxTrajectories = 2
+	if _, err := d.DecodeAllCSV(); !errors.As(err, &le) || le.What != "trajectories" {
+		t.Fatalf("err = %v, want trajectories LimitError", err)
+	}
+
+	// Exactly at the limits is fine.
+	d = NewCSVDecoder(strings.NewReader(in))
+	d.MaxPoints = 5
+	d.MaxTrajectories = 3
+	if got, err := d.DecodeAllCSV(); err != nil || len(got) != 3 {
+		t.Fatalf("at-limit decode: %v, %d trajectories", err, len(got))
+	}
+}

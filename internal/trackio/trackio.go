@@ -208,51 +208,15 @@ func WriteCSV(w io.Writer, trs []geom.Trajectory) error {
 }
 
 // ReadCSV parses "traj_id,x,y" rows (header optional). Points are grouped
-// by id in first-appearance order within each trajectory.
+// by id in first-appearance order within each trajectory. It is the
+// whole-input form of the streaming CSVDecoder — one parser serves both
+// paths, so their row handling can never diverge.
 func ReadCSV(r io.Reader) ([]geom.Trajectory, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	order := []int{}
-	byID := map[int][]geom.Point{}
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		f := splitCSV(text)
-		if len(f) != 3 {
-			return nil, fmt.Errorf("trackio: line %d: expected 3 CSV fields, got %d", line, len(f))
-		}
-		id, err := strconv.Atoi(f[0])
-		if err != nil {
-			if line == 1 {
-				continue // header
-			}
-			return nil, fmt.Errorf("trackio: line %d: bad traj_id %q", line, f[0])
-		}
-		x, err := strconv.ParseFloat(f[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trackio: line %d: bad x %q", line, f[1])
-		}
-		y, err := strconv.ParseFloat(f[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trackio: line %d: bad y %q", line, f[2])
-		}
-		if _, ok := byID[id]; !ok {
-			order = append(order, id)
-		}
-		byID[id] = append(byID[id], geom.Pt(x, y))
+	trs, err := NewCSVDecoder(r).DecodeAllCSV()
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trackio: %w", err)
-	}
-	trs := make([]geom.Trajectory, 0, len(order))
-	for _, id := range order {
-		trs = append(trs, geom.Trajectory{ID: id, Weight: 1, Points: byID[id]})
-	}
-	return trs, nil
+	return MergeByID(trs), nil
 }
 
 func splitCSV(s string) []string {

@@ -23,8 +23,8 @@
 package traclus
 
 import (
-	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -103,6 +103,41 @@ type Config struct {
 	Workers int
 }
 
+// ConfigError is the typed error returned when a Config field is invalid
+// (NaN, infinite, negative, …). Serving layers match it with errors.As to
+// distinguish caller mistakes from internal failures.
+type ConfigError = segclust.ConfigError
+
+// Validate reports the first invalid Config field as a *ConfigError. NaN
+// and ±Inf are rejected everywhere: they would otherwise slip through
+// simple sign checks (NaN compares false against any threshold) and poison
+// the clustering into an all-noise result.
+func (c Config) Validate() error {
+	if err := segclust.CheckPositive("Eps", c.Eps); err != nil {
+		return err
+	}
+	if err := segclust.CheckPositive("MinLns", c.MinLns); err != nil {
+		return err
+	}
+	if c.MinTrajs < 0 {
+		return &ConfigError{Field: "MinTrajs", Value: c.MinTrajs, Reason: "must be non-negative"}
+	}
+	if (c.Weights != Weights{}) && !c.Weights.Valid() {
+		return &ConfigError{Field: "Weights", Value: c.Weights,
+			Reason: "must be finite and non-negative with at least one positive component"}
+	}
+	if err := segclust.CheckNonNegative("CostAdvantage", c.CostAdvantage); err != nil {
+		return err
+	}
+	if err := segclust.CheckNonNegative("MinSegmentLength", c.MinSegmentLength); err != nil {
+		return err
+	}
+	if err := segclust.CheckNonNegative("Gamma", c.Gamma); err != nil {
+		return err
+	}
+	return nil
+}
+
 func (c Config) core() core.Config {
 	w := c.Weights
 	if (w == Weights{}) {
@@ -146,17 +181,19 @@ type Result struct {
 
 	out *core.Output
 	cfg core.Config
+
+	// Lazily-built classifier behind Result.Classify; see classify.go.
+	clsOnce sync.Once
+	cls     *Classifier
+	clsErr  error
 }
 
 // Run executes the complete TRACLUS algorithm: partition every trajectory,
 // group the pooled segments, and generate a representative trajectory per
 // cluster.
 func Run(trs []Trajectory, cfg Config) (*Result, error) {
-	if cfg.Eps <= 0 {
-		return nil, errors.New("traclus: Config.Eps must be positive (use EstimateParameters to find one)")
-	}
-	if cfg.MinLns <= 0 {
-		return nil, errors.New("traclus: Config.MinLns must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
 	}
 	ccfg := cfg.core()
 	out, err := core.Run(trs, ccfg)
@@ -189,6 +226,13 @@ func newResult(out *core.Output, ccfg core.Config) *Result {
 func (r *Result) QMeasure() float64 {
 	b := quality.Measure(r.out.Items, r.out.Result, r.cfg.Distance, r.cfg.Workers)
 	return b.QMeasure()
+}
+
+// NoisePenalty evaluates the noise term of Formula 11 alone. Together with
+// the per-cluster SSEs of ClusterStats it reassembles QMeasure without a
+// second O(n²) pairwise pass — the decomposition the serving layer uses.
+func (r *Result) NoisePenalty() float64 {
+	return quality.NoisePenalty(r.out.Items, r.out.Result, r.cfg.Distance, r.cfg.Workers)
 }
 
 // Partition exposes phase one alone: the MDL-chosen characteristic points

@@ -7,19 +7,25 @@
 //	traclus -in tracks.csv [-format csv|besttrack|telemetry] [-species elk]
 //	        [-eps 30] [-minlns 6] [-auto] [-undirected]
 //	        [-cost-advantage 0] [-min-seg-len 0] [-workers 0]
-//	        [-svg out.svg] [-reps reps.csv] [-map]
+//	        [-svg out.svg] [-reps reps.csv] [-map] [-progress]
 //
 // With -auto the ε/MinLns heuristic of the paper's Section 4.4 is applied
 // (entropy-minimising ε via simulated annealing, MinLns = avg|Nε|+2) and
-// the chosen values are printed before clustering.
+// the chosen values are printed before clustering. With -progress the
+// pipeline's phase/fraction stream is echoed to stderr. Interrupting the
+// process (SIGINT/SIGTERM) cancels the clustering cooperatively — the run
+// stops within one work item instead of finishing the batch.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/geom"
 	"repro/internal/render"
@@ -42,6 +48,7 @@ type options struct {
 	svgOut   string
 	repsOut  string
 	asciiMap bool
+	progress bool
 	cfg      traclus.Config
 }
 
@@ -64,6 +71,7 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 	svgOut := fs.String("svg", "", "write an SVG rendering of the clustering here")
 	repsOut := fs.String("reps", "", "write representative trajectories as CSV here")
 	asciiMap := fs.Bool("map", false, "print an ASCII map of the result")
+	progress := fs.Bool("progress", false, "echo pipeline phase/fraction progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		// fs already reported the problem (and usage) to stderr.
 		return nil, errors.Join(errReported, err)
@@ -87,6 +95,7 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 		svgOut:   *svgOut,
 		repsOut:  *repsOut,
 		asciiMap: *asciiMap,
+		progress: *progress,
 		cfg: traclus.Config{
 			Eps:              *eps,
 			MinLns:           *minLns,
@@ -117,13 +126,16 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	if err := run(opts, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, os.Stdout); err != nil {
 		fatal(err)
 	}
 }
 
-// run executes the clustering described by opts, reporting to out.
-func run(opts *options, out io.Writer) error {
+// run executes the clustering described by opts, reporting to out. A done
+// ctx aborts the pipeline cooperatively and surfaces ctx.Err().
+func run(ctx context.Context, opts *options, out io.Writer) error {
 	trs, err := trackio.ReadFile(opts.in, opts.format, opts.species)
 	if err != nil {
 		return err
@@ -140,7 +152,7 @@ func run(opts *options, out io.Writer) error {
 		if hi <= 1 {
 			hi = 10
 		}
-		est, err := traclus.EstimateParameters(trs, hi/60, hi, cfg)
+		est, err := traclus.New(traclus.WithConfig(cfg)).Estimate(ctx, trs, hi/60, hi)
 		if err != nil {
 			return err
 		}
@@ -150,7 +162,14 @@ func run(opts *options, out io.Writer) error {
 			est.Eps, est.Entropy, est.AvgNeighbors, cfg.MinLns, est.MinLnsLo, est.MinLnsHi)
 	}
 
-	res, err := traclus.Run(trs, cfg)
+	popts := []traclus.Option{traclus.WithConfig(cfg)}
+	if opts.progress {
+		popts = append(popts, traclus.WithProgress(func(ev traclus.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "traclus: %-9s %3.0f%% (%d/%d)\n",
+				ev.Phase, ev.Fraction*100, ev.Done, ev.Total)
+		}))
+	}
+	res, err := traclus.New(popts...).Run(ctx, trs)
 	if err != nil {
 		return err
 	}

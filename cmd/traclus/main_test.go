@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -87,7 +88,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(opts, &out); err != nil {
+	if err := run(context.Background(), opts, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "clusters=2") {
@@ -107,7 +108,7 @@ func TestRunMissingFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(opts, &bytes.Buffer{}); !os.IsNotExist(err) {
+	if err := run(context.Background(), opts, &bytes.Buffer{}); !os.IsNotExist(err) {
 		t.Fatalf("err = %v, want not-exist", err)
 	}
 }

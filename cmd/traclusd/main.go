@@ -15,23 +15,30 @@
 //	POST /models?name=<id>&eps=<ε>&minlns=<m>[&format=csv|besttrack|telemetry]
 //	     body: trajectory data in the given format
 //	     → 202 {"id":"job-1","model":"<id>",...}; poll the job
-//	GET  /jobs/{id}        → job state: running | done | failed
+//	GET  /jobs/{id}        → job state: running | done | failed | cancelled,
+//	                         plus live {"phase","progress"} while running
 //	GET  /models/{name}    → model summary + per-cluster stats
 //	POST /models/{name}/classify
 //	     body: trajectories as CSV (traj_id,x,y)
 //	     → 200 {"model":"<id>","results":[{traj_id,cluster,distance},...]}
-//	DELETE /models/{name}  → evict a model
+//	DELETE /models/{name}  → evict the model and cancel its in-flight builds
 //	GET  /healthz          → liveness + model/job counts
 //
 // Build parameters mirror cmd/traclus flags: eps, minlns, mintrajs,
 // undirected, cost_advantage, min_seg_len, gamma, species. Invalid
 // parameters (NaN/negative ε, bad weights, …) are rejected with 400 and the
 // typed validation message; oversized bodies with 413. Model builds are
-// asynchronous and deduplicated: concurrent builds of the same name share
-// one underlying clustering run, and finished models are served from an LRU
-// cache. A POST for a name already in the cache answers 200 with
-// {"cached":true} and does not rebuild — DELETE the model first to rebuild
-// with new data or parameters.
+// asynchronous, cancellable, and deduplicated: concurrent builds of the
+// same name share one underlying clustering run, job polling streams the
+// pipeline's live phase/fraction progress, DELETE on a still-building name
+// aborts the build (the job finishes as "cancelled", distinct from
+// "failed"), and finished models are served from an LRU cache. A POST for a
+// name already in the cache answers 200 with {"cached":true} and does not
+// rebuild — DELETE the model first to rebuild with new data or parameters.
+//
+// Context mapping: a classification whose client disconnects is logged as
+// a 499-style abandonment (no response can be written); one that exhausts
+// its own deadline with nothing completed answers 504.
 package main
 
 import (
@@ -67,6 +74,9 @@ func main() {
 	classifyTimeout := fs.Duration("classify-timeout", 30*time.Second, "per-request classification deadline")
 	_ = fs.Parse(os.Args[1:])
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	s := newServer(serverConfig{
 		workers:         *workers,
 		maxModels:       *maxModels,
@@ -75,15 +85,13 @@ func main() {
 		maxTrajectories: *maxTrajs,
 		maxBuilds:       *maxBuilds,
 		classifyTimeout: *classifyTimeout,
+		baseCtx:         ctx, // SIGTERM also cancels in-flight builds
 	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("traclusd: listening on %s", *addr)
@@ -113,9 +121,14 @@ type serverConfig struct {
 	maxBuilds       int // cap on concurrently running builds (0 = default)
 	classifyTimeout time.Duration
 
-	// buildModel is the model builder; tests inject a counting wrapper to
-	// verify single-flight deduplication. nil means service.Build.
-	buildModel func(name string, trs []traclus.Trajectory, cfg traclus.Config) (*service.Model, error)
+	// baseCtx parents every build-job context, so daemon shutdown also
+	// cancels in-flight builds. nil means context.Background().
+	baseCtx context.Context
+
+	// buildModel is the model builder; tests inject counting/blocking
+	// wrappers to verify single-flight dedup and cancellation. nil means
+	// service.BuildCtx.
+	buildModel func(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, progress func(phase string, fraction float64)) (*service.Model, error)
 }
 
 type server struct {
@@ -134,7 +147,10 @@ type server struct {
 
 func newServer(cfg serverConfig) *server {
 	if cfg.buildModel == nil {
-		cfg.buildModel = service.Build
+		cfg.buildModel = service.BuildCtx
+	}
+	if cfg.baseCtx == nil {
+		cfg.baseCtx = context.Background()
 	}
 	if cfg.classifyTimeout <= 0 {
 		cfg.classifyTimeout = 30 * time.Second
@@ -226,10 +242,13 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	// land a join on a build that just failed, which reports a retryable
 	// job failure.
 	joins := s.store.Pending(name)
-	var startJob func() (string, error)
+	var startJob func(ctx context.Context, update func(phase string, fraction float64)) (string, error)
 	if joins {
-		startJob = func() (string, error) {
-			_, found, err := s.store.Wait(name)
+		startJob = func(ctx context.Context, _ func(string, float64)) (string, error) {
+			// The joiner waits under its own job context, so cancelling it
+			// (or DELETE on the model) releases this waiter even though the
+			// shared build belongs to another job.
+			_, found, err := s.store.WaitCtx(ctx, name)
 			if err != nil {
 				return "", err
 			}
@@ -246,10 +265,10 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("too many builds in flight (max %d); retry after a job finishes", s.cfg.maxBuilds))
 			return
 		}
-		startJob = func() (string, error) {
+		startJob = func(ctx context.Context, update func(phase string, fraction float64)) (string, error) {
 			defer func() { <-s.buildSem }()
 			_, built, err := s.store.GetOrBuild(name, func() (*service.Model, error) {
-				return s.cfg.buildModel(name, trs, cfg)
+				return s.cfg.buildModel(ctx, name, trs, cfg, update)
 			})
 			if err == nil && !built {
 				return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
@@ -257,7 +276,7 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			return "", err
 		}
 	}
-	writeJSON(w, http.StatusAccepted, s.jobs.Start(name, startJob))
+	writeJSON(w, http.StatusAccepted, s.jobs.Start(s.cfg.baseCtx, name, startJob))
 }
 
 // readBody parses the request body in the given format under the configured
@@ -369,12 +388,22 @@ func (s *server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m.Summary())
 }
 
+// handleModelDelete evicts the named model and aborts any builds of it
+// still in flight (their jobs finish as "cancelled"). 404 only when there
+// was neither a cached model nor a running build.
 func (s *server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.store.Delete(r.PathValue("name")) {
+	name := r.PathValue("name")
+	cancelled := s.jobs.CancelModel(name)
+	deleted := s.store.Delete(name)
+	if !deleted && cancelled == 0 {
 		writeError(w, http.StatusNotFound, "model not found")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "deleted",
+		"deleted":          deleted,
+		"cancelled_builds": cancelled,
+	})
 }
 
 func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -395,8 +424,17 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.classifyTimeout)
 	defer cancel()
 	results := m.ClassifyBatch(ctx, trs, s.cfg.workers)
-	if r.Context().Err() != nil {
-		return // client is gone; nothing to answer
+	if err := r.Context().Err(); err != nil {
+		// Cancellation and deadline map differently: a vanished client is a
+		// 499-style abandonment (no response can reach anyone — log it so
+		// operators can tell dropped clients from slow models), while our
+		// own classify deadline falls through to the 504/partial logic.
+		if errors.Is(err, context.Canceled) {
+			log.Printf("traclusd: %s %s: client disconnected before response (499): %v", r.Method, r.URL.Path, err)
+			return
+		}
+		log.Printf("traclusd: %s %s: request context ended: %v", r.Method, r.URL.Path, err)
+		return
 	}
 	// On deadline expiry, completed assignments are still returned (the
 	// stragglers carry the context error per item); a batch where nothing

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -183,7 +184,7 @@ func TestSingleFlightAndCacheHit(t *testing.T) {
 	cfg := serverConfig{
 		workers:   1,
 		maxBuilds: 16, // duplicates racing in before the entry exists may each take a slot
-		buildModel: func(name string, trs []traclus.Trajectory, c traclus.Config) (*service.Model, error) {
+		buildModel: func(_ context.Context, name string, trs []traclus.Trajectory, c traclus.Config, _ func(string, float64)) (*service.Model, error) {
 			builds.Add(1)
 			<-release // hold the build so all duplicates overlap it
 			return service.Build(name, trs, c)
@@ -309,7 +310,7 @@ func TestBuildConcurrencyCap(t *testing.T) {
 	_, ts := testServer(t, serverConfig{
 		workers:   1,
 		maxBuilds: 1,
-		buildModel: func(name string, trs []traclus.Trajectory, c traclus.Config) (*service.Model, error) {
+		buildModel: func(_ context.Context, name string, trs []traclus.Trajectory, c traclus.Config, _ func(string, float64)) (*service.Model, error) {
 			started <- struct{}{}
 			<-release
 			return service.Build(name, trs, c)
@@ -416,9 +417,101 @@ func TestClassifyErrorsHTTP(t *testing.T) {
 	}
 }
 
+// TestDeleteCancelsInFlightBuild pins the cancellation satellite: DELETE on
+// a still-building model aborts the build — the injected builder blocks
+// until its context ends — and the job finishes as "cancelled", distinct
+// from "failed". A joined duplicate job is released too.
+func TestDeleteCancelsInFlightBuild(t *testing.T) {
+	started := make(chan struct{}, 8)
+	_, ts := testServer(t, serverConfig{
+		maxBuilds: 4,
+		buildModel: func(ctx context.Context, _ string, _ []traclus.Trajectory, _ traclus.Config, _ func(string, float64)) (*service.Model, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	_, csv := trainingCSV(t)
+
+	var job service.Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=m&eps=30&minlns=6", csv, &job); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	<-started // the build is definitely holding its context
+	var dup service.Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=m&eps=30&minlns=6", csv, &dup); code != http.StatusAccepted {
+		t.Fatalf("duplicate POST = %d", code)
+	}
+
+	var del struct {
+		Status          string `json:"status"`
+		Deleted         bool   `json:"deleted"`
+		CancelledBuilds int    `json:"cancelled_builds"`
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/models/m", "", &del); code != http.StatusOK {
+		t.Fatalf("DELETE = %d", code)
+	}
+	if del.CancelledBuilds < 1 || del.Deleted {
+		t.Fatalf("DELETE response = %+v, want ≥1 cancelled build and no cached model", del)
+	}
+	if done := awaitJob(t, ts.URL, job.ID); done.State != service.JobCancelled {
+		t.Fatalf("build job finished as %s (%s), want cancelled", done.State, done.Error)
+	}
+	// The joiner's own wait is cancelled with it.
+	if done := awaitJob(t, ts.URL, dup.ID); done.State != service.JobCancelled && done.State != service.JobFailed {
+		t.Fatalf("joined job finished as %s (%s), want cancelled/failed", done.State, done.Error)
+	}
+	// The name is buildable again afterwards — nothing was cached.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/models/m", "", nil); code != http.StatusNotFound {
+		t.Fatalf("GET after cancelled build = %d, want 404", code)
+	}
+	// DELETE with neither a model nor a build is a 404.
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/models/ghost", "", nil); code != http.StatusNotFound {
+		t.Fatalf("DELETE ghost = %d, want 404", code)
+	}
+}
+
+// TestJobReportsLiveProgress pins the progress satellite: while a build is
+// running, polling its job returns the phase/fraction the builder last
+// reported.
+func TestJobReportsLiveProgress(t *testing.T) {
+	reported := make(chan struct{})
+	release := make(chan struct{})
+	_, ts := testServer(t, serverConfig{
+		buildModel: func(ctx context.Context, name string, trs []traclus.Trajectory, c traclus.Config, progress func(string, float64)) (*service.Model, error) {
+			progress("group", 0.5)
+			close(reported)
+			<-release
+			return service.BuildCtx(ctx, name, trs, c, progress)
+		},
+	})
+	_, csv := trainingCSV(t)
+	var job service.Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=m&eps=30&minlns=6&cost_advantage=15&min_seg_len=40", csv, &job); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	<-reported
+	var live service.Job
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+job.ID, "", &live); code != http.StatusOK {
+		t.Fatalf("GET job = %d", code)
+	}
+	if live.State != service.JobRunning || live.Phase != "group" || live.Progress != 0.5 {
+		t.Fatalf("live job = %+v, want running at group/0.5", live)
+	}
+	close(release)
+	done := awaitJob(t, ts.URL, job.ID)
+	if done.State != service.JobDone {
+		t.Fatalf("job finished as %s: %s", done.State, done.Error)
+	}
+	// The real build's progress stream ends on the final phase, complete.
+	if done.Phase != "represent" || done.Progress != 1 {
+		t.Fatalf("finished job progress = %s/%v, want represent/1", done.Phase, done.Progress)
+	}
+}
+
 func TestFailedBuildReportsJobError(t *testing.T) {
 	_, ts := testServer(t, serverConfig{
-		buildModel: func(string, []traclus.Trajectory, traclus.Config) (*service.Model, error) {
+		buildModel: func(context.Context, string, []traclus.Trajectory, traclus.Config, func(string, float64)) (*service.Model, error) {
 			return nil, fmt.Errorf("synthetic failure")
 		},
 	})

@@ -1,11 +1,71 @@
 package traclus_test
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
 	traclus "repro"
 )
+
+// corridorExample builds the five-trajectory corridor scene shared by the
+// runnable examples: a common horizontal corridor that fans out at the end.
+func corridorExample() []traclus.Trajectory {
+	var trs []traclus.Trajectory
+	for i := 0; i < 5; i++ {
+		dy := float64(i) * 2
+		tail := float64(i-2) * 50
+		trs = append(trs, traclus.NewTrajectory(i, []traclus.Point{
+			traclus.Pt(0, 100+dy),
+			traclus.Pt(100, 100+dy),
+			traclus.Pt(200, 100+dy),
+			traclus.Pt(300, 100+dy),
+			traclus.Pt(400, 100+dy+tail),
+		}))
+	}
+	return trs
+}
+
+// ExamplePipeline is the primary entrypoint: a Pipeline built from
+// functional options, run under a context. Cancelling the context would
+// abort the clustering within one work item and return ctx.Err().
+func ExamplePipeline() {
+	p := traclus.New(traclus.WithConfig(traclus.Config{Eps: 25, MinLns: 4}))
+	res, err := p.Run(context.Background(), corridorExample())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("clusters: %d\n", len(res.Clusters))
+	fmt.Printf("participants: %v\n", res.Clusters[0].Trajectories)
+	// Output:
+	// clusters: 1
+	// participants: [0 1 2 3 4]
+}
+
+// ExamplePipeline_progress installs a progress hook. The hook is invoked
+// serially with phases in pipeline order and non-decreasing fractions; each
+// phase opens at fraction 0 and closes with exactly one fraction-1 event,
+// which is what this example prints (intermediate events are throttled and
+// input-dependent, so it reports only the completions).
+func ExamplePipeline_progress() {
+	p := traclus.New(
+		traclus.WithConfig(traclus.Config{Eps: 25, MinLns: 4}),
+		traclus.WithProgress(func(ev traclus.ProgressEvent) {
+			if ev.Fraction == 1 {
+				fmt.Printf("%s done\n", ev.Phase)
+			}
+		}),
+	)
+	if _, err := p.Run(context.Background(), corridorExample()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Output:
+	// partition done
+	// group done
+	// represent done
+}
 
 // ExampleRun clusters five trajectories that share a horizontal corridor
 // before fanning out, and prints the discovered common sub-trajectory's

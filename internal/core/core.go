@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
@@ -49,7 +50,11 @@ func DefaultConfig() Config {
 	return Config{Distance: lsdist.DefaultOptions(), Index: segclust.IndexGrid}
 }
 
-func (c Config) gamma() float64 {
+// EffectiveGamma resolves the sweep smoothing parameter: Gamma when set,
+// otherwise the paper's Eps/4 default. Exposed so alternative
+// representative builders layered on top of the engine derive the same
+// value the default sweep uses.
+func (c Config) EffectiveGamma() float64 {
 	if c.Gamma > 0 {
 		return c.Gamma
 	}
@@ -103,7 +108,19 @@ func (o *Output) AvgSegmentsPerCluster() float64 {
 // pools the resulting segments as clusterable items (Figure 4, lines 1–3).
 // Trajectory weights default to 1 when unset.
 func PartitionAll(trs []geom.Trajectory, cfg Config) []segclust.Item {
-	perTraj := mdl.PartitionAll(trs, cfg.Partition, cfg.Workers)
+	items, _ := PartitionAllCtx(context.Background(), trs, cfg, nil)
+	return items
+}
+
+// PartitionAllCtx is PartitionAll with cooperative cancellation and an
+// optional per-trajectory completion hook (invoked from worker goroutines;
+// used by the public Pipeline to stream phase progress). A non-nil error is
+// always ctx.Err(); the partial partitioning is discarded.
+func PartitionAllCtx(ctx context.Context, trs []geom.Trajectory, cfg Config, onTrajectory func()) ([]segclust.Item, error) {
+	perTraj, err := mdl.PartitionAllCtx(ctx, trs, cfg.Partition, cfg.Workers, onTrajectory)
+	if err != nil {
+		return nil, err
+	}
 	var items []segclust.Item
 	for i, segs := range perTraj {
 		w := trs[i].Weight
@@ -114,18 +131,36 @@ func PartitionAll(trs []geom.Trajectory, cfg Config) []segclust.Item {
 			items = append(items, segclust.Item{Seg: s, TrajID: trs[i].ID, Weight: w})
 		}
 	}
-	return items
+	return items, nil
+}
+
+// ValidateTrajectories reports the first invalid input trajectory, wrapped
+// the way Run has always wrapped it.
+func ValidateTrajectories(trs []geom.Trajectory) error {
+	for i := range trs {
+		if err := trs[i].Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
 }
 
 // Run executes the complete TRACLUS algorithm.
 func Run(trs []geom.Trajectory, cfg Config) (*Output, error) {
-	for i := range trs {
-		if err := trs[i].Validate(); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
+	return RunCtx(context.Background(), trs, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation threaded through every phase;
+// the uncancelled path is bit-identical to Run.
+func RunCtx(ctx context.Context, trs []geom.Trajectory, cfg Config) (*Output, error) {
+	if err := ValidateTrajectories(trs); err != nil {
+		return nil, err
 	}
-	items := PartitionAll(trs, cfg)
-	return RunOnItems(items, cfg)
+	items, err := PartitionAllCtx(ctx, trs, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return RunOnItemsCtx(ctx, items, cfg)
 }
 
 // RunOnItems executes the grouping and representative phases on
@@ -136,21 +171,44 @@ func Run(trs []geom.Trajectory, cfg Config) (*Output, error) {
 // sweep is independent and writes only its own slot, so the output is
 // identical to the serial order for every worker count).
 func RunOnItems(items []segclust.Item, cfg Config) (*Output, error) {
-	res, err := segclust.Run(items, segclust.Config{
+	return RunOnItemsCtx(context.Background(), items, cfg)
+}
+
+// RunOnItemsCtx is RunOnItems with cooperative cancellation.
+func RunOnItemsCtx(ctx context.Context, items []segclust.Item, cfg Config) (*Output, error) {
+	res, err := segclust.RunCtx(ctx, items, segclust.Config{
 		Eps:      cfg.Eps,
 		MinLns:   cfg.MinLns,
 		MinTrajs: cfg.MinTrajs,
 		Options:  cfg.Distance,
 		Index:    cfg.Index,
 		Workers:  cfg.Workers,
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
+	return AssembleCtx(ctx, items, res, cfg, nil, nil)
+}
+
+// RepresentativeFunc builds one cluster's representative trajectory from
+// its member segments and weights. It is the pluggable third phase: nil
+// selects the paper's sweep-line algorithm.
+type RepresentativeFunc func(ctx context.Context, segs []geom.Segment, weights []float64) ([]geom.Point, error)
+
+// AssembleCtx runs the representative phase over an existing grouping and
+// assembles the full Output: per cluster, the member segments and weights
+// are gathered and rep (nil = the §4.3 sweep under cfg.MinLns and
+// EffectiveGamma) builds the representative, fanned across cfg.Workers with
+// each cluster writing only its own slot. onCluster, if non-nil, is invoked
+// once per completed cluster (possibly from worker goroutines). It is the
+// assembly half of RunOnItems, split out so the public Pipeline can swap
+// the grouping and representative stages independently.
+func AssembleCtx(ctx context.Context, items []segclust.Item, res *segclust.Result, cfg Config, rep RepresentativeFunc, onCluster func()) (*Output, error) {
 	out := &Output{Items: items, Result: res}
-	swCfg := sweep.Config{MinLns: cfg.MinLns, Gamma: cfg.gamma()}
+	swCfg := sweep.Config{MinLns: cfg.MinLns, Gamma: cfg.EffectiveGamma()}
 	out.Clusters = make([]Cluster, len(res.Clusters))
-	par.ForEach(cfg.Workers, len(res.Clusters), func(_, ci int) {
+	repErrs := make([]error, len(res.Clusters))
+	err := par.ForEachCtx(ctx, cfg.Workers, len(res.Clusters), func(_, ci int) {
 		c := res.Clusters[ci]
 		segs := make([]geom.Segment, len(c.Members))
 		weights := make([]float64, len(c.Members))
@@ -158,12 +216,29 @@ func RunOnItems(items []segclust.Item, cfg Config) (*Output, error) {
 			segs[i] = items[m].Seg
 			weights[i] = items[m].Weight
 		}
+		var rp []geom.Point
+		if rep == nil {
+			rp = sweep.Representative(segs, weights, swCfg)
+		} else {
+			rp, repErrs[ci] = rep(ctx, segs, weights)
+		}
 		out.Clusters[ci] = Cluster{
 			Segments:       segs,
 			Members:        c.Members,
 			Trajectories:   c.Trajectories,
-			Representative: sweep.Representative(segs, weights, swCfg),
+			Representative: rp,
+		}
+		if onCluster != nil {
+			onCluster()
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rerr := range repErrs {
+		if rerr != nil {
+			return nil, fmt.Errorf("core: representative: %w", rerr)
+		}
+	}
 	return out, nil
 }

@@ -132,11 +132,11 @@ func TestAvgSegmentsPerCluster(t *testing.T) {
 
 func TestGammaDefault(t *testing.T) {
 	cfg := Config{Eps: 40}
-	if got := cfg.gamma(); got != 10 {
+	if got := cfg.EffectiveGamma(); got != 10 {
 		t.Errorf("default gamma = %v, want Eps/4", got)
 	}
 	cfg.Gamma = 3
-	if got := cfg.gamma(); got != 3 {
+	if got := cfg.EffectiveGamma(); got != 3 {
 		t.Errorf("explicit gamma = %v", got)
 	}
 }

@@ -8,6 +8,8 @@ package mdl
 // loop regardless of scheduling.
 
 import (
+	"context"
+
 	"repro/internal/geom"
 	"repro/internal/par"
 )
@@ -62,13 +64,30 @@ func appendDedup(dst, pts []geom.Point) []geom.Point {
 // trajectory, index-aligned with trs. workers ≤ 0 uses all CPUs; the result
 // is bit-identical for every worker count.
 func PartitionAll(trs []geom.Trajectory, cfg Config, workers int) [][]geom.Segment {
+	out, _ := PartitionAllCtx(context.Background(), trs, cfg, workers, nil)
+	return out
+}
+
+// PartitionAllCtx is PartitionAll with cooperative cancellation and an
+// optional completion hook: once ctx is done the fan-out stops handing out
+// trajectories and ctx.Err() is returned (the partial output must be
+// discarded). onTrajectory, if non-nil, is invoked once per completed
+// trajectory — possibly from worker goroutines — so callers can stream
+// progress without wrapping the pool themselves.
+func PartitionAllCtx(ctx context.Context, trs []geom.Trajectory, cfg Config, workers int, onTrajectory func()) ([][]geom.Segment, error) {
 	out := make([][]geom.Segment, len(trs))
 	scratch := make([]*Partitioner, par.Workers(workers, len(trs)))
 	for w := range scratch {
 		scratch[w] = NewPartitioner(cfg)
 	}
-	par.ForEach(workers, len(trs), func(w, i int) {
+	err := par.ForEachCtx(ctx, workers, len(trs), func(w, i int) {
 		out[i] = scratch[w].Partition(trs[i])
+		if onTrajectory != nil {
+			onTrajectory()
+		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

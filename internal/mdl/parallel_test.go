@@ -1,8 +1,11 @@
 package mdl
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/geom"
@@ -82,5 +85,35 @@ func TestPartitionAllEmptyAndDegenerate(t *testing.T) {
 	}
 	if len(got[3]) != 1 {
 		t.Errorf("trajectory 3: want 1 segment, got %v", got[3])
+	}
+}
+
+// TestPartitionAllCtx pins the ctx-aware variant: uncancelled it matches
+// PartitionAll exactly and ticks once per trajectory; pre-cancelled it
+// returns ctx.Err() and nothing else.
+func TestPartitionAllCtx(t *testing.T) {
+	trs := randomTrajectories(7, 80)
+	cfg := Config{CostAdvantage: 5}
+	want := PartitionAll(trs, cfg, 1)
+	var ticks atomic.Int64
+	got, err := PartitionAllCtx(context.Background(), trs, cfg, 4, func() { ticks.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("PartitionAllCtx differs from PartitionAll")
+	}
+	if ticks.Load() != int64(len(trs)) {
+		t.Errorf("ticked %d times, want %d", ticks.Load(), len(trs))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := PartitionAllCtx(ctx, trs, cfg, 4, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Error("cancelled PartitionAllCtx returned output")
 	}
 }

@@ -13,6 +13,7 @@ package optics
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -48,6 +49,14 @@ type Result struct {
 // experiments; the TRACLUS production path does not use OPTICS (the paper
 // deliberately chooses DBSCAN; see Appendix D).
 func Run(n int, dist DistFunc, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), n, dist, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked once per
+// processed item (each costs one O(n) neighborhood scan), so the ordering
+// aborts with ctx.Err() within one scan of ctx ending. Uncancelled, it is
+// bit-identical to Run.
+func RunCtx(ctx context.Context, n int, dist DistFunc, cfg Config) (*Result, error) {
 	if cfg.Eps <= 0 {
 		return nil, errors.New("optics: Eps must be positive")
 	}
@@ -87,7 +96,11 @@ func Run(n int, dist DistFunc, cfg Config) (*Result, error) {
 		return hood
 	}
 
+	done := ctx.Done()
 	for start := 0; start < n; start++ {
+		if done != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if processed[start] {
 			continue
 		}
@@ -101,6 +114,9 @@ func Run(n int, dist DistFunc, cfg Config) (*Result, error) {
 		seeds := &seedQueue{}
 		update(start, hood, dist, res.CoreDist[start], processed, reach, seeds)
 		for seeds.Len() > 0 {
+			if done != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			q := heap.Pop(seeds).(seedItem).id
 			if processed[q] {
 				continue

@@ -1,8 +1,11 @@
 package optics
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/geom"
@@ -147,5 +150,32 @@ func TestEmpty(t *testing.T) {
 	}
 	if len(res.Order) != 0 {
 		t.Error("non-empty ordering")
+	}
+}
+
+// TestRunCtxCancelled pins cooperative cancellation of the ordering: a
+// pre-cancelled context returns ctx.Err(), and uncancelled RunCtx matches
+// Run exactly.
+func TestRunCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := blobPoints(rng, []geom.Point{geom.Pt(0, 0), geom.Pt(300, 0)}, 30, 10)
+	n, dist := len(pts), euclid(pts)
+	cfg := Config{Eps: 40, MinPts: 4}
+	want, err := Run(n, dist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCtx(context.Background(), n, dist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("RunCtx differs from Run")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, n, dist, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -43,11 +44,39 @@ func Workers(requested, n int) int {
 // the call via Workers, or for asserting the serial path in tests).
 func ForEach(requested, n int, fn func(worker, i int)) int {
 	workers := Workers(requested, n)
+	forEach(context.Background(), workers, n, fn)
+	return workers
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, the
+// dispatcher stops handing out items and each worker abandons its queue
+// before starting another item, so the call returns within roughly one
+// item's worth of work. It returns ctx.Err() when the loop was cut short and
+// nil when every item ran. Callers must treat any partially-written output
+// as garbage on a non-nil return — items are dropped, not retried.
+//
+// Cancellation never tears down a running fn mid-item (fn does not take a
+// ctx), so per-item state stays consistent; promptness is bounded by the
+// cost of one item, the scheduling quantum of the pool.
+func ForEachCtx(ctx context.Context, requested, n int, fn func(worker, i int)) error {
+	return forEach(ctx, Workers(requested, n), n, fn)
+}
+
+func forEach(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	// The Background/TODO fast path (no Done channel) skips every per-item
+	// check, so ForEach costs exactly what it did before cancellation
+	// existed.
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			fn(0, i)
 		}
-		return workers
+		return nil
 	}
 	next := make(chan int, 2*workers)
 	var wg sync.WaitGroup
@@ -56,14 +85,31 @@ func ForEach(requested, n int, fn func(worker, i int)) int {
 		go func(w int) {
 			defer wg.Done()
 			for i := range next {
+				if done != nil && ctx.Err() != nil {
+					continue // drain the queue without working
+				}
 				fn(w, i)
 			}
 		}(w)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	if done == nil {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+	} else {
+	feed:
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-done:
+				break feed
+			}
+		}
 	}
 	close(next)
 	wg.Wait()
-	return workers
+	if done != nil {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -84,5 +86,68 @@ func TestForEachEmpty(t *testing.T) {
 	called := false
 	if got := ForEach(4, 0, func(_, _ int) { called = true }); got != 0 || called {
 		t.Fatalf("ForEach over empty range: workers=%d called=%v", got, called)
+	}
+}
+
+// TestForEachCtxCompletesUncancelled pins that the ctx-aware loop without
+// cancellation is exactly ForEach: every item exactly once, nil error.
+func TestForEachCtxCompletesUncancelled(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		const n = 500
+		counts := make([]int32, n)
+		err := ForEachCtx(context.Background(), workers, n, func(_, i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachCtxStopsOnCancel pins cooperative cancellation: a context
+// cancelled partway through makes the loop return ctx.Err() without
+// visiting every item, at every worker count (including the inline serial
+// path).
+func TestForEachCtxStopsOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		const n = 100000
+		ctx, cancel := context.WithCancel(context.Background())
+		var visited atomic.Int64
+		err := ForEachCtx(ctx, workers, n, func(_, i int) {
+			if visited.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Parallel workers may each finish their in-flight item plus drain a
+		// small buffered backlog; nothing near n must have run.
+		if v := visited.Load(); v >= n {
+			t.Fatalf("workers=%d: visited %d of %d items despite cancellation", workers, v, n)
+		}
+		cancel()
+	}
+}
+
+// TestForEachCtxPreCancelled pins the fast path: an already-done context
+// visits nothing.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		called := atomic.Int64{}
+		err := ForEachCtx(ctx, workers, 50, func(_, _ int) { called.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if called.Load() != 0 {
+			t.Fatalf("workers=%d: %d items ran under a pre-cancelled context", workers, called.Load())
+		}
 	}
 }

@@ -14,6 +14,7 @@
 package params
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -135,6 +136,15 @@ func (o AnnealOptions) withDefaults() AnnealOptions {
 // annealing and returns the estimate together with the suggested MinLns
 // range. The search is deterministic for a fixed seed.
 func EstimateEps(items []segclust.Item, lo, hi float64, opt lsdist.Options, index segclust.IndexKind, an AnnealOptions) (Estimate, error) {
+	return EstimateEpsCtx(context.Background(), items, lo, hi, opt, index, an)
+}
+
+// EstimateEpsCtx is EstimateEps with cooperative cancellation: ctx is
+// checked before every annealing step and threaded into each parallel
+// neighborhood evaluation, so the search stops within one ε evaluation of
+// ctx ending and returns ctx.Err(). The uncancelled search is bit-identical
+// to EstimateEps (same seeded random walk, same evaluations).
+func EstimateEpsCtx(ctx context.Context, items []segclust.Item, lo, hi float64, opt lsdist.Options, index segclust.IndexKind, an AnnealOptions) (Estimate, error) {
 	if !(lo > 0) || !(hi > lo) {
 		return Estimate{}, errors.New("params: need 0 < lo < hi")
 	}
@@ -146,19 +156,28 @@ func EstimateEps(items []segclust.Item, lo, hi float64, opt lsdist.Options, inde
 	rng := rand.New(rand.NewSource(an.Seed))
 
 	evals := 0
-	energy := func(eps float64) (float64, float64) {
+	energy := func(eps float64) (float64, float64, error) {
 		evals++
-		n := shared.NeighborhoodWeights(eps, an.Workers)
-		return Entropy(n), Average(n)
+		n, err := shared.NeighborhoodWeightsCtx(ctx, eps, an.Workers)
+		if err != nil {
+			return 0, 0, err
+		}
+		return Entropy(n), Average(n), nil
 	}
 
 	cur := lo + (hi-lo)/2
-	curE, curAvg := energy(cur)
+	curE, curAvg, err := energy(cur)
+	if err != nil {
+		return Estimate{}, err
+	}
 	best, bestE, bestAvg := cur, curE, curAvg
 
 	temp := an.InitTemp
 	span := (hi - lo) / 2
 	for i := 0; i < an.Iterations; i++ {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
 		cand := cur + rng.NormFloat64()*span*temp
 		for cand < lo || cand > hi { // reflect into range
 			if cand < lo {
@@ -168,7 +187,10 @@ func EstimateEps(items []segclust.Item, lo, hi float64, opt lsdist.Options, inde
 				cand = 2*hi - cand
 			}
 		}
-		candE, candAvg := energy(cand)
+		candE, candAvg, err := energy(cand)
+		if err != nil {
+			return Estimate{}, err
+		}
 		if candE <= curE || rng.Float64() < math.Exp((curE-candE)/math.Max(temp*0.05, 1e-9)) {
 			cur, curE, curAvg = cand, candE, candAvg
 		}

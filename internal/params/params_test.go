@@ -1,6 +1,8 @@
 package params
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -192,5 +194,29 @@ func TestEstimateEpsErrors(t *testing.T) {
 	}
 	if _, err := EstimateEpsGrid(items, nil, lsdist.DefaultOptions(), segclust.IndexGrid, 0); err == nil {
 		t.Error("empty eps grid accepted")
+	}
+}
+
+// TestEstimateEpsCtx pins the ctx-aware search: uncancelled it is the same
+// seeded walk as EstimateEps; a pre-cancelled context aborts with ctx.Err()
+// before evaluating anything.
+func TestEstimateEpsCtx(t *testing.T) {
+	items := testItems(rand.New(rand.NewSource(3)))
+	want, err := EstimateEps(items, 2, 80, lsdist.DefaultOptions(), segclust.IndexGrid, AnnealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateEpsCtx(context.Background(), items, 2, 80, lsdist.DefaultOptions(), segclust.IndexGrid, AnnealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Errorf("EstimateEpsCtx = %+v, EstimateEps = %+v", got, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateEpsCtx(ctx, items, 2, 80, lsdist.DefaultOptions(), segclust.IndexGrid, AnnealOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

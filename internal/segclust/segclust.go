@@ -15,8 +15,10 @@
 package segclust
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/gridindex"
@@ -304,7 +306,21 @@ func (e *engine) neighborhood(i int, dst []int) ([]int, float64) {
 // Run executes the Figure-12 algorithm. cfg.Workers > 1 precomputes the
 // ε-neighborhoods concurrently; the clustering is identical either way.
 func Run(items []Item, cfg Config) (*Result, error) {
-	return run(items, cfg, lsdist.New(cfg.Options))
+	return run(context.Background(), items, cfg, lsdist.New(cfg.Options), nil)
+}
+
+// RunCtx is Run with cooperative cancellation and an optional per-item
+// completion hook. Cancellation is checked once per item on the parallel
+// neighborhood precompute and once per outer-loop item and expansion-queue
+// pop on the serial path, so the call returns ctx.Err() within roughly one
+// neighborhood's worth of work after ctx is done. An uncancelled RunCtx is
+// bit-identical to Run.
+//
+// onItem, if non-nil, is invoked once per item whose ε-neighborhood has
+// been resolved — from worker goroutines on the parallel path, inline on
+// the serial one — so callers can stream grouping progress.
+func RunCtx(ctx context.Context, items []Item, cfg Config, onItem func()) (*Result, error) {
+	return run(ctx, items, cfg, lsdist.New(cfg.Options), onItem)
 }
 
 // RunWithDistance executes the Figure-12 algorithm under an arbitrary
@@ -324,11 +340,14 @@ func RunWithDistance(items []Item, dist lsdist.Func, cfg Config) (*Result, error
 		cfg.Options.Weights = lsdist.DefaultWeights()
 	}
 	cfg.Index = IndexNone // no prefilter is sound for an unknown distance
-	return run(items, cfg, dist)
+	return run(context.Background(), items, cfg, dist, nil)
 }
 
-func run(items []Item, cfg Config, dist lsdist.Func) (*Result, error) {
+func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem func()) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	minTrajs := cfg.MinTrajs
@@ -348,11 +367,18 @@ func run(items []Item, cfg Config, dist lsdist.Func) (*Result, error) {
 		shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
 		e.hoods = make([][]int, len(items))
 		e.hoodW = make([]float64, len(items))
-		e.calls = shared.forEachNeighborhood(cfg.Eps, cfg.Workers, dist,
+		var err error
+		e.calls, err = shared.forEachNeighborhoodCtx(ctx, cfg.Eps, cfg.Workers, dist,
 			func(i int, hood []int, weight float64) {
 				e.hoods[i] = append(make([]int, 0, len(hood)), hood...)
 				e.hoodW[i] = weight
+				if onItem != nil {
+					onItem()
+				}
 			})
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		e.src = newSource(items, cfg)
 	}
@@ -360,10 +386,21 @@ func run(items []Item, cfg Config, dist lsdist.Func) (*Result, error) {
 		e.labels[i] = unclassified
 	}
 
+	// The lazy serial path resolves neighborhoods as the scan reaches them,
+	// so progress ticks track the outer loop there; the parallel path has
+	// already ticked every item during the precompute.
+	serialTicks := e.hoods == nil
+	done := ctx.Done()
 	clusterID := 0
 	var hood, queue []int
 	var weight float64
 	for i := range items {
+		if done != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if serialTicks && onItem != nil {
+			onItem()
+		}
 		if e.labels[i] != unclassified {
 			continue
 		}
@@ -389,7 +426,9 @@ func run(items []Item, cfg Config, dist lsdist.Func) (*Result, error) {
 			}
 		}
 		// Step 2: ExpandCluster.
-		e.expand(&queue, clusterID)
+		if err := e.expand(ctx, &queue, clusterID); err != nil {
+			return nil, err
+		}
 		clusterID++
 	}
 
@@ -397,11 +436,17 @@ func run(items []Item, cfg Config, dist lsdist.Func) (*Result, error) {
 }
 
 // expand computes the density-connected set of the seeded cluster
-// (Figure 12 lines 17–28).
-func (e *engine) expand(queue *[]int, clusterID int) {
+// (Figure 12 lines 17–28). Cancellation is checked once per queue pop —
+// the lazy serial path computes a full ε-neighborhood per pop, so this is
+// the loop that must stay interruptible on pathological expansions.
+func (e *engine) expand(ctx context.Context, queue *[]int, clusterID int) error {
+	done := ctx.Done()
 	var hood []int
 	var weight float64
 	for len(*queue) > 0 {
+		if done != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		m := (*queue)[0]
 		*queue = (*queue)[1:]
 		hood, weight = e.neighborhood(m, hood[:0])
@@ -418,6 +463,7 @@ func (e *engine) expand(queue *[]int, clusterID int) {
 			}
 		}
 	}
+	return nil
 }
 
 // finish applies the trajectory-cardinality filter and assembles the
@@ -453,6 +499,60 @@ func (e *engine) finish(numIDs, minTrajs int) *Result {
 		case l >= 0:
 			res.ClusterOf[i] = remap[l]
 		default:
+			res.ClusterOf[i] = Noise
+		}
+	}
+	return res
+}
+
+// ResultFromLabels builds a canonical Result from an arbitrary per-item
+// labelling: labels[i] is any non-negative cluster id (ids need not be
+// dense) or negative for noise. The trajectory-cardinality filter of
+// Definition 10 is applied when minTrajs > 0 — clusters with fewer distinct
+// trajectory ids are demoted to noise and counted in Removed — and the
+// surviving clusters are renumbered 0..k-1 in ascending original-id order
+// with Members ascending and Trajectories sorted, the same canonical shape
+// Run produces. distCalls is recorded verbatim.
+//
+// It is the bridge for alternative grouping algorithms (e.g. the OPTICS
+// variant exposed on the public Pipeline): produce labels however you like,
+// then canonicalise them into the Result the rest of the pipeline consumes.
+func ResultFromLabels(items []Item, labels []int, minTrajs, distCalls int) *Result {
+	members := make(map[int][]int)
+	trajs := make(map[int]map[int]bool)
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		members[l] = append(members[l], i)
+		if trajs[l] == nil {
+			trajs[l] = make(map[int]bool)
+		}
+		trajs[l][items[i].TrajID] = true
+	}
+	ids := make([]int, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // ids may be sparse; visit them in ascending order
+	res := &Result{ClusterOf: make([]int, len(items)), DistCalls: distCalls}
+	remap := make(map[int]int, len(members))
+	for _, id := range ids {
+		if minTrajs > 0 && len(trajs[id]) < minTrajs {
+			remap[id] = Noise
+			res.Removed++
+			continue
+		}
+		remap[id] = len(res.Clusters)
+		res.Clusters = append(res.Clusters, Cluster{
+			Members:      members[id],
+			Trajectories: sortedKeys(trajs[id]),
+		})
+	}
+	for i, l := range labels {
+		if l >= 0 {
+			res.ClusterOf[i] = remap[l]
+		} else {
 			res.ClusterOf[i] = Noise
 		}
 	}
@@ -532,13 +632,22 @@ func (s *SharedIndex) view() neighborSource {
 // count. Both the clustering precompute (Run with Workers > 1) and the
 // Section 4.4 parameter heuristic ride this one pass.
 func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, dist lsdist.Func, visit func(i int, hood []int, weight float64)) int {
+	calls, _ := s.forEachNeighborhoodCtx(context.Background(), eps, workers, dist, visit)
+	return calls
+}
+
+// forEachNeighborhoodCtx is forEachNeighborhood with cooperative
+// cancellation: once ctx is done, remaining items are dropped and ctx.Err()
+// is returned alongside the distance-call count so far (callers must treat
+// their partially-visited state as garbage).
+func (s *SharedIndex) forEachNeighborhoodCtx(ctx context.Context, eps float64, workers int, dist lsdist.Func, visit func(i int, hood []int, weight float64)) (int, error) {
 	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt, Index: s.kind}
 	engines := make([]*engine, par.Workers(workers, len(s.items)))
 	hoods := make([][]int, len(engines))
 	for w := range engines {
 		engines[w] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view()}
 	}
-	par.ForEach(workers, len(s.items), func(w, i int) {
+	err := par.ForEachCtx(ctx, workers, len(s.items), func(w, i int) {
 		var weight float64
 		hoods[w], weight = engines[w].neighborhood(i, hoods[w][:0])
 		visit(i, hoods[w], weight)
@@ -547,7 +656,7 @@ func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, dist lsdist.
 	for _, e := range engines {
 		calls += e.calls
 	}
-	return calls
+	return calls, err
 }
 
 // NeighborhoodWeights returns, for every item, the weighted cardinality of
@@ -556,10 +665,21 @@ func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, dist lsdist.
 // (entropy over |Nε| and avg|Nε|) and parallelises across workers (≤ 0
 // means all CPUs).
 func (s *SharedIndex) NeighborhoodWeights(eps float64, workers int) []float64 {
-	out := make([]float64, len(s.items))
-	s.forEachNeighborhood(eps, workers, lsdist.New(s.opt),
-		func(i int, _ []int, weight float64) { out[i] = weight })
+	out, _ := s.NeighborhoodWeightsCtx(context.Background(), eps, workers)
 	return out
+}
+
+// NeighborhoodWeightsCtx is NeighborhoodWeights with cooperative
+// cancellation; a non-nil error means the returned slice is incomplete and
+// must be discarded.
+func (s *SharedIndex) NeighborhoodWeightsCtx(ctx context.Context, eps float64, workers int) ([]float64, error) {
+	out := make([]float64, len(s.items))
+	_, err := s.forEachNeighborhoodCtx(ctx, eps, workers, lsdist.New(s.opt),
+		func(i int, _ []int, weight float64) { out[i] = weight })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // NeighborhoodWeights is the one-shot convenience form: it builds an index

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,20 +13,30 @@ type JobState string
 
 // Job lifecycle states.
 const (
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
 )
 
 // Job describes one asynchronous model build. The daemon returns its ID
 // from POST /models and clients poll GET /jobs/{id} until the state leaves
-// JobRunning.
+// JobRunning. A running job reports live progress (Phase + Progress, fed by
+// the pipeline's progress stream) and can be cancelled, which transitions
+// it to JobCancelled rather than JobFailed so clients can tell an aborted
+// build from a broken one.
 type Job struct {
 	ID    string   `json:"id"`
 	Model string   `json:"model"`
 	State JobState `json:"state"`
 	Error string   `json:"error,omitempty"`
 	Note  string   `json:"note,omitempty"` // e.g. deduplicated into another build
+	// Phase and Progress are the build's live position: the current
+	// pipeline phase (partition | group | represent) and the completed
+	// fraction of that phase in [0, 1]. Both are zero before the first
+	// progress report and frozen at their last values once the job ends.
+	Phase    string  `json:"phase,omitempty"`
+	Progress float64 `json:"progress"`
 	// Finished is nil while the job runs (omitempty has no effect on
 	// struct values, so a pointer keeps running jobs free of a bogus
 	// zero timestamp).
@@ -39,6 +51,7 @@ type Jobs struct {
 	mu       sync.Mutex
 	seq      int
 	jobs     map[string]*Job
+	cancels  map[string]context.CancelFunc // running jobs only
 	keep     int
 	finished []string // terminal-state job ids, oldest first
 }
@@ -49,15 +62,23 @@ const defaultKeepFinished = 256
 // NewJobs creates an empty registry retaining the most recent
 // defaultKeepFinished finished jobs.
 func NewJobs() *Jobs {
-	return &Jobs{jobs: map[string]*Job{}, keep: defaultKeepFinished}
+	return &Jobs{
+		jobs:    map[string]*Job{},
+		cancels: map[string]context.CancelFunc{},
+		keep:    defaultKeepFinished,
+	}
 }
 
-// Start registers a job for the named model and runs fn on a new goroutine,
-// transitioning the job to JobDone or JobFailed when fn returns; a non-empty
-// note is recorded on the finished job (e.g. that the build was
-// deduplicated into a concurrent one). The returned snapshot carries the
-// assigned ID.
-func (j *Jobs) Start(model string, fn func() (note string, err error)) Job {
+// Start registers a job for the named model and runs fn on a new goroutine
+// under a context derived from ctx that Cancel (or CancelModel) aborts. fn
+// receives an update callback for live progress (safe to call from any
+// goroutine; nil-tolerant inputs are not required — Start supplies it).
+// When fn returns, the job transitions to JobDone, JobCancelled (fn's error
+// wraps context.Canceled), or JobFailed; a non-empty note is recorded on
+// the finished job (e.g. that the build was deduplicated into a concurrent
+// one). The returned snapshot carries the assigned ID.
+func (j *Jobs) Start(ctx context.Context, model string, fn func(ctx context.Context, update func(phase string, fraction float64)) (note string, err error)) Job {
+	ctx, cancel := context.WithCancel(ctx)
 	j.mu.Lock()
 	j.seq++
 	job := &Job{
@@ -67,22 +88,38 @@ func (j *Jobs) Start(model string, fn func() (note string, err error)) Job {
 		Started: time.Now().UTC(),
 	}
 	j.jobs[job.ID] = job
+	j.cancels[job.ID] = cancel
 	snap := *job
 	j.mu.Unlock()
 
+	update := func(phase string, fraction float64) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if job.State != JobRunning {
+			return // a late report must not mutate a terminal job
+		}
+		job.Phase, job.Progress = phase, fraction
+	}
+
 	go func() {
-		note, err := fn()
+		defer cancel() // release the context once the job is over
+		note, err := fn(ctx, update)
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		now := time.Now().UTC()
 		job.Finished = &now
 		job.Note = note
-		if err != nil {
+		switch {
+		case err == nil:
+			job.State = JobDone
+		case errors.Is(err, context.Canceled):
+			job.State = JobCancelled
+			job.Error = err.Error()
+		default:
 			job.State = JobFailed
 			job.Error = err.Error()
-		} else {
-			job.State = JobDone
 		}
+		delete(j.cancels, job.ID)
 		j.finished = append(j.finished, job.ID)
 		for j.keep > 0 && len(j.finished) > j.keep {
 			delete(j.jobs, j.finished[0])
@@ -90,6 +127,39 @@ func (j *Jobs) Start(model string, fn func() (note string, err error)) Job {
 		}
 	}()
 	return snap
+}
+
+// Cancel aborts the identified job's context. It reports whether a running
+// job was signalled; the job itself transitions to JobCancelled only when
+// its build function observes the cancellation and returns.
+func (j *Jobs) Cancel(id string) bool {
+	j.mu.Lock()
+	cancel, ok := j.cancels[id]
+	j.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
+}
+
+// CancelModel aborts every running job building the named model and
+// returns how many were signalled. DELETE /models/{name} uses it so
+// deleting a model also stops paying for its in-flight builds.
+func (j *Jobs) CancelModel(model string) int {
+	j.mu.Lock()
+	var cancels []context.CancelFunc
+	for id, job := range j.jobs {
+		if job.Model == model && job.State == JobRunning {
+			if cancel, ok := j.cancels[id]; ok {
+				cancels = append(cancels, cancel)
+			}
+		}
+	}
+	j.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	return len(cancels)
 }
 
 // Get returns a snapshot of the identified job.

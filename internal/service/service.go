@@ -71,8 +71,24 @@ type Model struct {
 // whose clustering found no clusters is still valid — its summary reports
 // zero clusters and Classify returns traclus.ErrNoClusters.
 func Build(name string, trs []traclus.Trajectory, cfg traclus.Config) (*Model, error) {
+	return BuildCtx(context.Background(), name, trs, cfg, nil)
+}
+
+// BuildCtx is Build over the cancellable Pipeline API: a done ctx aborts
+// the clustering within one work item and surfaces ctx.Err() (match with
+// errors.Is against context.Canceled — the daemon maps it to a cancelled
+// job, not a failed one). progress, if non-nil, receives the pipeline's
+// phase/fraction stream (serialized, monotone per phase) so an async build
+// job can report live progress to pollers.
+func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, progress func(phase string, fraction float64)) (*Model, error) {
 	start := time.Now()
-	res, err := traclus.Run(trs, cfg)
+	opts := []traclus.Option{traclus.WithConfig(cfg)}
+	if progress != nil {
+		opts = append(opts, traclus.WithProgress(func(ev traclus.ProgressEvent) {
+			progress(ev.Phase.String(), ev.Fraction)
+		}))
+	}
+	res, err := traclus.New(opts...).Run(ctx, trs)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,8 @@ package service
 
 import (
 	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -48,6 +50,58 @@ func TestBuildSummary(t *testing.T) {
 func TestBuildRejectsBadConfig(t *testing.T) {
 	if _, err := Build("bad", trainingSet(), traclus.Config{Eps: -1, MinLns: 6}); err == nil {
 		t.Error("negative eps accepted")
+	}
+}
+
+// TestBuildCtxCancelled pins that a done context aborts the underlying
+// clustering with context.Canceled — the condition the daemon maps to a
+// "cancelled" (not "failed") job.
+func TestBuildCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := BuildCtx(ctx, "doomed", trainingSet(), buildConfig(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m != nil {
+		t.Fatal("cancelled build returned a model")
+	}
+}
+
+// TestBuildCtxStreamsProgress pins the progress plumbing: a full build
+// reports all three pipeline phases in order with each reaching fraction 1.
+func TestBuildCtxStreamsProgress(t *testing.T) {
+	type ev struct {
+		phase string
+		frac  float64
+	}
+	var events []ev // serialized by the pipeline's progress contract
+	m, err := BuildCtx(context.Background(), "corridors", trainingSet(), buildConfig(),
+		func(phase string, fraction float64) { events = append(events, ev{phase, fraction}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Summary().Clusters != 2 {
+		t.Fatalf("Clusters = %d, want 2", m.Summary().Clusters)
+	}
+	finished := map[string]bool{}
+	order := []string{}
+	for _, e := range events {
+		if len(order) == 0 || order[len(order)-1] != e.phase {
+			order = append(order, e.phase)
+		}
+		if e.frac == 1 {
+			finished[e.phase] = true
+		}
+	}
+	want := []string{"partition", "group", "represent"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("phase order = %v, want %v", order, want)
+	}
+	for _, ph := range want {
+		if !finished[ph] {
+			t.Errorf("phase %s never reported fraction 1", ph)
+		}
 	}
 }
 
@@ -108,10 +162,16 @@ func TestBuildWithNoClusters(t *testing.T) {
 	}
 }
 
+// noJob is a build function stub for registry tests that ignores its
+// context and progress callback.
+func noJob(result error) func(context.Context, func(string, float64)) (string, error) {
+	return func(context.Context, func(string, float64)) (string, error) { return "", result }
+}
+
 func TestJobsLifecycle(t *testing.T) {
 	jobs := NewJobs()
 	release := make(chan struct{})
-	job := jobs.Start("m1", func() (string, error) {
+	job := jobs.Start(context.Background(), "m1", func(context.Context, func(string, float64)) (string, error) {
 		<-release
 		return "", nil
 	})
@@ -124,7 +184,7 @@ func TestJobsLifecycle(t *testing.T) {
 	close(release)
 	waitForState(t, jobs, job.ID, JobDone)
 
-	fail := jobs.Start("m2", func() (string, error) { return "", context.Canceled })
+	fail := jobs.Start(context.Background(), "m2", noJob(errors.New("boom")))
 	waitForState(t, jobs, fail.ID, JobFailed)
 	got, _ := jobs.Get(fail.ID)
 	if got.Error == "" || got.Finished.IsZero() {
@@ -135,12 +195,81 @@ func TestJobsLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobsCancellation pins the cancel path: Cancel aborts the job's
+// context, a build that returns the context error finishes as
+// JobCancelled (distinct from JobFailed), and late progress updates on the
+// terminal job are dropped.
+func TestJobsCancellation(t *testing.T) {
+	jobs := NewJobs()
+	var updateFn func(string, float64)
+	job := jobs.Start(context.Background(), "m1", func(ctx context.Context, update func(string, float64)) (string, error) {
+		updateFn = update
+		update("partition", 0.25)
+		<-ctx.Done()
+		return "", ctx.Err()
+	})
+	for {
+		if got, _ := jobs.Get(job.ID); got.Phase == "partition" {
+			break
+		}
+		sleep()
+	}
+	if !jobs.Cancel(job.ID) {
+		t.Fatal("Cancel found no running job")
+	}
+	waitForState(t, jobs, job.ID, JobCancelled)
+	got, _ := jobs.Get(job.ID)
+	if got.Phase != "partition" || got.Progress != 0.25 {
+		t.Errorf("progress not preserved at cancellation: %+v", got)
+	}
+	updateFn("represent", 0.9) // must not mutate the terminal job
+	if got, _ := jobs.Get(job.ID); got.Phase != "partition" {
+		t.Errorf("late update mutated finished job: %+v", got)
+	}
+	if jobs.Cancel(job.ID) {
+		t.Error("Cancel succeeded on a finished job")
+	}
+
+	// A build that swallows the context error (returns nil) is Done, not
+	// Cancelled — the state tracks what the build reported.
+	swallow := jobs.Start(context.Background(), "m2", noJob(nil))
+	waitForState(t, jobs, swallow.ID, JobDone)
+
+	// DeadlineExceeded is a failure, not a cancellation.
+	timeout := jobs.Start(context.Background(), "m3", noJob(context.DeadlineExceeded))
+	waitForState(t, jobs, timeout.ID, JobFailed)
+}
+
+func TestJobsCancelModel(t *testing.T) {
+	jobs := NewJobs()
+	build := func(ctx context.Context, _ func(string, float64)) (string, error) {
+		<-ctx.Done()
+		return "", ctx.Err()
+	}
+	a1 := jobs.Start(context.Background(), "a", build)
+	a2 := jobs.Start(context.Background(), "a", build)
+	b := jobs.Start(context.Background(), "b", build)
+	if n := jobs.CancelModel("a"); n != 2 {
+		t.Fatalf("CancelModel(a) = %d, want 2", n)
+	}
+	waitForState(t, jobs, a1.ID, JobCancelled)
+	waitForState(t, jobs, a2.ID, JobCancelled)
+	if got, _ := jobs.Get(b.ID); got.State != JobRunning {
+		t.Fatalf("unrelated model's job was cancelled: %+v", got)
+	}
+	if n := jobs.CancelModel("a"); n != 0 {
+		t.Errorf("second CancelModel(a) = %d, want 0", n)
+	}
+	jobs.CancelModel("b")
+	waitForState(t, jobs, b.ID, JobCancelled)
+}
+
 func TestJobsPruneFinished(t *testing.T) {
 	jobs := NewJobs()
 	jobs.keep = 3
 	var ids []string
 	for i := 0; i < 5; i++ {
-		job := jobs.Start("m", func() (string, error) { return "", nil })
+		job := jobs.Start(context.Background(), "m", noJob(nil))
 		waitForState(t, jobs, job.ID, JobDone)
 		ids = append(ids, job.ID)
 	}

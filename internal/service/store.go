@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -71,6 +72,14 @@ func (s *Store) Pending(name string) bool {
 // Unlike GetOrBuild it carries no build function, so join-style callers
 // need not retain build inputs.
 func (s *Store) Wait(name string) (m *Model, found bool, err error) {
+	return s.WaitCtx(context.Background(), name)
+}
+
+// WaitCtx is Wait bounded by ctx: a joiner stops waiting when its own
+// context ends (found stays true — there was something to wait for — and
+// err is ctx.Err()). The underlying build is unaffected; only this waiter
+// gives up.
+func (s *Store) WaitCtx(ctx context.Context, name string) (m *Model, found bool, err error) {
 	s.mu.Lock()
 	en, ok := s.entries[name]
 	if !ok {
@@ -83,8 +92,12 @@ func (s *Store) Wait(name string) (m *Model, found bool, err error) {
 		return en.model, true, nil
 	}
 	s.mu.Unlock()
-	<-en.ready
-	return en.model, true, en.err
+	select {
+	case <-en.ready:
+		return en.model, true, en.err
+	case <-ctx.Done():
+		return nil, true, ctx.Err()
+	}
 }
 
 // Get returns the named model if it is built and cached, marking it

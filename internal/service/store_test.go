@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -195,5 +196,39 @@ func TestStoreConcurrentDistinctNames(t *testing.T) {
 	wg.Wait()
 	if store.Len() != 8 {
 		t.Fatalf("Len = %d, want 8", store.Len())
+	}
+}
+
+// TestStoreWaitCtx pins the bounded join: a waiter whose own context ends
+// stops waiting (found=true, err=ctx.Err()) while the build it joined runs
+// on unaffected; cache hits and absent names ignore the context entirely.
+func TestStoreWaitCtx(t *testing.T) {
+	s := NewStore(0)
+	release := make(chan struct{})
+	go s.GetOrBuild("slow", func() (*Model, error) {
+		<-release
+		return fakeModel("slow"), nil
+	})
+	for !s.Pending("slow") {
+		sleep()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, found, err := s.WaitCtx(ctx, "slow"); !found || !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitCtx on in-flight build under done ctx: found=%v err=%v", found, err)
+	}
+	if _, found, err := s.WaitCtx(ctx, "ghost"); found || err != nil {
+		t.Fatalf("WaitCtx on absent name: found=%v err=%v", found, err)
+	}
+
+	close(release)
+	m, found, err := s.WaitCtx(context.Background(), "slow")
+	if !found || err != nil || m.Name() != "slow" {
+		t.Fatalf("WaitCtx after release: found=%v err=%v", found, err)
+	}
+	// A ready model answers even under a done context (no waiting happens).
+	if m, found, err := s.WaitCtx(ctx, "slow"); !found || err != nil || m.Name() != "slow" {
+		t.Fatalf("WaitCtx cache hit under done ctx: found=%v err=%v", found, err)
 	}
 }

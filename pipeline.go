@@ -1,0 +1,492 @@
+package traclus
+
+// This file is the composable front door to the TRACLUS engine: a Pipeline
+// built from functional options, whose three phases — Partitioner, Grouper,
+// RepresentativeBuilder — are pluggable stage interfaces, whose Run takes a
+// context.Context threaded through every fan-out loop, and whose Progress
+// hook streams phase/fraction events. The historical Run(trs, Config) is a
+// thin wrapper over a default Pipeline and stays bit-identical.
+//
+// Cancellation model: every phase checks ctx cooperatively at work-item
+// granularity (one trajectory partition, one ε-neighborhood, one cluster
+// sweep), so Run returns ctx.Err() within roughly one item's worth of work
+// after the context ends — one scheduling quantum of the worker pool. A
+// cancelled Run returns the bare ctx.Err() (match with errors.Is against
+// context.Canceled / context.DeadlineExceeded); no partial Result is ever
+// returned.
+//
+// Progress contract: the hook is invoked serially (never concurrently,
+// though possibly from worker goroutines), phases arrive in pipeline order
+// (partition → group → represent), fractions are non-decreasing within a
+// phase, and every phase opens with Fraction 0 and closes with exactly one
+// Fraction 1 event. Intermediate events are throttled, so the hook sees
+// O(1/resolution) calls per phase, not one per work item. The hook must not
+// block for long — it runs on the clustering's critical path — and must not
+// call back into the Pipeline.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lsdist"
+	"repro/internal/optics"
+	"repro/internal/params"
+	"repro/internal/segclust"
+	"repro/internal/sweep"
+)
+
+// Item is one clusterable line segment: a trajectory partition together
+// with its source trajectory id and weight. It is what the partition stage
+// produces and the grouping stage consumes.
+type Item = segclust.Item
+
+// Grouping is the outcome of the grouping stage: per-item cluster labels
+// (ClusterOf, with -1 = noise), the clusters in canonical order, the count
+// of density-connected sets removed by the trajectory-cardinality filter,
+// and the number of exact distance evaluations. Custom Groupers should
+// build one with GroupingFromLabels, which enforces the canonical shape the
+// rest of the pipeline assumes (clusters numbered 0..k-1, members
+// ascending, trajectory ids sorted).
+type Grouping = segclust.Result
+
+// SegmentCluster is one cluster of item indices within a Grouping.
+type SegmentCluster = segclust.Cluster
+
+// GroupingFromLabels canonicalises an arbitrary per-item labelling
+// (labels[i] ≥ 0 = cluster id, negative = noise) into a Grouping, applying
+// the Definition 10 trajectory-cardinality filter when minTrajs > 0.
+// distCalls is recorded verbatim. It is the bridge for custom Groupers.
+func GroupingFromLabels(items []Item, labels []int, minTrajs, distCalls int) *Grouping {
+	return segclust.ResultFromLabels(items, labels, minTrajs, distCalls)
+}
+
+// Partitioner is the first pipeline stage: it turns raw trajectories into
+// the pooled line segments the grouping stage clusters. Implementations
+// must honour ctx (return ctx.Err() promptly once it ends) and produce
+// output independent of cfg.Workers.
+type Partitioner interface {
+	Partition(ctx context.Context, trs []Trajectory, cfg Config) ([]Item, error)
+}
+
+// Grouper is the second pipeline stage: it clusters the pooled segments.
+// Implementations must return a canonical Grouping (see GroupingFromLabels)
+// with len(ClusterOf) == len(items), honour ctx, and produce output
+// independent of cfg.Workers.
+type Grouper interface {
+	Group(ctx context.Context, items []Item, cfg Config) (*Grouping, error)
+}
+
+// RepresentativeBuilder is the third pipeline stage: it summarises one
+// cluster's member segments (with their trajectory weights, index-aligned)
+// as a representative trajectory. A nil, empty, or short return is allowed —
+// clusters too compact for a stable representative keep a nil one.
+// Implementations are called concurrently for distinct clusters and must
+// not retain segs/weights.
+type RepresentativeBuilder interface {
+	Representative(ctx context.Context, segs []Segment, weights []float64, cfg Config) ([]Point, error)
+}
+
+// Phase identifies a pipeline phase in a ProgressEvent.
+type Phase int
+
+// The three phases, in pipeline order.
+const (
+	PhasePartition Phase = iota // MDL partitioning of trajectories
+	PhaseGroup                  // density grouping of pooled segments
+	PhaseRepresent              // per-cluster representative trajectories
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhasePartition:
+		return "partition"
+	case PhaseGroup:
+		return "group"
+	case PhaseRepresent:
+		return "represent"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// ProgressEvent is one progress report from a running pipeline.
+type ProgressEvent struct {
+	// Phase is the phase the event belongs to.
+	Phase Phase
+	// Done and Total count the phase's work items (trajectories, segments,
+	// clusters respectively). Total can be 0 for an empty phase.
+	Done, Total int
+	// Fraction is Done/Total in [0, 1]; an empty phase jumps 0 → 1.
+	Fraction float64
+}
+
+// ProgressFunc receives ProgressEvents; see the progress contract in the
+// package documentation above.
+type ProgressFunc func(ProgressEvent)
+
+// Pipeline is a reusable, configured TRACLUS pipeline. The zero
+// configuration (New with only WithConfig) reproduces Run exactly; stages
+// and hooks are swapped with the With* options. A Pipeline is immutable
+// after New and safe for concurrent Run calls.
+type Pipeline struct {
+	cfg       Config
+	partition Partitioner
+	group     Grouper
+	represent RepresentativeBuilder
+	progress  ProgressFunc
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithConfig sets the TRACLUS parameters (the same Config Run takes).
+func WithConfig(cfg Config) Option { return func(p *Pipeline) { p.cfg = cfg } }
+
+// WithWorkers overrides Config.Workers alone — parallelism for every phase
+// (≤ 0 = all CPUs, 1 = serial; output is identical either way).
+func WithWorkers(n int) Option { return func(p *Pipeline) { p.cfg.Workers = n } }
+
+// WithPartitioner replaces the partition stage (default PartitionMDL).
+func WithPartitioner(s Partitioner) Option { return func(p *Pipeline) { p.partition = s } }
+
+// WithGrouper replaces the grouping stage (default GroupDBSCAN).
+func WithGrouper(g Grouper) Option { return func(p *Pipeline) { p.group = g } }
+
+// WithRepresentativeBuilder replaces the representative stage (default
+// SweepRepresentatives).
+func WithRepresentativeBuilder(b RepresentativeBuilder) Option {
+	return func(p *Pipeline) { p.represent = b }
+}
+
+// WithProgress installs a progress hook.
+func WithProgress(fn ProgressFunc) Option { return func(p *Pipeline) { p.progress = fn } }
+
+// New builds a Pipeline from functional options. With no options it is the
+// paper's pipeline under the zero Config — set at least Eps and MinLns via
+// WithConfig before Run.
+func New(opts ...Option) *Pipeline {
+	p := &Pipeline{}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.partition == nil {
+		p.partition = PartitionMDL()
+	}
+	if p.group == nil {
+		p.group = GroupDBSCAN()
+	}
+	if p.represent == nil {
+		p.represent = SweepRepresentatives()
+	}
+	return p
+}
+
+// Run executes the pipeline: partition → group → represent. It is the
+// primary entrypoint of the package; the package-level Run is a wrapper
+// over it with context.Background(). A done ctx aborts the run within one
+// work item and returns ctx.Err(); otherwise the result is bit-identical
+// for every Workers value, and — with default stages — bit-identical to
+// the package-level Run.
+func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
+	cfg := p.cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if err := core.ValidateTrajectories(trs); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ccfg := cfg.core()
+	rep := newProgressReporter(p.progress)
+
+	rep.begin(PhasePartition, len(trs))
+	items, err := runPartition(ctx, p.partition, trs, cfg, rep)
+	if err != nil {
+		return nil, stageError(ctx, PhasePartition, err)
+	}
+	rep.finish()
+
+	rep.begin(PhaseGroup, len(items))
+	grouping, err := runGroup(ctx, p.group, items, cfg, rep)
+	if err != nil {
+		return nil, stageError(ctx, PhaseGroup, err)
+	}
+	if grouping == nil || len(grouping.ClusterOf) != len(items) {
+		labelled := 0
+		if grouping != nil {
+			labelled = len(grouping.ClusterOf)
+		}
+		return nil, fmt.Errorf("traclus: group stage labelled %d of %d items; use GroupingFromLabels to build a conformant Grouping",
+			labelled, len(items))
+	}
+	rep.finish()
+
+	rep.begin(PhaseRepresent, len(grouping.Clusters))
+	out, err := core.AssembleCtx(ctx, items, grouping, ccfg, p.representFunc(cfg), rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhaseRepresent, err)
+	}
+	rep.finish()
+	return newResult(out, ccfg), nil
+}
+
+// representFunc adapts the configured RepresentativeBuilder for
+// core.AssembleCtx; the default sweep builder maps to nil so the engine's
+// own (identical) sweep path runs.
+func (p *Pipeline) representFunc(cfg Config) core.RepresentativeFunc {
+	if _, ok := p.represent.(sweepBuilder); ok {
+		return nil
+	}
+	b := p.represent
+	return func(ctx context.Context, segs []Segment, weights []float64) ([]Point, error) {
+		return b.Representative(ctx, segs, weights, cfg)
+	}
+}
+
+// runPartition invokes the partition stage, routing per-trajectory ticks
+// from in-package stages into the reporter.
+func runPartition(ctx context.Context, s Partitioner, trs []Trajectory, cfg Config, rep *progressReporter) ([]Item, error) {
+	if ts, ok := s.(tickedPartitioner); ok {
+		return ts.partitionTicked(ctx, trs, cfg, rep.tick)
+	}
+	return s.Partition(ctx, trs, cfg)
+}
+
+func runGroup(ctx context.Context, g Grouper, items []Item, cfg Config, rep *progressReporter) (*Grouping, error) {
+	if tg, ok := g.(tickedGrouper); ok {
+		return tg.groupTicked(ctx, items, cfg, rep.tick)
+	}
+	return g.Group(ctx, items, cfg)
+}
+
+// stageError surfaces a done context as the bare ctx.Err() and wraps real
+// stage failures with the phase they came from.
+func stageError(ctx context.Context, phase Phase, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+		return ctxErr
+	}
+	return fmt.Errorf("traclus: %s stage: %w", phase, err)
+}
+
+// Estimate applies the Section 4.4 parameter heuristic under this
+// pipeline's configuration (weights, index, workers; Eps and MinLns are
+// ignored) with cooperative cancellation: the annealing search stops within
+// one ε evaluation of ctx ending. The package-level EstimateParameters is a
+// wrapper over it with context.Background().
+func (p *Pipeline) Estimate(ctx context.Context, trs []Trajectory, lo, hi float64) (Estimate, error) {
+	cfg := p.cfg
+	if err := cfg.validateEstimation(); err != nil {
+		return Estimate{}, fmt.Errorf("traclus: %w", err)
+	}
+	ccfg := cfg.core()
+	items, err := core.PartitionAllCtx(ctx, trs, ccfg, nil)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := params.EstimateEpsCtx(ctx, items, lo, hi, ccfg.Distance, ccfg.Index,
+		params.AnnealOptions{Workers: cfg.Workers})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return Estimate{}, ctxErr
+		}
+		return Estimate{}, fmt.Errorf("traclus: %w", err)
+	}
+	return Estimate{
+		Eps:          est.Eps,
+		Entropy:      est.Entropy,
+		AvgNeighbors: est.AvgNeighbors,
+		MinLnsLo:     est.MinLnsLo,
+		MinLnsHi:     est.MinLnsHi,
+	}, nil
+}
+
+// ---- Default stages ----
+
+// PartitionMDL returns the default partition stage: the paper's §3.3 MDL
+// approximate partitioning, fanned across cfg.Workers with per-worker
+// scratch.
+func PartitionMDL() Partitioner { return mdlPartitioner{} }
+
+type mdlPartitioner struct{}
+
+// tickedPartitioner lets in-package stages stream per-item progress into
+// the pipeline's reporter; custom stages simply get begin/end events.
+type tickedPartitioner interface {
+	partitionTicked(ctx context.Context, trs []Trajectory, cfg Config, tick func()) ([]Item, error)
+}
+
+func (p mdlPartitioner) Partition(ctx context.Context, trs []Trajectory, cfg Config) ([]Item, error) {
+	return p.partitionTicked(ctx, trs, cfg, nil)
+}
+
+func (mdlPartitioner) partitionTicked(ctx context.Context, trs []Trajectory, cfg Config, tick func()) ([]Item, error) {
+	return core.PartitionAllCtx(ctx, trs, cfg.core(), tick)
+}
+
+// GroupDBSCAN returns the default grouping stage: the paper's Figure-12
+// density-based clustering (DBSCAN-style expansion with the Definition 10
+// trajectory-cardinality filter), with the parallel ε-neighborhood
+// precompute when cfg.Workers allows.
+func GroupDBSCAN() Grouper { return dbscanGrouper{} }
+
+type dbscanGrouper struct{}
+
+type tickedGrouper interface {
+	groupTicked(ctx context.Context, items []Item, cfg Config, tick func()) (*Grouping, error)
+}
+
+func (g dbscanGrouper) Group(ctx context.Context, items []Item, cfg Config) (*Grouping, error) {
+	return g.groupTicked(ctx, items, cfg, nil)
+}
+
+func (dbscanGrouper) groupTicked(ctx context.Context, items []Item, cfg Config, tick func()) (*Grouping, error) {
+	ccfg := cfg.core()
+	return segclust.RunCtx(ctx, items, segclust.Config{
+		Eps:      ccfg.Eps,
+		MinLns:   ccfg.MinLns,
+		MinTrajs: ccfg.MinTrajs,
+		Options:  ccfg.Distance,
+		Index:    ccfg.Index,
+		Workers:  ccfg.Workers,
+	}, tick)
+}
+
+// GroupOPTICS returns the alternative grouping stage: an OPTICS ordering of
+// the segments (Ankerst et al., reference [2] of the paper) under the
+// TRACLUS distance, with the DBSCAN-equivalent clustering extracted at ε
+// and the Definition 10 trajectory-cardinality filter applied on top.
+//
+// Appendix D of the paper argues OPTICS suits line segments *less* well
+// than points (reachability distances crowd toward ε because the distance
+// is not a metric); this stage exists so that claim is testable on the real
+// pipeline. Divergences from GroupDBSCAN: neighborhoods are computed by
+// full scan (O(n²) — no sound prefilter is assumed), the density threshold
+// is the unweighted segment count ceil(MinLns) (OPTICS has no weighted
+// cardinality), and border segments can label differently, as the two
+// algorithms legitimately disagree on them.
+func GroupOPTICS() Grouper { return opticsGrouper{} }
+
+type opticsGrouper struct{}
+
+func (opticsGrouper) Group(ctx context.Context, items []Item, cfg Config) (*Grouping, error) {
+	ccfg := cfg.core()
+	dist := lsdist.New(ccfg.Distance)
+	calls := 0 // OPTICS runs single-threaded, so a plain counter is safe
+	df := func(i, j int) float64 {
+		calls++
+		return dist(items[i].Seg, items[j].Seg)
+	}
+	minPts := int(math.Ceil(cfg.MinLns))
+	if minPts < 1 {
+		minPts = 1
+	}
+	res, err := optics.RunCtx(ctx, len(items), df, optics.Config{Eps: cfg.Eps, MinPts: minPts})
+	if err != nil {
+		return nil, err
+	}
+	labels := res.ExtractDBSCAN(cfg.Eps)
+	minTrajs := cfg.MinTrajs
+	if minTrajs <= 0 {
+		minTrajs = int(cfg.MinLns)
+	}
+	return GroupingFromLabels(items, labels, minTrajs, calls), nil
+}
+
+// SweepRepresentatives returns the default representative stage: the §4.3
+// sweep line along each cluster's average direction, emitting points where
+// at least MinLns (weighted) segments overlap, γ apart (Config.Gamma, 0 =
+// Eps/4).
+func SweepRepresentatives() RepresentativeBuilder { return sweepBuilder{} }
+
+type sweepBuilder struct{}
+
+func (sweepBuilder) Representative(_ context.Context, segs []Segment, weights []float64, cfg Config) ([]Point, error) {
+	return sweep.Representative(segs, weights, sweep.Config{
+		MinLns: cfg.MinLns,
+		Gamma:  cfg.core().EffectiveGamma(),
+	}), nil
+}
+
+// ---- Progress reporting ----
+
+// progressResolution bounds intermediate events per phase: a tick emits
+// only when the fraction advanced by at least 1/progressResolution since
+// the last emitted event (completion always emits).
+const progressResolution = 64
+
+// progressReporter serializes and throttles progress callbacks. All state
+// transitions happen under mu, which also makes the emission order total:
+// phases in order, fractions non-decreasing, exactly one Fraction-1 event
+// per phase.
+type progressReporter struct {
+	fn ProgressFunc
+
+	mu       sync.Mutex
+	phase    Phase
+	done     int
+	total    int
+	lastFrac float64
+	closed   bool // the Fraction-1 event for this phase was emitted
+}
+
+func newProgressReporter(fn ProgressFunc) *progressReporter {
+	return &progressReporter{fn: fn}
+}
+
+func (r *progressReporter) begin(phase Phase, total int) {
+	if r == nil || r.fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.phase, r.done, r.total, r.lastFrac, r.closed = phase, 0, total, 0, false
+	r.fn(ProgressEvent{Phase: phase, Done: 0, Total: total, Fraction: 0})
+}
+
+// tick records one completed work item, emitting an event when the
+// fraction advanced enough (or the phase completed).
+func (r *progressReporter) tick() {
+	if r == nil || r.fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	if r.total <= 0 || r.done > r.total || r.closed {
+		return // defensive: a stage over-ticking must not break monotonicity
+	}
+	frac := float64(r.done) / float64(r.total)
+	if frac < 1 && frac-r.lastFrac < 1.0/progressResolution {
+		return
+	}
+	r.lastFrac = frac
+	if frac >= 1 {
+		r.closed = true
+	}
+	r.fn(ProgressEvent{Phase: r.phase, Done: r.done, Total: r.total, Fraction: frac})
+}
+
+// finish closes the phase, emitting the Fraction-1 event if ticks did not
+// already (stages without tick support, empty phases).
+func (r *progressReporter) finish() {
+	if r == nil || r.fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	done := r.done
+	if r.total > 0 && done > r.total {
+		done = r.total
+	}
+	r.fn(ProgressEvent{Phase: r.phase, Done: done, Total: r.total, Fraction: 1})
+}

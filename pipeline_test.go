@@ -1,0 +1,360 @@
+package traclus_test
+
+// Tests for the composable Pipeline API: equivalence with the compatibility
+// Run wrapper at every worker count (the acceptance bar includes DistCalls),
+// prompt cooperative cancellation on a large synthetic input, the progress
+// hook's ordering contract, stage pluggability, and the estimation-path
+// validation fix.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/synth"
+
+	traclus "repro"
+)
+
+// TestPipelineRunMatchesRun pins the compatibility guarantee: a default
+// Pipeline is bit-identical to Run at Workers ∈ {1, 4, all} — clusters
+// (representatives included), noise/removal counts, and even DistCalls.
+func TestPipelineRunMatchesRun(t *testing.T) {
+	trs := equivalenceWorkload(t, 120)
+	for _, workers := range []int{1, 4, 0} {
+		cfg := traclus.Config{
+			Eps: 30, MinLns: 6,
+			CostAdvantage:    15,
+			MinSegmentLength: 40,
+			Workers:          workers,
+		}
+		legacy, err := traclus.Run(trs, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d Run: %v", workers, err)
+		}
+		piped, err := traclus.New(traclus.WithConfig(cfg)).Run(context.Background(), trs)
+		if err != nil {
+			t.Fatalf("workers=%d Pipeline.Run: %v", workers, err)
+		}
+		if !reflect.DeepEqual(legacy.Clusters, piped.Clusters) {
+			t.Errorf("workers=%d: Pipeline clusters differ from Run", workers)
+		}
+		if legacy.NoiseSegments != piped.NoiseSegments ||
+			legacy.TotalSegments != piped.TotalSegments ||
+			legacy.RemovedClusters != piped.RemovedClusters {
+			t.Errorf("workers=%d: counts differ: Run=(%d,%d,%d) Pipeline=(%d,%d,%d)",
+				workers,
+				legacy.NoiseSegments, legacy.TotalSegments, legacy.RemovedClusters,
+				piped.NoiseSegments, piped.TotalSegments, piped.RemovedClusters)
+		}
+		if legacy.DistCalls() != piped.DistCalls() {
+			t.Errorf("workers=%d: DistCalls differ: Run=%d Pipeline=%d",
+				workers, legacy.DistCalls(), piped.DistCalls())
+		}
+	}
+}
+
+// TestPipelineRunCancelledBeforeStart pins the fast path: a context that is
+// already done yields ctx.Err() without touching the input.
+func TestPipelineRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := traclus.New(traclus.WithConfig(traclus.Config{Eps: 30, MinLns: 6}))
+	res, err := p.Run(ctx, equivalenceWorkload(t, 4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled Run returned a partial result")
+	}
+}
+
+// TestPipelineRunPromptCancellation is the acceptance criterion: on the
+// large synthetic bench input, cancelling mid-run returns ctx.Err() within
+// one scheduling quantum (bounded here by a generous wall-clock budget that
+// is still far below the full run time), at every worker count.
+func TestPipelineRunPromptCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input")
+	}
+	scfg := synth.DefaultHurricaneConfig()
+	scfg.NumTracks = 1500 // the BenchmarkRunParallel scale: many seconds of work
+	trs := synth.Hurricanes(scfg)
+	for _, workers := range []int{1, 0} {
+		p := traclus.New(traclus.WithConfig(traclus.Config{Eps: 30, MinLns: 6, Workers: workers}))
+		ctx, cancel := context.WithCancel(context.Background())
+		type outcome struct {
+			res *traclus.Result
+			err error
+		}
+		done := make(chan outcome, 1)
+		start := time.Now()
+		go func() {
+			res, err := p.Run(ctx, trs)
+			done <- outcome{res, err}
+		}()
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+		select {
+		case o := <-done:
+			if !errors.Is(o.err, context.Canceled) {
+				// The run may legitimately have finished before the cancel
+				// on a fast machine — but then it must have taken < 50ms,
+				// which this input cannot.
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, o.err)
+			}
+			if o.res != nil {
+				t.Fatalf("workers=%d: cancelled Run returned a result", workers)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Errorf("workers=%d: cancellation took %v", workers, elapsed)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: Run did not return after cancellation", workers)
+		}
+	}
+}
+
+// TestPipelineProgressOrdering pins the progress contract: phases arrive in
+// pipeline order, fractions are non-decreasing within a phase, every phase
+// opens at 0 and closes with exactly one Fraction-1 event, and Done never
+// exceeds Total. The hook is guaranteed serialized, so the plain slice
+// append needs no locking.
+func TestPipelineProgressOrdering(t *testing.T) {
+	trs := equivalenceWorkload(t, 80)
+	for _, workers := range []int{1, 4} {
+		var events []traclus.ProgressEvent
+		p := traclus.New(
+			traclus.WithConfig(traclus.Config{Eps: 30, MinLns: 6, Workers: workers}),
+			traclus.WithProgress(func(ev traclus.ProgressEvent) { events = append(events, ev) }),
+		)
+		if _, err := p.Run(context.Background(), trs); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) < 6 {
+			t.Fatalf("workers=%d: only %d events; want at least begin+end per phase", workers, len(events))
+		}
+		wantPhases := []traclus.Phase{traclus.PhasePartition, traclus.PhaseGroup, traclus.PhaseRepresent}
+		phaseIdx := 0
+		closes := map[traclus.Phase]int{}
+		for i, ev := range events {
+			for phaseIdx < len(wantPhases) && ev.Phase != wantPhases[phaseIdx] {
+				phaseIdx++
+			}
+			if phaseIdx == len(wantPhases) {
+				t.Fatalf("workers=%d: event %d: phase %v out of order", workers, i, ev.Phase)
+			}
+			if ev.Fraction < 0 || ev.Fraction > 1 {
+				t.Errorf("workers=%d: event %d: fraction %v out of range", workers, i, ev.Fraction)
+			}
+			if ev.Total > 0 && ev.Done > ev.Total {
+				t.Errorf("workers=%d: event %d: done %d > total %d", workers, i, ev.Done, ev.Total)
+			}
+			if i > 0 && events[i-1].Phase == ev.Phase && ev.Fraction < events[i-1].Fraction {
+				t.Errorf("workers=%d: event %d: fraction regressed %v -> %v",
+					workers, i, events[i-1].Fraction, ev.Fraction)
+			}
+			if ev.Fraction == 1 {
+				closes[ev.Phase]++
+			}
+		}
+		for _, ph := range wantPhases {
+			first := -1
+			for i, ev := range events {
+				if ev.Phase == ph {
+					first = i
+					break
+				}
+			}
+			if first == -1 {
+				t.Fatalf("workers=%d: phase %v emitted no events", workers, ph)
+			}
+			if events[first].Fraction != 0 {
+				t.Errorf("workers=%d: phase %v opened at fraction %v, want 0", workers, ph, events[first].Fraction)
+			}
+			if closes[ph] != 1 {
+				t.Errorf("workers=%d: phase %v closed %d times, want exactly 1", workers, ph, closes[ph])
+			}
+		}
+	}
+}
+
+// stubStages: a Partitioner that counts invocations and delegates to the
+// default, a Grouper built from raw labels via GroupingFromLabels, and a
+// RepresentativeBuilder that emits a fixed marker point.
+type countingPartitioner struct {
+	calls atomic.Int64
+	inner traclus.Partitioner
+}
+
+func (c *countingPartitioner) Partition(ctx context.Context, trs []traclus.Trajectory, cfg traclus.Config) ([]traclus.Item, error) {
+	c.calls.Add(1)
+	return c.inner.Partition(ctx, trs, cfg)
+}
+
+type singleClusterGrouper struct{}
+
+func (singleClusterGrouper) Group(_ context.Context, items []traclus.Item, _ traclus.Config) (*traclus.Grouping, error) {
+	labels := make([]int, len(items))
+	return traclus.GroupingFromLabels(items, labels, 0, 0), nil
+}
+
+type nilGrouper struct{}
+
+func (nilGrouper) Group(context.Context, []traclus.Item, traclus.Config) (*traclus.Grouping, error) {
+	return nil, nil
+}
+
+// TestPipelineRejectsNonConformantGrouper pins that a stage breaking the
+// Grouping contract (nil, or a label vector not covering the items) is a
+// friendly error, not a panic.
+func TestPipelineRejectsNonConformantGrouper(t *testing.T) {
+	trs := equivalenceWorkload(t, 10)
+	p := traclus.New(
+		traclus.WithConfig(traclus.Config{Eps: 30, MinLns: 2}),
+		traclus.WithGrouper(nilGrouper{}),
+	)
+	res, err := p.Run(context.Background(), trs)
+	if err == nil || res != nil {
+		t.Fatalf("nil grouping accepted: res=%v err=%v", res, err)
+	}
+}
+
+type markerBuilder struct{}
+
+func (markerBuilder) Representative(_ context.Context, _ []traclus.Segment, _ []float64, _ traclus.Config) ([]traclus.Point, error) {
+	return []traclus.Point{traclus.Pt(1, 2), traclus.Pt(3, 4)}, nil
+}
+
+// TestPipelineCustomStages verifies the three stage interfaces actually
+// plug in: custom partitioner runs, a custom grouper's labelling flows
+// through, and a custom representative builder's output lands on every
+// cluster.
+func TestPipelineCustomStages(t *testing.T) {
+	trs := equivalenceWorkload(t, 20)
+	cp := &countingPartitioner{inner: traclus.PartitionMDL()}
+	p := traclus.New(
+		traclus.WithConfig(traclus.Config{Eps: 30, MinLns: 2, Workers: 4}),
+		traclus.WithPartitioner(cp),
+		traclus.WithGrouper(singleClusterGrouper{}),
+		traclus.WithRepresentativeBuilder(markerBuilder{}),
+	)
+	res, err := p.Run(context.Background(), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.calls.Load() != 1 {
+		t.Errorf("custom partitioner called %d times, want 1", cp.calls.Load())
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("custom grouper produced %d clusters, want 1", len(res.Clusters))
+	}
+	if res.NoiseSegments != 0 {
+		t.Errorf("noise = %d, want 0 (grouper labelled everything)", res.NoiseSegments)
+	}
+	want := []traclus.Point{traclus.Pt(1, 2), traclus.Pt(3, 4)}
+	if !reflect.DeepEqual(res.Clusters[0].Representative, want) {
+		t.Errorf("representative = %v, want marker %v", res.Clusters[0].Representative, want)
+	}
+}
+
+// TestPipelineGroupOPTICS exercises the exposed OPTICS grouping variant
+// end-to-end: it must produce a structurally consistent result on corridor
+// data (the counts add up; the strong corridors survive) and be
+// deterministic.
+func TestPipelineGroupOPTICS(t *testing.T) {
+	trs := synth.CorridorScene(2, 10, 24, 4, 11)
+	cfg := traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+	p := traclus.New(traclus.WithConfig(cfg), traclus.WithGrouper(traclus.GroupOPTICS()))
+	res, err := p.Run(context.Background(), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("OPTICS grouping found no clusters on the corridor scene")
+	}
+	members := 0
+	for _, c := range res.Clusters {
+		members += len(c.Segments)
+		if len(c.Trajectories) < int(cfg.MinLns) {
+			t.Errorf("cluster with %d trajectories survived the cardinality filter (MinLns %v)",
+				len(c.Trajectories), cfg.MinLns)
+		}
+	}
+	if members+res.NoiseSegments != res.TotalSegments {
+		t.Errorf("members %d + noise %d != total %d", members, res.NoiseSegments, res.TotalSegments)
+	}
+	if res.DistCalls() == 0 {
+		t.Error("OPTICS grouping reported zero distance calls")
+	}
+	again, err := p.Run(context.Background(), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Clusters, again.Clusters) {
+		t.Error("OPTICS grouping is not deterministic")
+	}
+
+	// Cancellation reaches the OPTICS path too.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, trs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled OPTICS run: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPipelineEstimateMatchesEstimateParameters pins the wrapper: the
+// ctx-aware Estimate and the legacy EstimateParameters are the same seeded
+// search.
+func TestPipelineEstimateMatchesEstimateParameters(t *testing.T) {
+	trs := equivalenceWorkload(t, 60)
+	cfg := traclus.Config{CostAdvantage: 15, MinSegmentLength: 40, Workers: 4}
+	legacy, err := traclus.EstimateParameters(trs, 5, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := traclus.New(traclus.WithConfig(cfg)).Estimate(context.Background(), trs, 5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != piped {
+		t.Errorf("Estimate = %+v, EstimateParameters = %+v", piped, legacy)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := traclus.New(traclus.WithConfig(cfg)).Estimate(ctx, trs, 5, 60); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Estimate: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEstimateParametersValidatesConfig pins the satellite fix: NaN/Inf
+// weights and a negative CostAdvantage must be rejected with the typed
+// ConfigError before the annealing pass, while zero Eps/MinLns (the fields
+// estimation exists to find) stay legal.
+func TestEstimateParametersValidatesConfig(t *testing.T) {
+	trs := equivalenceWorkload(t, 10)
+	bad := []traclus.Config{
+		{Weights: traclus.Weights{Perpendicular: math.NaN(), Parallel: 1, Angle: 1}},
+		{Weights: traclus.Weights{Perpendicular: math.Inf(1), Parallel: 1, Angle: 1}},
+		{CostAdvantage: -3},
+		{MinSegmentLength: math.NaN()},
+		{MinTrajs: -1},
+		{Gamma: -2},
+	}
+	for i, cfg := range bad {
+		_, err := traclus.EstimateParameters(trs, 5, 60, cfg)
+		var ce *traclus.ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("case %d (%+v): err = %v, want *ConfigError", i, cfg, err)
+		}
+	}
+	// The legal baseline: zero Eps/MinLns plus sane extras estimates fine.
+	if _, err := traclus.EstimateParameters(trs, 5, 60, traclus.Config{CostAdvantage: 15}); err != nil {
+		t.Errorf("valid estimation config rejected: %v", err)
+	}
+}

@@ -13,24 +13,31 @@
 // Quickstart:
 //
 //	trs := []traclus.Trajectory{ ... }
-//	out, err := traclus.Run(trs, traclus.Config{Eps: 30, MinLns: 6})
+//	p := traclus.New(traclus.WithConfig(traclus.Config{Eps: 30, MinLns: 6}))
+//	out, err := p.Run(ctx, trs)
 //	for _, c := range out.Clusters {
 //		fmt.Println(c.Representative) // a common sub-trajectory
 //	}
 //
-// When ε and MinLns are unknown, EstimateParameters applies the paper's
-// entropy-minimisation heuristic (Section 4.4).
+// The Pipeline is the primary entrypoint: Run(ctx, trs) is cancellable,
+// streams progress through WithProgress, and its three phases are pluggable
+// stage interfaces (Partitioner, Grouper, RepresentativeBuilder) — see
+// pipeline.go. The package-level Run(trs, cfg) is the fixed-configuration
+// compatibility form, bit-identical to a default Pipeline.
+//
+// When ε and MinLns are unknown, Pipeline.Estimate (or the compatibility
+// wrapper EstimateParameters) applies the paper's entropy-minimisation
+// heuristic (Section 4.4).
 package traclus
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
-	"repro/internal/params"
 	"repro/internal/quality"
 	"repro/internal/segclust"
 )
@@ -119,6 +126,15 @@ func (c Config) Validate() error {
 	if err := segclust.CheckPositive("MinLns", c.MinLns); err != nil {
 		return err
 	}
+	return c.validateEstimation()
+}
+
+// validateEstimation checks the Config fields the parameter-estimation path
+// consumes — everything except Eps and MinLns, which EstimateParameters
+// exists to find. Split out so estimation rejects NaN/Inf weights or a
+// negative CostAdvantage with the same typed ConfigError as Run, without
+// demanding the two parameters it is searching for.
+func (c Config) validateEstimation() error {
 	if c.MinTrajs < 0 {
 		return &ConfigError{Field: "MinTrajs", Value: c.MinTrajs, Reason: "must be non-negative"}
 	}
@@ -132,10 +148,7 @@ func (c Config) Validate() error {
 	if err := segclust.CheckNonNegative("MinSegmentLength", c.MinSegmentLength); err != nil {
 		return err
 	}
-	if err := segclust.CheckNonNegative("Gamma", c.Gamma); err != nil {
-		return err
-	}
-	return nil
+	return segclust.CheckNonNegative("Gamma", c.Gamma)
 }
 
 func (c Config) core() core.Config {
@@ -191,16 +204,13 @@ type Result struct {
 // Run executes the complete TRACLUS algorithm: partition every trajectory,
 // group the pooled segments, and generate a representative trajectory per
 // cluster.
+//
+// Run is the fixed-configuration compatibility form. New code should
+// prefer the Pipeline API — New(WithConfig(cfg)).Run(ctx, trs) — which is
+// bit-identical on the same input and adds cancellation, progress
+// reporting, and pluggable stages.
 func Run(trs []Trajectory, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("traclus: %w", err)
-	}
-	ccfg := cfg.core()
-	out, err := core.Run(trs, ccfg)
-	if err != nil {
-		return nil, fmt.Errorf("traclus: %w", err)
-	}
-	return newResult(out, ccfg), nil
+	return New(WithConfig(cfg)).Run(context.Background(), trs)
 }
 
 func newResult(out *core.Output, ccfg core.Config) *Result {
@@ -220,6 +230,12 @@ func newResult(out *core.Output, ccfg core.Config) *Result {
 	}
 	return res
 }
+
+// DistCalls returns the number of exact segment-distance evaluations the
+// grouping phase performed — the index-efficiency metric of Lemma 3. It is
+// deterministic for a given input and configuration, independent of
+// Config.Workers.
+func (r *Result) DistCalls() int { return r.out.Result.DistCalls }
 
 // QMeasure evaluates the paper's clustering quality measure (Formula 11:
 // total SSE plus noise penalty) for this result. Smaller is better.
@@ -261,21 +277,10 @@ type Estimate struct {
 
 // EstimateParameters applies the Section 4.4 heuristic: simulated annealing
 // over ε ∈ [lo, hi] minimising neighborhood entropy, then MinLns =
-// avg|Nε|+1..3. The cfg's weights/index/workers are honoured; Eps and
-// MinLns are ignored.
+// avg|Nε|+1..3. The cfg's weights/index/workers are honoured and validated
+// (a NaN weight or negative CostAdvantage returns a *ConfigError instead of
+// poisoning the annealing pass); Eps and MinLns are ignored. It is the
+// compatibility form of Pipeline.Estimate, which adds cancellation.
 func EstimateParameters(trs []Trajectory, lo, hi float64, cfg Config) (Estimate, error) {
-	ccfg := cfg.core()
-	items := core.PartitionAll(trs, ccfg)
-	est, err := params.EstimateEps(items, lo, hi, ccfg.Distance, ccfg.Index,
-		params.AnnealOptions{Workers: cfg.Workers})
-	if err != nil {
-		return Estimate{}, fmt.Errorf("traclus: %w", err)
-	}
-	return Estimate{
-		Eps:          est.Eps,
-		Entropy:      est.Entropy,
-		AvgNeighbors: est.AvgNeighbors,
-		MinLnsLo:     est.MinLnsLo,
-		MinLnsHi:     est.MinLnsHi,
-	}, nil
+	return New(WithConfig(cfg)).Estimate(context.Background(), trs, lo, hi)
 }

@@ -22,9 +22,13 @@ type Index struct {
 }
 
 // Build indexes the given segments with the given cell size. A non-positive
-// cell size picks a heuristic: the average segment MBR diagonal (clamped to
-// the data extent), which keeps bucket occupancy near-constant for
-// TRACLUS-style inputs.
+// (or NaN/Inf) cell size picks a heuristic: the average segment MBR
+// diagonal (clamped to the data extent), which keeps bucket occupancy
+// near-constant for TRACLUS-style inputs. Degenerate inputs are safe: with
+// all-zero-length segments (point "segments", diagonal sum 0) or a
+// single-point extent the heuristic falls back to a unit cell, and the
+// bucket count is always capped at O(len(segs)) so a handful of points
+// spread over a huge extent cannot allocate millions of empty cells.
 func Build(segs []geom.Segment, cellSize float64) *Index {
 	idx := &Index{cell: cellSize}
 	if len(segs) == 0 {
@@ -40,15 +44,29 @@ func Build(segs []geom.Segment, cellSize float64) *Index {
 		bounds = bounds.Union(r)
 		diagSum += math.Hypot(r.Width(), r.Height())
 	}
-	if idx.cell <= 0 {
+	maxDim := math.Max(bounds.Width(), bounds.Height())
+	// !(cell > 0) rather than cell <= 0: NaN compares false against every
+	// threshold, so an untyped <= would let a NaN request poison nx/ny.
+	if !(idx.cell > 0) || math.IsInf(idx.cell, 0) {
 		idx.cell = diagSum / float64(len(segs))
-		if idx.cell <= 0 {
-			idx.cell = 1
+		if !(idx.cell > 0) || math.IsInf(idx.cell, 0) {
+			idx.cell = 1 // all segments zero-length (diagSum 0) or non-finite
+		}
+		// Cap the heuristic at ~max(256, 4n) buckets. Candidate sets are
+		// exact regardless of cell size (ids are refined against the query
+		// rectangle), so this affects only constant factors — and it is
+		// what keeps a handful of zero-length segments spread over a large
+		// extent (diagSum 0 → unit cell) from sizing nx*ny by extent alone.
+		maxCells := float64(4*len(segs) + 256)
+		if maxCells > 1<<24 {
+			maxCells = 1 << 24
+		}
+		if side := math.Sqrt(maxCells); maxDim > 0 && idx.cell < maxDim/side {
+			idx.cell = maxDim / side
 		}
 	}
-	maxDim := math.Max(bounds.Width(), bounds.Height())
 	if maxDim > 0 && idx.cell < maxDim/4096 {
-		idx.cell = maxDim / 4096 // cap the grid at ~16M cells
+		idx.cell = maxDim / 4096 // cap any grid at ~16M cells
 	}
 	idx.minX, idx.minY = bounds.Min.X, bounds.Min.Y
 	idx.nx = int(bounds.Width()/idx.cell) + 1

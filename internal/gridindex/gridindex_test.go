@@ -1,6 +1,7 @@
 package gridindex
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -136,4 +137,113 @@ func TestQueryOutsideBounds(t *testing.T) {
 	if got := idx.Candidates(far, 10, nil, nil); len(got) != 0 {
 		t.Errorf("far query returned %v", got)
 	}
+}
+
+// TestZeroLengthSegmentsSpreadBoundedCells is the degenerate-input
+// regression for the cell-size heuristic: zero-length segments make
+// diagSum 0, and before the O(n) bucket cap the unit-cell fallback sized
+// the grid by extent alone — 10 points over a 1e6 extent allocated a
+// 4097×4097 grid (~16.8M empty buckets). The cap keeps cells proportional
+// to the input, and candidate queries stay exact.
+func TestZeroLengthSegmentsSpreadBoundedCells(t *testing.T) {
+	segs := make([]geom.Segment, 10)
+	for i := range segs {
+		x := float64(i) * 1e5
+		segs[i] = geom.Seg(x, x, x, x)
+	}
+	idx := Build(segs, 0)
+	if cells := idx.nx * idx.ny; cells > 4*len(segs)+256+2*64 {
+		t.Fatalf("degenerate spread input allocated %d cells (nx=%d ny=%d) for %d segments",
+			cells, idx.nx, idx.ny, len(segs))
+	}
+	if !(idx.CellSize() > 0) {
+		t.Fatalf("cell size = %v", idx.CellSize())
+	}
+	for i, s := range segs {
+		got := idx.Candidates(s.Bounds(), 1, nil, nil)
+		want := bruteCandidates(segs, s.Bounds(), 1)
+		sort.Ints(got)
+		if !sliceEq(got, want) {
+			t.Fatalf("point %d: candidates %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestSinglePointExtent pins the all-identical-point case: extent 0 in both
+// dimensions, diagSum 0 — a 1×1 grid that still answers queries.
+func TestSinglePointExtent(t *testing.T) {
+	segs := make([]geom.Segment, 5)
+	for i := range segs {
+		segs[i] = geom.Seg(42, 17, 42, 17)
+	}
+	idx := Build(segs, 0)
+	if idx.nx != 1 || idx.ny != 1 {
+		t.Fatalf("single-point extent built a %dx%d grid", idx.nx, idx.ny)
+	}
+	if got := idx.Candidates(segs[0].Bounds(), 0, nil, nil); len(got) != len(segs) {
+		t.Fatalf("exact query returned %d of %d", len(got), len(segs))
+	}
+	far := geom.Rect{Min: geom.Pt(100, 100), Max: geom.Pt(101, 101)}
+	if got := idx.Candidates(far, 1, nil, nil); len(got) != 0 {
+		t.Fatalf("far query returned %v", got)
+	}
+}
+
+// TestNonFiniteCellSizeFallsBackToHeuristic pins that a NaN or Inf cell
+// request cannot poison nx/ny (NaN compares false against <= 0, so the old
+// guard let it through to int(NaN) grid dimensions): both fall back to the
+// same heuristic sizing as cellSize 0.
+func TestNonFiniteCellSizeFallsBackToHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	segs := randSegs(rng, 80)
+	want := Build(segs, 0)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		idx := Build(segs, bad)
+		if idx.CellSize() != want.CellSize() || idx.nx != want.nx || idx.ny != want.ny {
+			t.Fatalf("cellSize=%v: built cell=%v grid=%dx%d, heuristic builds cell=%v grid=%dx%d",
+				bad, idx.CellSize(), idx.nx, idx.ny, want.CellSize(), want.nx, want.ny)
+		}
+		q := segs[0].Bounds()
+		got := idx.Candidates(q, 40, nil, nil)
+		exp := bruteCandidates(segs, q, 40)
+		sort.Ints(got)
+		if !sliceEq(got, exp) {
+			t.Fatalf("cellSize=%v: candidates diverge from brute force", bad)
+		}
+	}
+}
+
+// TestMixedZeroLengthCandidates covers indexes holding both point segments
+// and regular ones — the zero-length rows must stay queryable alongside
+// their neighbors.
+func TestMixedZeroLengthCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	segs := randSegs(rng, 60)
+	for i := 0; i < 20; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*600
+		segs = append(segs, geom.Seg(x, y, x, y))
+	}
+	idx := Build(segs, 0)
+	for trial := 0; trial < 60; trial++ {
+		q := segs[rng.Intn(len(segs))].Bounds()
+		d := rng.Float64() * 80
+		got := idx.Candidates(q, d, nil, nil)
+		want := bruteCandidates(segs, q, d)
+		sort.Ints(got)
+		if !sliceEq(got, want) {
+			t.Fatalf("trial %d: candidates diverge from brute force", trial)
+		}
+	}
+}
+
+func sliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

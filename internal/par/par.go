@@ -34,11 +34,15 @@ func Workers(requested, n int) int {
 // out across Workers(requested, n) goroutines. The worker argument is in
 // [0, workers) and identifies the calling goroutine, so callers can index
 // per-worker scratch (buffers, counters) without locking. Items are handed
-// out dynamically (good load balance when per-item cost varies, as with
-// trajectories of different lengths or neighborhoods of different sizes),
-// so fn must not depend on which worker serves which item beyond scratch
-// indexing. With one worker everything runs inline on the calling
-// goroutine — the serial path stays goroutine-free.
+// out dynamically in small contiguous index chunks — one channel round-trip
+// amortised over several items, so tiny work items (a cached-neighborhood
+// lookup, a memcpy) don't drown in dispatch overhead, while the chunk count
+// stays high enough (~16 per worker) to keep dynamic load balance when
+// per-item cost varies, as with trajectories of different lengths or
+// neighborhoods of different sizes. fn must not depend on which worker
+// serves which item beyond scratch indexing. With one worker everything
+// runs inline on the calling goroutine — the serial path stays
+// goroutine-free.
 //
 // It returns the resolved worker count (useful for sizing scratch before
 // the call via Workers, or for asserting the serial path in tests).
@@ -62,6 +66,21 @@ func ForEachCtx(ctx context.Context, requested, n int, fn func(worker, i int)) e
 	return forEach(ctx, Workers(requested, n), n, fn)
 }
 
+// chunkSize picks the dispatch granularity: contiguous index chunks large
+// enough to amortise the channel round-trip over tiny work items, small
+// enough (≥ ~16 chunks per worker, capped at 64 items) that dynamic
+// balancing still absorbs skewed per-item costs.
+func chunkSize(workers, n int) int {
+	c := n / (workers * 16)
+	if c > 64 {
+		c = 64
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 func forEach(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	// The Background/TODO fast path (no Done channel) skips every per-item
 	// check, so ForEach costs exactly what it did before cancellation
@@ -78,29 +97,38 @@ func forEach(ctx context.Context, workers, n int, fn func(worker, i int)) error 
 		}
 		return nil
 	}
-	next := make(chan int, 2*workers)
+	chunk := chunkSize(workers, n)
+	next := make(chan int, 2*workers) // chunk start indices
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := range next {
-				if done != nil && ctx.Err() != nil {
-					continue // drain the queue without working
+			for start := range next {
+				end := start + chunk
+				if end > n {
+					end = n
 				}
-				fn(w, i)
+				for i := start; i < end; i++ {
+					// Checked per item, not per chunk, so cancellation
+					// promptness stays bounded by one work item.
+					if done != nil && ctx.Err() != nil {
+						break // abandon the chunk; the outer loop drains the queue
+					}
+					fn(w, i)
+				}
 			}
 		}(w)
 	}
 	if done == nil {
-		for i := 0; i < n; i++ {
-			next <- i
+		for start := 0; start < n; start += chunk {
+			next <- start
 		}
 	} else {
 	feed:
-		for i := 0; i < n; i++ {
+		for start := 0; start < n; start += chunk {
 			select {
-			case next <- i:
+			case next <- start:
 			case <-done:
 				break feed
 			}

@@ -29,16 +29,51 @@ func TestWorkers(t *testing.T) {
 }
 
 func TestForEachCoversEveryItemOnce(t *testing.T) {
-	for _, workers := range []int{1, 2, 7, 0} {
-		const n = 1000
-		counts := make([]int32, n)
-		ForEach(workers, n, func(_, i int) {
-			atomic.AddInt32(&counts[i], 1)
-		})
-		for i, c := range counts {
-			if c != 1 {
-				t.Fatalf("workers=%d: item %d visited %d times", workers, i, c)
+	// n values straddle chunk boundaries of the chunked dispatcher: 1, a
+	// non-multiple of every chunk size, exact multiples, and a large run.
+	for _, n := range []int{1, 7, 63, 64, 65, 1000, 4097} {
+		for _, workers := range []int{1, 2, 7, 0} {
+			counts := make([]int32, n)
+			ForEach(workers, n, func(_, i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: item %d visited %d times", n, workers, i, c)
+				}
 			}
+		}
+	}
+}
+
+// TestForEachCtxEachItemAtMostOnceUnderCancellation pins the chunked
+// dispatcher's exactly-once contract in the presence of cancellation: a
+// cancelled run may drop items (whole chunks or the tail of the chunk in
+// flight) but must never visit an index twice, and an uncancelled run must
+// still visit every index exactly once.
+func TestForEachCtxEachItemAtMostOnceUnderCancellation(t *testing.T) {
+	for _, workers := range []int{2, 4, 0} {
+		for trial := 0; trial < 20; trial++ {
+			const n = 5000
+			cancelAt := int64(1 + trial*97%1500)
+			ctx, cancel := context.WithCancel(context.Background())
+			counts := make([]int32, n)
+			var visited atomic.Int64
+			err := ForEachCtx(ctx, workers, n, func(_, i int) {
+				atomic.AddInt32(&counts[i], 1)
+				if visited.Add(1) == cancelAt {
+					cancel()
+				}
+			})
+			for i, c := range counts {
+				if c > 1 {
+					t.Fatalf("workers=%d trial=%d: item %d visited %d times", workers, trial, i, c)
+				}
+				if err == nil && c != 1 {
+					t.Fatalf("workers=%d trial=%d: uncancelled run missed item %d", workers, trial, i)
+				}
+			}
+			cancel()
 		}
 	}
 }

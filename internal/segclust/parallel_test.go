@@ -1,6 +1,7 @@
 package segclust
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -60,6 +61,143 @@ func TestRunWithDistanceWorkersEquivalence(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Errorf("custom distance: parallel result differs from serial")
+	}
+}
+
+// ladderItems builds horizontal unit-direction segments of length 10 at
+// x ∈ [0,10] whose TRACLUS distance is just the vertical offset, arranged
+// as paired "ladders" of four core rows (y = c..c+3 and c+13..c+16) with a
+// shared border row at y = c+8 — within ε = 5 of the top core of the lower
+// ladder and the bottom core of the upper ladder, but with only 2 < MinLns
+// core neighbors of its own. Every pair therefore exercises the
+// first-come-first-served border handoff between two clusters.
+func ladderItems(blocks int) []Item {
+	var items []Item
+	for b := 0; b < blocks; b++ {
+		c := 100 * float64(b)
+		for _, dy := range []float64{0, 1, 2, 3, 13, 14, 15, 16, 8} {
+			y := c + dy
+			items = append(items, Item{Seg: geom.Seg(0, y, 10, y), TrajID: len(items), Weight: 1})
+		}
+	}
+	return items
+}
+
+func ladderCfg() Config {
+	return Config{Eps: 5, MinLns: 4, MinTrajs: 1, Options: lsdist.DefaultOptions(), Index: IndexGrid}
+}
+
+// TestSharedBorderFirstComeSemantics pins the DBSCAN tie-break the ε-graph
+// path must reproduce: a border segment reachable from two clusters goes to
+// the cluster created first in scan order — which is NOT in general the
+// cluster of its lowest-index core neighbor. The fixture places cluster B's
+// cores at indices 1–4 and cluster A's at 0,5,6,7 with the shared border at
+// index 8: the border's lowest-index core neighbor (index 1) is in B, but
+// the serial scan creates A first (index 0) and A's expansion claims the
+// border before B exists.
+func TestSharedBorderFirstComeSemantics(t *testing.T) {
+	y := []float64{0, 13, 14, 15, 16, 1, 2, 3, 8}
+	items := make([]Item, len(y))
+	for i, yy := range y {
+		items[i] = Item{Seg: geom.Seg(0, yy, 10, yy), TrajID: i, Weight: 1}
+	}
+	for _, kind := range []IndexKind{IndexGrid, IndexRTree, IndexNone} {
+		cfg := ladderCfg()
+		cfg.Index = kind
+		cfg.Workers = 1
+		serial, err := Run(items, cfg)
+		if err != nil {
+			t.Fatalf("index=%v: %v", kind, err)
+		}
+		if serial.NumClusters() != 2 {
+			t.Fatalf("index=%v: fixture yields %d clusters, want 2", kind, serial.NumClusters())
+		}
+		if got := serial.ClusterOf[8]; got != 0 {
+			t.Fatalf("index=%v: border went to cluster %d, want first-created cluster 0", kind, got)
+		}
+		if got := serial.ClusterOf[1]; got != 1 {
+			t.Fatalf("index=%v: min-index core neighbor of the border is in cluster %d, want 1 (the trap)", kind, got)
+		}
+		for _, workers := range []int{2, 4, 0} {
+			cfg.Workers = workers
+			parallel, err := Run(items, cfg)
+			if err != nil {
+				t.Fatalf("index=%v workers=%d: %v", kind, workers, err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("index=%v workers=%d: parallel border assignment diverged: serial %v, parallel %v",
+					kind, workers, serial.ClusterOf, parallel.ClusterOf)
+			}
+		}
+	}
+}
+
+// TestSharedBorderWorkersEquivalence stresses parallel≡serial grouping on
+// many shuffled shared-border ladders (clusters that compete for the same
+// border segments), at Workers {1, 2, 4, all} for every index strategy.
+// CI runs this under -race, which also vets the union-find and border
+// passes for data races.
+func TestSharedBorderWorkersEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := ladderItems(24)
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for _, kind := range []IndexKind{IndexGrid, IndexRTree, IndexNone} {
+		cfg := ladderCfg()
+		cfg.Index = kind
+		cfg.Workers = 1
+		serial, err := Run(items, cfg)
+		if err != nil {
+			t.Fatalf("index=%v serial: %v", kind, err)
+		}
+		if serial.NumClusters() < 24 {
+			t.Fatalf("index=%v: fixture collapsed to %d clusters", kind, serial.NumClusters())
+		}
+		for _, workers := range []int{2, 4, 0} {
+			cfg.Workers = workers
+			parallel, err := Run(items, cfg)
+			if err != nil {
+				t.Fatalf("index=%v workers=%d: %v", kind, workers, err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("index=%v workers=%d: result differs from serial", kind, workers)
+			}
+		}
+	}
+}
+
+// TestNeighborhoodArenaMatchesLazy checks the flat-buffer arena the
+// parallel grouping path consumes against independently computed lazy
+// neighborhoods: same ids in the same order, same weights, same distance
+// budget.
+func TestNeighborhoodArenaMatchesLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	items := corridorItemsSpread(rng, 400, 3, 20, 600)
+	cfg := defaultCfg()
+	shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
+	hs, calls, err := shared.neighborhoods(context.Background(), cfg.Eps, 8, lsdist.New(cfg.Options), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: newSource(items, cfg)}
+	var hood []int
+	for i := range items {
+		var w float64
+		hood, w = lazy.neighborhood(i, hood[:0])
+		got := hs.hood(i)
+		if len(got) != len(hood) {
+			t.Fatalf("item %d: arena hood has %d ids, lazy %d", i, len(got), len(hood))
+		}
+		for k := range hood {
+			if int(got[k]) != hood[k] {
+				t.Fatalf("item %d: arena hood %v != lazy %v", i, got, hood)
+			}
+		}
+		if w != hs.w[i] {
+			t.Fatalf("item %d: arena weight %v != lazy %v", i, hs.w[i], w)
+		}
+	}
+	if calls != lazy.calls {
+		t.Errorf("distance calls: arena %d != lazy %d", calls, lazy.calls)
 	}
 }
 

@@ -9,9 +9,13 @@
 // index (grid or R-tree) using the sound Euclidean prefilter of
 // internal/lsdist; all three paths produce identical clusterings. With
 // Config.Workers > 1 every neighborhood is precomputed concurrently through
-// per-worker views of one immutable SharedIndex and the expansion then
-// consumes the cached lists — bit-identical to the serial path, because the
-// serial algorithm also evaluates each item's neighborhood exactly once.
+// per-worker views of one immutable SharedIndex into one flat int32 arena,
+// and the grouping itself then runs as connected components of the
+// core-segment ε-graph (concurrent union-find) plus a deterministic border
+// pass — bit-identical to the serial Figure-12 expansion (see
+// groupEpsGraph for the equivalence argument), because the serial
+// algorithm also evaluates each item's neighborhood exactly once and the
+// TRACLUS distance is symmetric (Lemma 2).
 package segclust
 
 import (
@@ -92,16 +96,19 @@ type Config struct {
 	Index IndexKind
 	// Workers bounds parallelism (≤ 0 = all CPUs). With more than one
 	// worker every ε-neighborhood is precomputed concurrently through
-	// per-worker views of a shared index, and the DBSCAN-style expansion
-	// then consumes the cached lists. Because the serial path also computes
-	// each item's neighborhood exactly once, the result — cluster
-	// membership, noise, and even DistCalls — is bit-identical for every
-	// worker count.
+	// per-worker views of a shared index into one flat arena, and the
+	// grouping runs as connected components of the core-segment ε-graph
+	// (concurrent union-find plus a deterministic border pass) instead of
+	// the serial DBSCAN expansion. Because the serial path also computes
+	// each item's neighborhood exactly once and the distance is symmetric,
+	// the result — cluster membership, noise, and even DistCalls — is
+	// bit-identical for every worker count.
 	//
-	// The cached lists cost O(Σ|Nε|) memory (the classic cached-DBSCAN
-	// trade), which approaches O(n²) when ε covers a large fraction of the
-	// data extent. Set Workers to 1 to keep the lazy serial path's
-	// O(max|Nε|) footprint on memory-constrained or pathological-ε runs.
+	// The cached neighborhoods cost O(Σ|Nε|) memory (the classic
+	// cached-DBSCAN trade), which approaches O(n²) when ε covers a large
+	// fraction of the data extent. Set Workers to 1 to keep the lazy serial
+	// path's O(max|Nε|) footprint on memory-constrained or pathological-ε
+	// runs.
 	Workers int
 }
 
@@ -266,7 +273,8 @@ func segments(items []Item) []geom.Segment {
 	return segs
 }
 
-// engine holds per-run state.
+// engine holds per-run state for the lazy serial path (and per-worker
+// state for the parallel neighborhood passes).
 type engine struct {
 	items  []Item
 	cfg    Config
@@ -275,22 +283,14 @@ type engine struct {
 	labels []int // unclassified / Noise / cluster id
 	calls  int
 	cand   []int // candidate scratch
-
-	// Parallel path: neighborhoods precomputed up front (hoods non-nil),
-	// index-aligned with items; hoodW holds the weighted cardinalities.
-	hoods [][]int
-	hoodW []float64
 }
 
 const unclassified = -2
 
 // neighborhood returns the ids (including i) within ε of item i, and the
-// weighted cardinality. On the parallel path it serves the precomputed
-// list; callers must treat the returned slice as read-only either way.
+// weighted cardinality. The result lands in dst's backing array; callers
+// must treat it as scratch that the next call overwrites.
 func (e *engine) neighborhood(i int, dst []int) ([]int, float64) {
-	if e.hoods != nil {
-		return e.hoods[i], e.hoodW[i]
-	}
 	e.cand = e.src.candidates(i, e.cand[:0])
 	var weight float64
 	for _, j := range e.cand {
@@ -303,6 +303,20 @@ func (e *engine) neighborhood(i int, dst []int) ([]int, float64) {
 	return dst, weight
 }
 
+// hoodSet is the flat-buffer neighborhood store of the parallel path: every
+// ε-neighborhood concatenated in item-index order in one shared int32
+// arena. Compared with one []int slice per item this is O(workers) + 3
+// allocations instead of O(items), half the id width, and a layout the
+// union-find edge pass scans as one contiguous run — the memory-wall fix:
+// the grouping hot path is cache- and allocator-bound, not compute-bound.
+type hoodSet struct {
+	off []int64   // len n+1; item i's neighborhood is ids[off[i]:off[i+1]]
+	ids []int32   // concatenated neighborhoods, item-index order
+	w   []float64 // weighted ε-cardinality per item
+}
+
+func (h *hoodSet) hood(i int) []int32 { return h.ids[h.off[i]:h.off[i+1]] }
+
 // Run executes the Figure-12 algorithm. cfg.Workers > 1 precomputes the
 // ε-neighborhoods concurrently; the clustering is identical either way.
 func Run(items []Item, cfg Config) (*Result, error) {
@@ -311,8 +325,9 @@ func Run(items []Item, cfg Config) (*Result, error) {
 
 // RunCtx is Run with cooperative cancellation and an optional per-item
 // completion hook. Cancellation is checked once per item on the parallel
-// neighborhood precompute and once per outer-loop item and expansion-queue
-// pop on the serial path, so the call returns ctx.Err() within roughly one
+// passes (neighborhood precompute, union-find edge scan, border
+// assignment) and once per outer-loop item and expansion-queue pop on the
+// serial path, so the call returns ctx.Err() within roughly one
 // neighborhood's worth of work after ctx is done. An uncancelled RunCtx is
 // bit-identical to Run.
 //
@@ -330,7 +345,10 @@ func RunCtx(ctx context.Context, items []Item, cfg Config, onItem func()) (*Resu
 // Because the default (zero-value) Workers uses all CPUs, dist must be
 // safe for concurrent use — every distance in internal/lsdist is, being a
 // pure function; a stateful closure (memoizer, call counter) needs its own
-// synchronisation or cfg.Workers = 1. Used by the distance-function
+// synchronisation or cfg.Workers = 1. dist must also be symmetric
+// (dist(a,b) == dist(b,a)), as DBSCAN's density-connectivity — and the
+// ε-graph formulation the parallel path uses — presumes; every distance in
+// this repo is, per the paper's Lemma 2. Used by the distance-function
 // ablations.
 func RunWithDistance(items []Item, dist lsdist.Func, cfg Config) (*Result, error) {
 	if !cfg.Options.Weights.Valid() {
@@ -354,42 +372,22 @@ func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem
 	if minTrajs <= 0 {
 		minTrajs = int(cfg.MinLns)
 	}
+	if par.Workers(cfg.Workers, len(items)) > 1 {
+		return runParallel(ctx, items, cfg, dist, onItem, minTrajs)
+	}
 	e := &engine{
 		items:  items,
 		cfg:    cfg,
 		dist:   dist,
 		labels: make([]int, len(items)),
-	}
-	if par.Workers(cfg.Workers, len(items)) > 1 {
-		// Parallel phase: materialise every neighborhood up front through
-		// per-worker views of a shared index. The expansion loop below then
-		// never computes a distance — it drains cached lists.
-		shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
-		e.hoods = make([][]int, len(items))
-		e.hoodW = make([]float64, len(items))
-		var err error
-		e.calls, err = shared.forEachNeighborhoodCtx(ctx, cfg.Eps, cfg.Workers, dist,
-			func(i int, hood []int, weight float64) {
-				e.hoods[i] = append(make([]int, 0, len(hood)), hood...)
-				e.hoodW[i] = weight
-				if onItem != nil {
-					onItem()
-				}
-			})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		e.src = newSource(items, cfg)
+		src:    newSource(items, cfg),
 	}
 	for i := range e.labels {
 		e.labels[i] = unclassified
 	}
 
 	// The lazy serial path resolves neighborhoods as the scan reaches them,
-	// so progress ticks track the outer loop there; the parallel path has
-	// already ticked every item during the precompute.
-	serialTicks := e.hoods == nil
+	// so progress ticks track the outer loop.
 	done := ctx.Done()
 	clusterID := 0
 	var hood, queue []int
@@ -398,7 +396,7 @@ func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem
 		if done != nil && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if serialTicks && onItem != nil {
+		if onItem != nil {
 			onItem()
 		}
 		if e.labels[i] != unclassified {
@@ -433,6 +431,115 @@ func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem
 	}
 
 	return e.finish(clusterID, minTrajs), nil
+}
+
+// runParallel is the multicore grouping path: a concurrent flat-arena
+// neighborhood precompute, then ε-graph grouping (union-find over
+// core-core edges, deterministic border assignment), canonicalised through
+// ResultFromLabels. It returns exactly what the serial path returns —
+// labels, cluster order, Removed, and DistCalls are all bit-identical at
+// every worker count.
+func runParallel(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem func(), minTrajs int) (*Result, error) {
+	shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
+	hs, calls, err := shared.neighborhoods(ctx, cfg.Eps, cfg.Workers, dist, onItem)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := groupEpsGraph(ctx, cfg, hs)
+	if err != nil {
+		return nil, err
+	}
+	// minTrajs has already been defaulted by run; ResultFromLabels applies
+	// the same Definition-10 filter and the same canonical ordering
+	// (ascending cluster id = serial discovery order, members ascending)
+	// that the serial finish produces.
+	return ResultFromLabels(items, labels, minTrajs, calls), nil
+}
+
+// groupEpsGraph computes DBSCAN-equivalent cluster labels from precomputed
+// neighborhoods without the serial expansion loop. Equivalence argument:
+//
+//   - A core segment (weighted ε-cardinality ≥ MinLns) belongs to exactly
+//     one density-connected set: the connected component of the "core
+//     graph" whose edges join core segments within ε of each other. The
+//     TRACLUS distance is symmetric (Lemma 2), so j ∈ Nε(i) ⇔ i ∈ Nε(j)
+//     and the components are those of an undirected graph — computed here
+//     by a lock-free union-find fed concurrently via par.ForEachCtx.
+//   - The serial scan of Figure 12 creates a cluster when it first reaches
+//     an unclassified core segment of a new component; core segments are
+//     only ever labelled by their own component's expansion, so cluster
+//     ids are assigned to components in order of their minimum core index.
+//     Under the min-root union policy that minimum is exactly the
+//     component root, which makes the id assignment a single ascending
+//     scan.
+//   - A border (non-core) segment is claimed first-come-first-served by
+//     the earliest-created cluster that reaches it, i.e. the minimum
+//     cluster id over the core segments whose neighborhoods contain it —
+//     by symmetry, the minimum cluster id over the core members of its own
+//     neighborhood. That min is order-free, so the border pass can run in
+//     parallel and still land on the serial answer.
+func groupEpsGraph(ctx context.Context, cfg Config, hs *hoodSet) ([]int, error) {
+	n := len(hs.w)
+	core := make([]bool, n)
+	for i, w := range hs.w {
+		core[i] = w >= cfg.MinLns
+	}
+	uf := newUnionFind(n)
+	err := par.ForEachCtx(ctx, cfg.Workers, n, func(_, i int) {
+		if !core[i] {
+			return
+		}
+		for _, j := range hs.hood(i) {
+			// Symmetry means each core-core edge appears in both endpoint
+			// neighborhoods; union it once, from the smaller endpoint.
+			if int(j) > i && core[j] {
+				uf.union(int32(i), j)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Serial O(n) numbering pass: components in order of minimum core
+	// index, which is the serial discovery order (see above). Non-roots
+	// always resolve to an already-numbered root because the root is the
+	// component minimum.
+	labels := make([]int, n)
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if !core[i] {
+			labels[i] = Noise
+			continue
+		}
+		r := int(uf.find(int32(i)))
+		if r == i {
+			labels[i] = clusterID
+			clusterID++
+		} else {
+			labels[i] = labels[r]
+		}
+	}
+	// Border pass: writes only non-core slots, reads only core slots, so
+	// the concurrent reads never race with a write.
+	err = par.ForEachCtx(ctx, cfg.Workers, n, func(_, i int) {
+		if core[i] {
+			return
+		}
+		best := Noise
+		for _, j := range hs.hood(i) {
+			if !core[j] {
+				continue
+			}
+			if id := labels[j]; best == Noise || id < best {
+				best = id
+			}
+		}
+		labels[i] = best
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
 }
 
 // expand computes the density-connected set of the seeded cluster
@@ -657,6 +764,97 @@ func (s *SharedIndex) forEachNeighborhoodCtx(ctx context.Context, eps float64, w
 		calls += e.calls
 	}
 	return calls, err
+}
+
+// blockIDs is the growth quantum of the per-worker neighborhood chunks:
+// 1<<15 int32 ids = 128 KiB per block. Large enough that a worker retires
+// O(Σ|Nε| / blockIDs) blocks per run, small enough that the tail waste of
+// the last block per worker is negligible.
+const blockIDs = 1 << 15
+
+// neighborhoods materialises every ε-neighborhood into one flat hoodSet
+// arena across par.Workers(workers, n) goroutines. Each worker appends the
+// neighborhoods it computes to a private chunk made of fixed-size retired
+// blocks — a full block is retired, never copied, and an item's ids never
+// span blocks, so cumulative allocation is the data itself (no
+// append-doubling churn) and the allocation count is O(workers + Σ|Nε| /
+// blockIDs) instead of O(items) for a per-item-slice layout. The blocks
+// are then stitched into the shared arena in item-index order; that pass
+// is pure memory bandwidth and parallelises over the same pool. onItem,
+// if non-nil, ticks once per resolved item (from worker goroutines). The
+// int count is the exact-distance evaluations, identical to what the lazy
+// serial path would spend.
+func (s *SharedIndex) neighborhoods(ctx context.Context, eps float64, workers int, dist lsdist.Func, onItem func()) (*hoodSet, int, error) {
+	n := len(s.items)
+	w := par.Workers(workers, n)
+	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt, Index: s.kind}
+	engines := make([]*engine, w)
+	scratch := make([][]int, w)    // per-worker neighborhood scratch
+	blocks := make([][][]int32, w) // per-worker retired blocks, allocation order
+	cur := make([][]int32, w)      // per-worker block being filled
+	for k := range engines {
+		engines[k] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view()}
+	}
+	var (
+		owner = make([]int32, n) // worker whose chunk holds item i's hood,
+		blk   = make([]int32, n) // the block index within that chunk,
+		start = make([]int32, n) // and the offset within that block
+		hs    = &hoodSet{off: make([]int64, n+1), w: make([]float64, n)}
+	)
+	err := par.ForEachCtx(ctx, workers, n, func(wk, i int) {
+		hood, weight := engines[wk].neighborhood(i, scratch[wk][:0])
+		scratch[wk] = hood[:0]
+		buf := cur[wk]
+		if cap(buf)-len(buf) < len(hood) {
+			if buf != nil {
+				blocks[wk] = append(blocks[wk], buf)
+			}
+			size := blockIDs
+			if len(hood) > size {
+				size = len(hood)
+			}
+			buf = make([]int32, 0, size)
+		}
+		// blk records the index buf will occupy once retired: all earlier
+		// blocks of this worker are already in blocks[wk], and rollover
+		// retires buf before any later block.
+		owner[i], blk[i], start[i] = int32(wk), int32(len(blocks[wk])), int32(len(buf))
+		for _, id := range hood {
+			buf = append(buf, int32(id))
+		}
+		cur[wk] = buf
+		hs.off[i+1] = int64(len(hood)) // lengths for now; prefix-summed below
+		hs.w[i] = weight
+		if onItem != nil {
+			onItem()
+		}
+	})
+	calls := 0
+	for _, e := range engines {
+		calls += e.calls
+	}
+	if err != nil {
+		return nil, calls, err
+	}
+	for wk, buf := range cur {
+		if buf != nil {
+			blocks[wk] = append(blocks[wk], buf)
+		}
+	}
+	for i := 0; i < n; i++ {
+		hs.off[i+1] += hs.off[i]
+	}
+	hs.ids = make([]int32, hs.off[n])
+	// Stitch: index-ordered writes into the arena, chunked so the copies
+	// parallelise; this is pure memory bandwidth.
+	err = par.ForEachCtx(ctx, workers, n, func(_, i int) {
+		src := blocks[owner[i]][blk[i]][start[i]:]
+		copy(hs.ids[hs.off[i]:hs.off[i+1]], src[:hs.off[i+1]-hs.off[i]])
+	})
+	if err != nil {
+		return nil, calls, err
+	}
+	return hs, calls, nil
 }
 
 // NeighborhoodWeights returns, for every item, the weighted cardinality of

@@ -330,9 +330,11 @@ func (mdlPartitioner) partitionTicked(ctx context.Context, trs []Trajectory, cfg
 }
 
 // GroupDBSCAN returns the default grouping stage: the paper's Figure-12
-// density-based clustering (DBSCAN-style expansion with the Definition 10
-// trajectory-cardinality filter), with the parallel ε-neighborhood
-// precompute when cfg.Workers allows.
+// density-based clustering (DBSCAN semantics with the Definition 10
+// trajectory-cardinality filter). With cfg.Workers > 1 it runs the
+// parallel path — concurrent ε-neighborhood precompute into a flat arena,
+// union-find over the core-segment ε-graph — which is bit-identical to the
+// serial expansion at every worker count.
 func GroupDBSCAN() Grouper { return dbscanGrouper{} }
 
 type dbscanGrouper struct{}

@@ -7,6 +7,7 @@
 package traclus_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/mdl"
 	"repro/internal/rtree"
 	"repro/internal/segclust"
+	"repro/internal/service"
 	"repro/internal/synth"
 
 	traclus "repro"
@@ -466,4 +468,70 @@ func corridorItems(n int) []segclust.Item {
 		}
 	}
 	return items
+}
+
+// ---- Unified index subsystem (internal/spindex) ----
+
+// BenchmarkIndexBackends measures grouping + representative generation per
+// spatial-index backend on the shared 4800-track scaling input (partition
+// excluded: the backends only differ in candidate generation). distcalls is
+// the exact-distance evaluation count — identical for grid and rtree (both
+// produce the exact MBR-distance candidate set), maximal for brute.
+// BENCH_pr5.json holds the committed multi-sample before/after curve.
+func BenchmarkIndexBackends(b *testing.B) {
+	trs := scalingTracks
+	base := core.DefaultConfig()
+	base.Eps, base.MinLns = 30, 6
+	base.Partition.CostAdvantage, base.Partition.MinLength = 15, 40
+	items := core.PartitionAll(trs, base)
+	for _, bk := range []struct {
+		name string
+		kind traclus.IndexKind
+	}{{"grid", traclus.IndexGrid}, {"rtree", traclus.IndexRTree}, {"brute", traclus.IndexNone}} {
+		b.Run("backend="+bk.name, func(b *testing.B) {
+			ccfg := base
+			ccfg.Index = bk.kind
+			b.ReportAllocs()
+			var calls int
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunOnItems(items, ccfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = out.Result.DistCalls
+			}
+			b.ReportMetric(float64(calls), "distcalls")
+		})
+	}
+}
+
+// BenchmarkServiceModelBuild measures the daemon's model-build operation:
+// mode=fixed clusters at given parameters; mode=auto additionally estimates
+// ε/MinLns with the §4.4 heuristic. Since the spindex refactor the auto
+// path runs estimation and grouping against ONE shared index build (before,
+// it was a separate EstimateParameters pass — its own index and
+// neighborhood sweeps at the maximum-ε candidate radius — followed by an
+// independent Build).
+func BenchmarkServiceModelBuild(b *testing.B) {
+	cfg := synth.DefaultHurricaneConfig()
+	cfg.NumTracks = 480
+	trs := synth.Hurricanes(cfg)
+	base := traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+	b.Run("mode=fixed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := service.Build(fmt.Sprintf("m%d", i), trs, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=auto", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := service.BuildCtx(context.Background(), fmt.Sprintf("a%d", i), trs, base,
+				&service.EstimateRange{Lo: 5, Hi: 60}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

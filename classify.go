@@ -7,19 +7,23 @@ package traclus
 // configuration the model was built with and assigns it to the cluster whose
 // representative segments are nearest under the same three-component
 // distance, length-weighted across the query's partitions.
+//
+// The nearest-segment machinery is not private to this file: the reference
+// segments are indexed through internal/spindex — the same subsystem, and
+// the same backend choice, the clustering itself used — and the exact
+// expanding-radius search off the dist ≥ c·mindist lower bound lives there
+// (spindex.SearchQuery.Nearest), shared with the grouping phase's ε-range
+// pruning instead of duplicated here.
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 
 	"repro/internal/geom"
-	"repro/internal/gridindex"
-	"repro/internal/lsdist"
 	"repro/internal/mdl"
 	"repro/internal/quality"
-	"repro/internal/rtree"
+	"repro/internal/spindex"
 )
 
 // ErrNoClusters is returned when a Result holds no clusters (or no usable
@@ -28,75 +32,57 @@ var ErrNoClusters = errors.New("traclus: result has no clusters to classify agai
 
 // Classifier assigns unseen trajectories to the nearest cluster of a built
 // Result. It is immutable after construction and safe for concurrent use:
-// every Classify call owns its scratch buffers, and the underlying
-// grid/R-tree index is only read. Build it once per model (NewClassifier or
-// the lazy Result.Classify) — construction indexes every reference segment.
+// every Classify call owns its query cursor, and the underlying spatial
+// index is only read. Build it once per model — construction indexes every
+// reference segment exactly once; Result.Classifier memoizes that build, so
+// the serving layer and ad-hoc Result.Classify calls share one index.
 type Classifier struct {
 	part        mdl.Config
-	dist        lsdist.Func
 	eps         float64
 	numClusters int
 
-	// Pooled reference segments: segs[i] belongs to cluster owner[i].
-	segs  []geom.Segment
-	owner []int
+	// Pooled reference segments: search.Segment(i) belongs to cluster
+	// owner[i]; search indexes them with the model's backend and answers
+	// the exact nearest queries.
+	owner  []int
+	search *spindex.Searcher
 
-	// factor is the lower-bound constant of lsdist (dist ≥ factor·mindist);
-	// 0 means no sound Euclidean prefilter exists and queries fall back to
-	// full scans. grid/tree mirror the Result's Config.Index choice.
-	factor float64
-	grid   *gridindex.Index
-	tree   *rtree.Tree
-
-	// scratchPool recycles per-call query buffers (candidate ids and the
-	// grid's seen marks, which gridindex clears after each query) so the
-	// serving hot path does not allocate O(len(segs)) per trajectory.
-	scratchPool sync.Pool
+	// queryPool recycles per-call search cursors (candidate scratch and any
+	// backend marks) so the serving hot path does not allocate
+	// O(len(segs)) per trajectory.
+	queryPool sync.Pool
 }
 
 // NewClassifier builds a classifier over the result's representative
-// trajectories. Clusters whose representative collapsed (fewer than two
-// sweep points) are represented by their member segments instead, so every
+// trajectories, indexing them with the same spindex backend the clustering
+// used. Clusters whose representative collapsed (fewer than two sweep
+// points) are represented by their member segments instead, so every
 // cluster stays reachable. Returns ErrNoClusters when there is nothing to
 // classify against.
+//
+// Prefer Result.Classifier, which builds once and caches; NewClassifier
+// always constructs a fresh classifier (and thus a fresh index).
 func NewClassifier(res *Result) (*Classifier, error) {
 	if res == nil || len(res.Clusters) == 0 {
 		return nil, ErrNoClusters
 	}
 	c := &Classifier{
 		part:        res.cfg.Partition,
-		dist:        lsdist.New(res.cfg.Distance),
 		eps:         res.cfg.Eps,
 		numClusters: len(res.Clusters),
 	}
+	var segs []geom.Segment
 	for ci, cl := range res.Clusters {
 		for _, s := range referenceSegments(cl) {
-			c.segs = append(c.segs, s)
+			segs = append(segs, s)
 			c.owner = append(c.owner, ci)
 		}
 	}
-	if len(c.segs) == 0 {
+	if len(segs) == 0 {
 		return nil, ErrNoClusters
 	}
-	c.factor = lsdist.LowerBoundFactor(res.cfg.Distance.Weights)
-	if c.factor > 0 && res.cfg.Index != IndexNone {
-		if res.cfg.Index == IndexRTree {
-			rects := make([]geom.Rect, len(c.segs))
-			for i, s := range c.segs {
-				rects[i] = s.Bounds()
-			}
-			c.tree = rtree.Bulk(rects)
-		} else {
-			c.grid = gridindex.Build(c.segs, 0)
-		}
-	}
-	c.scratchPool.New = func() any {
-		sc := &classifyScratch{}
-		if c.grid != nil {
-			sc.seen = make([]bool, len(c.segs))
-		}
-		return sc
-	}
+	c.search = spindex.NewSearcher(segs, res.cfg.Distance, res.cfg.ResolvedBackend())
+	c.queryPool.New = func() any { return c.search.Query() }
 	return c, nil
 }
 
@@ -122,72 +108,21 @@ func referenceSegments(cl Cluster) []geom.Segment {
 // NumClusters returns the number of clusters the classifier assigns into.
 func (c *Classifier) NumClusters() int { return c.numClusters }
 
-// classifyScratch holds the per-call buffers of nearest-segment queries so
-// concurrent Classify calls never share mutable state.
-type classifyScratch struct {
-	cand []int
-	seen []bool
-}
-
 // nearest returns the cluster owning the reference segment closest to q and
-// that distance. With an index it performs an expanding-radius search: the
-// lower bound dist ≥ factor·mindist guarantees that once the best exact
-// distance found among candidates within Euclidean radius r is ≤ factor·r,
-// no segment outside the candidate set can be closer. Ties break toward the
-// lower cluster id, keeping the assignment deterministic regardless of
-// candidate enumeration order.
-func (c *Classifier) nearest(q geom.Segment, sc *classifyScratch) (cluster int, d float64) {
-	if c.grid == nil && c.tree == nil {
-		return c.scanNearest(q)
+// that distance. The expanding-radius search and its exactness argument
+// live in spindex; ties on the exact distance break toward the lower
+// cluster id, keeping the assignment deterministic regardless of candidate
+// enumeration order. A cluster of -1 means no segment compared below +Inf —
+// possible when extreme (finite) coordinates overflow the distance
+// computation — and callers must skip the segment.
+func (c *Classifier) nearest(q geom.Segment, sq *spindex.SearchQuery) (cluster int, d float64) {
+	id, d := sq.Nearest(q, c.eps, func(cand, incumbent int) bool {
+		return c.owner[cand] < c.owner[incumbent]
+	})
+	if id < 0 {
+		return -1, d
 	}
-	r := c.eps / c.factor
-	if !(r > 0) || math.IsInf(r, 0) {
-		return c.scanNearest(q)
-	}
-	bounds := q.Bounds()
-	for iter := 0; iter < 48; iter++ {
-		sc.cand = sc.cand[:0]
-		if c.grid != nil {
-			sc.cand = c.grid.Candidates(bounds, r, sc.cand, sc.seen)
-		} else {
-			c.tree.WithinDist(bounds, r, func(id int) bool {
-				sc.cand = append(sc.cand, id)
-				return true
-			})
-		}
-		best, bestD := c.bestOf(q, sc.cand)
-		if best >= 0 && bestD <= c.factor*r {
-			return best, bestD
-		}
-		r *= 2
-		if math.IsInf(r, 0) {
-			break
-		}
-	}
-	return c.scanNearest(q)
-}
-
-func (c *Classifier) scanNearest(q geom.Segment) (cluster int, d float64) {
-	return c.best(q, len(c.segs), func(i int) int { return i })
-}
-
-func (c *Classifier) bestOf(q geom.Segment, cand []int) (cluster int, best float64) {
-	return c.best(q, len(cand), func(i int) int { return cand[i] })
-}
-
-// best scans n reference segments selected by idx. A cluster of -1 means no
-// segment compared below +Inf — possible when extreme (finite) coordinates
-// overflow the distance computation — and callers must skip the segment.
-func (c *Classifier) best(q geom.Segment, n int, idx func(int) int) (cluster int, best float64) {
-	cluster, best = -1, math.Inf(1)
-	for i := 0; i < n; i++ {
-		j := idx(i)
-		d := c.dist(q, c.segs[j])
-		if d < best || (d == best && d < math.Inf(1) && c.owner[j] < cluster) {
-			cluster, best = c.owner[j], d
-		}
-	}
-	return cluster, best
+	return c.owner[id], d
 }
 
 // Classify assigns one trajectory to its nearest cluster. The trajectory is
@@ -204,15 +139,15 @@ func (c *Classifier) Classify(tr Trajectory) (clusterID int, distance float64, e
 	if len(qsegs) == 0 {
 		return -1, 0, fmt.Errorf("traclus: trajectory %d yields no partitions to classify", tr.ID)
 	}
-	sc := c.scratchPool.Get().(*classifyScratch)
-	defer c.scratchPool.Put(sc)
+	sq := c.queryPool.Get().(*spindex.SearchQuery)
+	defer c.queryPool.Put(sq)
 	votes := make([]float64, c.numClusters)
 	dsum := make([]float64, c.numClusters)
 	for _, s := range qsegs {
 		if s.IsDegenerate() {
 			continue
 		}
-		cl, d := c.nearest(s, sc)
+		cl, d := c.nearest(s, sq)
 		if cl < 0 {
 			continue // every distance overflowed; this partition can't vote
 		}
@@ -236,16 +171,23 @@ func (c *Classifier) Classify(tr Trajectory) (clusterID int, distance float64, e
 	return best, dsum[best] / votes[best], nil
 }
 
-// Classify assigns an unseen trajectory to its nearest cluster using a
-// classifier built lazily (once) over this result. For high-throughput
-// serving, build the classifier explicitly with NewClassifier; both paths
-// share the same assignment semantics and are safe for concurrent use.
-func (r *Result) Classify(tr Trajectory) (clusterID int, distance float64, err error) {
+// Classifier returns the classifier over this result, building it (and its
+// reference-segment index) exactly once no matter how many callers ask —
+// the serving layer's model build and any later Result.Classify calls share
+// this single construction.
+func (r *Result) Classifier() (*Classifier, error) {
 	r.clsOnce.Do(func() { r.cls, r.clsErr = NewClassifier(r) })
-	if r.clsErr != nil {
-		return -1, 0, r.clsErr
+	return r.cls, r.clsErr
+}
+
+// Classify assigns an unseen trajectory to its nearest cluster using the
+// memoized Result.Classifier. Safe for concurrent use.
+func (r *Result) Classify(tr Trajectory) (clusterID int, distance float64, err error) {
+	cls, err := r.Classifier()
+	if err != nil {
+		return -1, 0, err
 	}
-	return r.cls.Classify(tr)
+	return cls.Classify(tr)
 }
 
 // ClusterStat summarises one cluster for monitoring and serving.

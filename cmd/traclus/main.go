@@ -7,11 +7,15 @@
 //	traclus -in tracks.csv [-format csv|besttrack|telemetry] [-species elk]
 //	        [-eps 30] [-minlns 6] [-auto] [-undirected]
 //	        [-cost-advantage 0] [-min-seg-len 0] [-workers 0]
+//	        [-index grid|rtree|brute]
 //	        [-svg out.svg] [-reps reps.csv] [-map] [-progress]
 //
 // With -auto the ε/MinLns heuristic of the paper's Section 4.4 is applied
 // (entropy-minimising ε via simulated annealing, MinLns = avg|Nε|+2) and
-// the chosen values are printed before clustering. With -progress the
+// the chosen values are printed before clustering; estimation and grouping
+// share one spatial index build. -index selects the ε-neighborhood backend
+// (uniform grid, R-tree, or the exhaustive O(n²) scan); every backend
+// produces the identical clustering. With -progress the
 // pipeline's phase/fraction stream is echoed to stderr. Interrupting the
 // process (SIGINT/SIGTERM) cancels the clustering cooperatively — the run
 // stops within one work item instead of finishing the batch.
@@ -68,6 +72,7 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 	costAdv := fs.Float64("cost-advantage", 0, "partition suppression constant (Section 4.1.3)")
 	minSegLen := fs.Float64("min-seg-len", 0, "drop trajectory partitions shorter than this")
 	workers := fs.Int("workers", 0, "parallelism for all pipeline phases (0 = all CPUs, 1 = serial)")
+	index := fs.String("index", "grid", "spatial-index backend: grid, rtree, or brute")
 	svgOut := fs.String("svg", "", "write an SVG rendering of the clustering here")
 	repsOut := fs.String("reps", "", "write representative trajectories as CSV here")
 	asciiMap := fs.Bool("map", false, "print an ASCII map of the result")
@@ -87,6 +92,10 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 			return nil, err
 		}
 	}
+	kind, err := traclus.ParseIndexKind(*index)
+	if err != nil {
+		return nil, err
+	}
 	opts := &options{
 		in:       *in,
 		format:   f,
@@ -102,6 +111,7 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 			Undirected:       *undirected,
 			CostAdvantage:    *costAdv,
 			MinSegmentLength: *minSegLen,
+			Index:            kind,
 			Workers:          *workers,
 		},
 	}
@@ -146,23 +156,12 @@ func run(ctx context.Context, opts *options, out io.Writer) error {
 	fmt.Fprintf(out, "loaded %d trajectories, %d points\n", len(trs), geom.TotalPoints(trs))
 
 	cfg := opts.cfg
-	if opts.auto {
-		bounds, _ := geom.BoundsOf(trs)
-		hi := bounds.Margin() / 10
-		if hi <= 1 {
-			hi = 10
-		}
-		est, err := traclus.New(traclus.WithConfig(cfg)).Estimate(ctx, trs, hi/60, hi)
-		if err != nil {
-			return err
-		}
-		cfg.Eps = est.Eps
-		cfg.MinLns = float64(est.MinLnsLo+est.MinLnsHi) / 2
-		fmt.Fprintf(out, "heuristic: eps=%.2f (entropy %.4f, avg|Neps|=%.2f), MinLns=%.0f (range %d..%d)\n",
-			est.Eps, est.Entropy, est.AvgNeighbors, cfg.MinLns, est.MinLnsLo, est.MinLnsHi)
-	}
-
 	popts := []traclus.Option{traclus.WithConfig(cfg)}
+	if opts.auto {
+		// One pipeline run estimates ε/MinLns and clusters, sharing a
+		// single spatial-index build between the two phases.
+		popts = append(popts, traclus.WithEstimation(traclus.DefaultEstimationRange(trs)))
+	}
 	if opts.progress {
 		popts = append(popts, traclus.WithProgress(func(ev traclus.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "traclus: %-9s %3.0f%% (%d/%d)\n",
@@ -172,6 +171,10 @@ func run(ctx context.Context, opts *options, out io.Writer) error {
 	res, err := traclus.New(popts...).Run(ctx, trs)
 	if err != nil {
 		return err
+	}
+	if est := res.Estimated; est != nil {
+		fmt.Fprintf(out, "heuristic: eps=%.2f (entropy %.4f, avg|Neps|=%.2f), MinLns=%.0f (range %d..%d)\n",
+			est.Eps, est.Entropy, est.AvgNeighbors, float64(est.MinLnsLo+est.MinLnsHi)/2, est.MinLnsLo, est.MinLnsHi)
 	}
 	fmt.Fprintf(out, "clusters=%d segments=%d noise=%d removed=%d\n",
 		len(res.Clusters), res.TotalSegments, res.NoiseSegments, res.RemovedClusters)

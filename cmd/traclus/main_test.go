@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/synth"
 	"repro/internal/trackio"
+
+	traclus "repro"
 )
 
 func TestParseOptionsDefaults(t *testing.T) {
@@ -110,5 +112,49 @@ func TestRunMissingFile(t *testing.T) {
 	}
 	if err := run(context.Background(), opts, &bytes.Buffer{}); !os.IsNotExist(err) {
 		t.Fatalf("err = %v, want not-exist", err)
+	}
+}
+
+func TestParseOptionsIndexFlag(t *testing.T) {
+	for name, want := range map[string]traclus.IndexKind{
+		"grid": traclus.IndexGrid, "rtree": traclus.IndexRTree, "brute": traclus.IndexNone,
+	} {
+		opts, err := parseOptions([]string{"-in", "x.csv", "-index", name}, &bytes.Buffer{})
+		if err != nil {
+			t.Fatalf("-index %s: %v", name, err)
+		}
+		if opts.cfg.Index != want {
+			t.Errorf("-index %s parsed as %v, want %v", name, opts.cfg.Index, want)
+		}
+	}
+	if _, err := parseOptions([]string{"-in", "x.csv", "-index", "kdtree"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown -index name accepted")
+	}
+}
+
+// TestRunAutoSharedEstimation drives -auto end-to-end: the heuristic line
+// reports the estimate chosen by the run itself (estimation and grouping
+// share one index build) before the cluster summary.
+func TestRunAutoSharedEstimation(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "tracks.csv")
+	if err := trackio.WriteFile(in, trackio.FormatCSV, synth.CorridorScene(2, 10, 24, 4, 11)); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := parseOptions([]string{
+		"-in", in, "-auto", "-cost-advantage", "15", "-min-seg-len", "40", "-index", "rtree",
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), opts, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	hi := strings.Index(text, "heuristic: eps=")
+	ci := strings.Index(text, "clusters=")
+	if hi < 0 || ci < 0 || hi > ci {
+		t.Errorf("expected heuristic line before cluster summary:\n%s", text)
 	}
 }

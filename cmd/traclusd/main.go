@@ -25,9 +25,15 @@
 //	GET  /healthz          → liveness + model/job counts
 //
 // Build parameters mirror cmd/traclus flags: eps, minlns, mintrajs,
-// undirected, cost_advantage, min_seg_len, gamma, species. Invalid
-// parameters (NaN/negative ε, bad weights, …) are rejected with 400 and the
-// typed validation message; oversized bodies with 413. Model builds are
+// undirected, cost_advantage, min_seg_len, gamma, species, and index
+// (spatial-index backend: grid, rtree, or brute — every backend builds the
+// identical model). auto=true estimates eps/minlns with the §4.4 entropy
+// heuristic instead, searched over [auto_lo, auto_hi] (unset bounds derive
+// from the data extent); the estimation shares the build's single index
+// with the clustering, and the summary reports the chosen values. Invalid
+// parameters (NaN/negative ε, bad weights, unknown index names, …) are
+// rejected with 400 and the typed validation message; oversized bodies
+// with 413. Model builds are
 // asynchronous, cancellable, and deduplicated: concurrent builds of the
 // same name share one underlying clustering run, job polling streams the
 // pipeline's live phase/fraction progress, DELETE on a still-building name
@@ -128,7 +134,7 @@ type serverConfig struct {
 	// buildModel is the model builder; tests inject counting/blocking
 	// wrappers to verify single-flight dedup and cancellation. nil means
 	// service.BuildCtx.
-	buildModel func(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, progress func(phase string, fraction float64)) (*service.Model, error)
+	buildModel func(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, est *service.EstimateRange, progress func(phase string, fraction float64)) (*service.Model, error)
 }
 
 type server struct {
@@ -206,13 +212,20 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	cfg, err := buildConfigFromQuery(r)
+	cfg, est, err := buildConfigFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	cfg.Workers = s.cfg.workers
-	if err := cfg.Validate(); err != nil {
+	if est == nil {
+		if err := cfg.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else if err := cfg.ValidateForEstimation(); err != nil {
+		// Eps/MinLns are what auto estimation finds; everything else must
+		// still be well-formed.
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -231,6 +244,26 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if len(trs) == 0 {
 		writeError(w, http.StatusBadRequest, "no trajectories in request body")
 		return
+	}
+	if est != nil {
+		// Absent bounds derive from the data extent (the CLI's -auto
+		// rule), each side independently so an explicit single bound
+		// survives — presence-tested, so an explicit auto_lo=0 is a bound
+		// violation, not a request for the default. The combined interval
+		// is then validated here, synchronously — bad bounds must answer
+		// 400, not a failed async job.
+		defLo, defHi := traclus.DefaultEstimationRange(trs)
+		if r.URL.Query().Get("auto_lo") == "" {
+			est.Lo = defLo
+		}
+		if r.URL.Query().Get("auto_hi") == "" {
+			est.Hi = defHi
+		}
+		if !(est.Lo > 0) || !(est.Hi > est.Lo) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("auto estimation bounds must satisfy 0 < lo < hi, got [%v, %v]", est.Lo, est.Hi))
+			return
+		}
 	}
 	// Only requests that may start a fresh clustering run consume a build
 	// slot and retain their upload; a request for a name already in flight
@@ -268,7 +301,7 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		startJob = func(ctx context.Context, update func(phase string, fraction float64)) (string, error) {
 			defer func() { <-s.buildSem }()
 			_, built, err := s.store.GetOrBuild(name, func() (*service.Model, error) {
-				return s.cfg.buildModel(ctx, name, trs, cfg, update)
+				return s.cfg.buildModel(ctx, name, trs, cfg, est, update)
 			})
 			if err == nil && !built {
 				return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
@@ -342,41 +375,63 @@ func checkUploadLimits(trs []traclus.Trajectory, maxPoints, maxTrajs int) error 
 	return nil
 }
 
-func buildConfigFromQuery(r *http.Request) (traclus.Config, error) {
+func buildConfigFromQuery(r *http.Request) (traclus.Config, *service.EstimateRange, error) {
 	cfg := traclus.Config{Eps: 30, MinLns: 6}
 	q := r.URL.Query()
-	for key, dst := range map[string]*float64{
+	var est *service.EstimateRange
+	if v := q.Get("auto"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("bad auto %q", v)
+		}
+		if b {
+			est = &service.EstimateRange{}
+		}
+	}
+	floats := map[string]*float64{
 		"eps":            &cfg.Eps,
 		"minlns":         &cfg.MinLns,
 		"cost_advantage": &cfg.CostAdvantage,
 		"min_seg_len":    &cfg.MinSegmentLength,
 		"gamma":          &cfg.Gamma,
-	} {
+	}
+	if est != nil {
+		floats["auto_lo"], floats["auto_hi"] = &est.Lo, &est.Hi
+	}
+	for key, dst := range floats {
 		v := q.Get(key)
 		if v == "" {
 			continue
 		}
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			return cfg, fmt.Errorf("bad %s %q", key, v)
+			return cfg, nil, fmt.Errorf("bad %s %q", key, v)
 		}
 		*dst = f
 	}
 	if v := q.Get("mintrajs"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			return cfg, fmt.Errorf("bad mintrajs %q", v)
+			return cfg, nil, fmt.Errorf("bad mintrajs %q", v)
 		}
 		cfg.MinTrajs = n
 	}
 	if v := q.Get("undirected"); v != "" {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
-			return cfg, fmt.Errorf("bad undirected %q", v)
+			return cfg, nil, fmt.Errorf("bad undirected %q", v)
 		}
 		cfg.Undirected = b
 	}
-	return cfg, nil
+	if v := q.Get("index"); v != "" {
+		// Unknown backend names surface the typed *ConfigError as a 400.
+		kind, err := traclus.ParseIndexKind(v)
+		if err != nil {
+			return cfg, nil, err
+		}
+		cfg.Index = kind
+	}
+	return cfg, est, nil
 }
 
 func (s *server) handleModelGet(w http.ResponseWriter, r *http.Request) {

@@ -184,7 +184,7 @@ func TestSingleFlightAndCacheHit(t *testing.T) {
 	cfg := serverConfig{
 		workers:   1,
 		maxBuilds: 16, // duplicates racing in before the entry exists may each take a slot
-		buildModel: func(_ context.Context, name string, trs []traclus.Trajectory, c traclus.Config, _ func(string, float64)) (*service.Model, error) {
+		buildModel: func(_ context.Context, name string, trs []traclus.Trajectory, c traclus.Config, _ *service.EstimateRange, _ func(string, float64)) (*service.Model, error) {
 			builds.Add(1)
 			<-release // hold the build so all duplicates overlap it
 			return service.Build(name, trs, c)
@@ -310,7 +310,7 @@ func TestBuildConcurrencyCap(t *testing.T) {
 	_, ts := testServer(t, serverConfig{
 		workers:   1,
 		maxBuilds: 1,
-		buildModel: func(_ context.Context, name string, trs []traclus.Trajectory, c traclus.Config, _ func(string, float64)) (*service.Model, error) {
+		buildModel: func(_ context.Context, name string, trs []traclus.Trajectory, c traclus.Config, _ *service.EstimateRange, _ func(string, float64)) (*service.Model, error) {
 			started <- struct{}{}
 			<-release
 			return service.Build(name, trs, c)
@@ -425,7 +425,7 @@ func TestDeleteCancelsInFlightBuild(t *testing.T) {
 	started := make(chan struct{}, 8)
 	_, ts := testServer(t, serverConfig{
 		maxBuilds: 4,
-		buildModel: func(ctx context.Context, _ string, _ []traclus.Trajectory, _ traclus.Config, _ func(string, float64)) (*service.Model, error) {
+		buildModel: func(ctx context.Context, _ string, _ []traclus.Trajectory, _ traclus.Config, _ *service.EstimateRange, _ func(string, float64)) (*service.Model, error) {
 			started <- struct{}{}
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -478,11 +478,11 @@ func TestJobReportsLiveProgress(t *testing.T) {
 	reported := make(chan struct{})
 	release := make(chan struct{})
 	_, ts := testServer(t, serverConfig{
-		buildModel: func(ctx context.Context, name string, trs []traclus.Trajectory, c traclus.Config, progress func(string, float64)) (*service.Model, error) {
+		buildModel: func(ctx context.Context, name string, trs []traclus.Trajectory, c traclus.Config, est *service.EstimateRange, progress func(string, float64)) (*service.Model, error) {
 			progress("group", 0.5)
 			close(reported)
 			<-release
-			return service.BuildCtx(ctx, name, trs, c, progress)
+			return service.BuildCtx(ctx, name, trs, c, est, progress)
 		},
 	})
 	_, csv := trainingCSV(t)
@@ -511,7 +511,7 @@ func TestJobReportsLiveProgress(t *testing.T) {
 
 func TestFailedBuildReportsJobError(t *testing.T) {
 	_, ts := testServer(t, serverConfig{
-		buildModel: func(context.Context, string, []traclus.Trajectory, traclus.Config, func(string, float64)) (*service.Model, error) {
+		buildModel: func(context.Context, string, []traclus.Trajectory, traclus.Config, *service.EstimateRange, func(string, float64)) (*service.Model, error) {
 			return nil, fmt.Errorf("synthetic failure")
 		},
 	})
@@ -527,5 +527,122 @@ func TestFailedBuildReportsJobError(t *testing.T) {
 	// The failed model must not be cached.
 	if code := doJSON(t, http.MethodGet, ts.URL+"/models/m", "", nil); code != http.StatusNotFound {
 		t.Fatalf("GET failed model = %d, want 404", code)
+	}
+}
+
+// TestBuildIndexBackendParam pins the end-to-end backend selection: a valid
+// index name builds the identical model, an unknown one answers 400 with
+// the typed validation message.
+func TestBuildIndexBackendParam(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	_, csv := trainingCSV(t)
+
+	var e struct{ Error string }
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=bad&eps=30&minlns=6&index=kdtree", csv, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown index name: status %d, want 400", code)
+	}
+	if !strings.Contains(e.Error, "Index") || !strings.Contains(e.Error, "kdtree") {
+		t.Errorf("unknown index error %q does not name the field and value", e.Error)
+	}
+
+	// Build the same data under two backends; the summaries must agree on
+	// everything the clustering determines.
+	sums := map[string]service.Summary{}
+	for _, index := range []string{"rtree", "brute"} {
+		var job service.Job
+		code := doJSON(t, http.MethodPost,
+			ts.URL+"/models?name="+index+"&eps=30&minlns=6&cost_advantage=15&min_seg_len=40&index="+index, csv, &job)
+		if code != http.StatusAccepted {
+			t.Fatalf("index=%s: status %d, want 202", index, code)
+		}
+		if got := awaitJob(t, ts.URL, job.ID); got.State != service.JobDone {
+			t.Fatalf("index=%s: job finished %q (%s)", index, got.State, got.Error)
+		}
+		var sum service.Summary
+		if code := doJSON(t, http.MethodGet, ts.URL+"/models/"+index, "", &sum); code != http.StatusOK {
+			t.Fatalf("GET model %s: %d", index, code)
+		}
+		sums[index] = sum
+	}
+	if a, b := sums["rtree"], sums["brute"]; a.Clusters != b.Clusters ||
+		a.NoiseSegments != b.NoiseSegments || a.TotalSegments != b.TotalSegments {
+		t.Errorf("backends disagree: rtree=(%d,%d,%d) brute=(%d,%d,%d)",
+			a.Clusters, a.NoiseSegments, a.TotalSegments,
+			b.Clusters, b.NoiseSegments, b.TotalSegments)
+	}
+}
+
+// TestBuildAutoEstimation: auto=true estimates eps/minlns inside the build
+// (sharing its index) and the summary reports the chosen values; bad auto
+// bounds and invalid non-estimated fields still answer 400.
+func TestBuildAutoEstimation(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	trs, csv := trainingCSV(t)
+
+	var job service.Job
+	code := doJSON(t, http.MethodPost,
+		ts.URL+"/models?name=auto&auto=true&auto_lo=5&auto_hi=60&cost_advantage=15&min_seg_len=40", csv, &job)
+	if code != http.StatusAccepted {
+		t.Fatalf("auto build: status %d, want 202", code)
+	}
+	if got := awaitJob(t, ts.URL, job.ID); got.State != service.JobDone {
+		t.Fatalf("auto job finished %q (%s)", got.State, got.Error)
+	}
+	var sum service.Summary
+	if code := doJSON(t, http.MethodGet, ts.URL+"/models/auto", "", &sum); code != http.StatusOK {
+		t.Fatalf("GET auto model: %d", code)
+	}
+	est, err := traclus.EstimateParameters(trs, 5, 60, traclus.Config{CostAdvantage: 15, MinSegmentLength: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Eps != est.Eps {
+		t.Errorf("auto summary eps = %v, want estimated %v", sum.Eps, est.Eps)
+	}
+
+	var e struct{ Error string }
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=x&auto=maybe", csv, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad auto flag: status %d, want 400", code)
+	}
+	// eps is ignored (and unvalidated) under auto, but other fields are not.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=x&auto=true&cost_advantage=-3", csv, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad cost_advantage under auto: status %d, want 400", code)
+	}
+}
+
+// TestBuildAutoBoundsValidation: invalid auto bounds answer 400
+// synchronously (never a failed async job), and a single explicit bound
+// survives while the other derives from the data extent.
+func TestBuildAutoBoundsValidation(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	_, csv := trainingCSV(t)
+	var e struct{ Error string }
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=x&auto=true&auto_lo=60&auto_hi=5", csv, &e); code != http.StatusBadRequest {
+		t.Fatalf("inverted auto bounds: status %d, want 400", code)
+	}
+	if !strings.Contains(e.Error, "0 < lo < hi") {
+		t.Errorf("inverted-bounds error %q does not state the constraint", e.Error)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=x&auto=true&auto_lo=NaN", csv, &e); code != http.StatusBadRequest {
+		t.Fatalf("NaN auto_lo: status %d, want 400", code)
+	}
+	// One-sided: auto_lo must survive, auto_hi defaults from the extent.
+	var job service.Job
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=onesided&auto=true&auto_lo=5&cost_advantage=15&min_seg_len=40", csv, &job); code != http.StatusAccepted {
+		t.Fatalf("one-sided auto bound: status %d, want 202", code)
+	}
+	if got := awaitJob(t, ts.URL, job.ID); got.State != service.JobDone {
+		t.Fatalf("one-sided auto job finished %q (%s)", got.State, got.Error)
+	}
+}
+
+// An explicit auto_lo=0 is a bound violation (400), not a request for the
+// extent-derived default — presence decides defaulting, not the zero value.
+func TestBuildAutoExplicitZeroBound(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	_, csv := trainingCSV(t)
+	var e struct{ Error string }
+	if code := doJSON(t, http.MethodPost, ts.URL+"/models?name=x&auto=true&auto_lo=0&auto_hi=50", csv, &e); code != http.StatusBadRequest {
+		t.Fatalf("explicit auto_lo=0: status %d, want 400", code)
 	}
 }

@@ -1,0 +1,289 @@
+package traclus_test
+
+// Cross-backend equivalence suite for the unified index subsystem
+// (internal/spindex): every backend — the three first-class ones, reached
+// either through the Config.Index compatibility shim or WithIndexBackend,
+// and custom plug-ins — must produce the identical clustering, through the
+// package facade and through the Pipeline, at every worker count. Also pins
+// the single-build data flow of WithEstimation and the custom-backend
+// contract end-to-end.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/spindex"
+
+	traclus "repro"
+)
+
+var indexSuiteConfig = traclus.Config{
+	Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40,
+}
+
+// TestBackendEquivalenceSuite: Grid ≡ RTree ≡ Brute through the facade and
+// the Pipeline, Workers {1, 4, all}. Within one backend, the kind shim and
+// the explicit backend option must agree bit-for-bit (DistCalls included);
+// across backends the clusterings must agree (DistCalls legitimately
+// differ between pruned and exhaustive candidate generation).
+func TestBackendEquivalenceSuite(t *testing.T) {
+	trs := equivalenceWorkload(t, 120)
+	backends := []struct {
+		kind    traclus.IndexKind
+		backend traclus.IndexBackend
+	}{
+		{traclus.IndexGrid, traclus.GridIndexBackend()},
+		{traclus.IndexRTree, traclus.RTreeIndexBackend()},
+		{traclus.IndexNone, traclus.BruteIndexBackend()},
+	}
+	for _, workers := range []int{1, 4, 0} {
+		var ref *traclus.Result
+		for _, b := range backends {
+			cfg := indexSuiteConfig
+			cfg.Index = b.kind
+			cfg.Workers = workers
+			viaKind, err := traclus.Run(trs, cfg)
+			if err != nil {
+				t.Fatalf("kind=%v workers=%d: %v", b.kind, workers, err)
+			}
+			viaBackend, err := traclus.New(
+				traclus.WithConfig(indexSuiteConfig),
+				traclus.WithWorkers(workers),
+				traclus.WithIndexBackend(b.backend),
+			).Run(context.Background(), trs)
+			if err != nil {
+				t.Fatalf("backend=%s workers=%d: %v", b.backend.Name(), workers, err)
+			}
+			if !reflect.DeepEqual(viaKind.Clusters, viaBackend.Clusters) {
+				t.Errorf("backend=%s workers=%d: WithIndexBackend clusters differ from Config.Index", b.backend.Name(), workers)
+			}
+			if viaKind.DistCalls() != viaBackend.DistCalls() {
+				t.Errorf("backend=%s workers=%d: DistCalls differ: kind=%d backend=%d",
+					b.backend.Name(), workers, viaKind.DistCalls(), viaBackend.DistCalls())
+			}
+			if ref == nil {
+				ref = viaKind
+				continue
+			}
+			if !reflect.DeepEqual(ref.Clusters, viaKind.Clusters) {
+				t.Errorf("workers=%d: backend %s clusters differ from %s", workers, b.backend.Name(), backends[0].backend.Name())
+			}
+			if ref.NoiseSegments != viaKind.NoiseSegments || ref.RemovedClusters != viaKind.RemovedClusters {
+				t.Errorf("workers=%d: backend %s noise/removed (%d,%d) differ from (%d,%d)",
+					workers, b.backend.Name(), viaKind.NoiseSegments, viaKind.RemovedClusters,
+					ref.NoiseSegments, ref.RemovedClusters)
+			}
+		}
+	}
+}
+
+// exhaustiveMBRBackend is a custom backend written against the public
+// surface only (traclus.IndexBackend / SegmentIndex / IndexQuery /
+// Segment / Rect): it answers Within by scanning every MBR exactly. Its
+// candidate sets therefore equal the built-in grid/R-tree ones, so a run
+// through it must match the default bit-for-bit, DistCalls included.
+type exhaustiveMBRBackend struct {
+	builds  *atomic.Int64
+	queries *atomic.Int64
+}
+
+func (b exhaustiveMBRBackend) Name() string { return "exhaustive-mbr" }
+
+func (b exhaustiveMBRBackend) Build(segs []traclus.Segment) traclus.SegmentIndex {
+	b.builds.Add(1)
+	rects := make([]traclus.Rect, len(segs))
+	for i, s := range segs {
+		rects[i] = s.Bounds()
+	}
+	return &exhaustiveMBRIndex{rects: rects, queries: b.queries}
+}
+
+type exhaustiveMBRIndex struct {
+	rects   []traclus.Rect
+	queries *atomic.Int64
+}
+
+func (x *exhaustiveMBRIndex) Len() int { return len(x.rects) }
+
+func (x *exhaustiveMBRIndex) Query() traclus.IndexQuery { return exhaustiveMBRQuery{x} }
+
+type exhaustiveMBRQuery struct{ x *exhaustiveMBRIndex }
+
+func (q exhaustiveMBRQuery) Within(rect traclus.Rect, r float64, dst []int) []int {
+	q.x.queries.Add(1)
+	for i, rc := range q.x.rects {
+		if rc.DistRect(rect) <= r {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// TestCustomIndexBackendPlugin pins the WithIndexBackend plug-in path: a
+// custom backend is actually built and queried, serves the grouping AND the
+// classifier built from the result, and reproduces the default clustering
+// bit-for-bit.
+func TestCustomIndexBackendPlugin(t *testing.T) {
+	trs := equivalenceWorkload(t, 60)
+	cfg := indexSuiteConfig
+	for _, workers := range []int{1, 0} {
+		want, err := traclus.Run(trs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		custom := exhaustiveMBRBackend{builds: new(atomic.Int64), queries: new(atomic.Int64)}
+		got, err := traclus.New(
+			traclus.WithConfig(cfg),
+			traclus.WithWorkers(workers),
+			traclus.WithIndexBackend(custom),
+		).Run(context.Background(), trs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if custom.builds.Load() != 1 {
+			t.Errorf("workers=%d: custom backend built %d times during the run, want 1", workers, custom.builds.Load())
+		}
+		if custom.queries.Load() == 0 {
+			t.Errorf("workers=%d: custom backend never queried", workers)
+		}
+		if !reflect.DeepEqual(want.Clusters, got.Clusters) {
+			t.Errorf("workers=%d: custom-backend clusters differ from default", workers)
+		}
+		if want.DistCalls() != got.DistCalls() {
+			t.Errorf("workers=%d: DistCalls differ: default=%d custom=%d", workers, want.DistCalls(), got.DistCalls())
+		}
+		// The classifier must index its reference segments through the same
+		// plugged backend: one more build, and queries keep flowing.
+		if _, _, err := got.Classify(trs[0]); err != nil {
+			t.Fatalf("workers=%d: classify: %v", workers, err)
+		}
+		if custom.builds.Load() != 2 {
+			t.Errorf("workers=%d: builds after classify = %d, want 2 (items + reference segments)", workers, custom.builds.Load())
+		}
+	}
+}
+
+// TestWithEstimationMatchesSeparateEstimate: a WithEstimation run must
+// reproduce the EstimateParameters-then-Run composite bit-for-bit — same
+// estimate, same clustering — while building exactly ONE index over the
+// pooled segments where the composite builds two.
+func TestWithEstimationMatchesSeparateEstimate(t *testing.T) {
+	trs := equivalenceWorkload(t, 60)
+	base := traclus.Config{CostAdvantage: 15, MinSegmentLength: 40}
+	est, err := traclus.EstimateParameters(trs, 5, 60, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Eps = est.Eps
+	cfg.MinLns = float64(est.MinLnsLo+est.MinLnsHi) / 2
+	want, err := traclus.Run(trs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := spindex.Builds()
+	got, err := traclus.New(
+		traclus.WithConfig(base),
+		traclus.WithEstimation(5, 60),
+	).Run(context.Background(), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds := spindex.Builds() - before; builds != 1 {
+		t.Errorf("WithEstimation run built %d indexes over the segments, want 1 (shared by estimation and grouping)", builds)
+	}
+	if got.Estimated == nil {
+		t.Fatal("Result.Estimated is nil on a WithEstimation run")
+	}
+	if *got.Estimated != est {
+		t.Errorf("Result.Estimated = %+v, want %+v", *got.Estimated, est)
+	}
+	if !reflect.DeepEqual(want.Clusters, got.Clusters) {
+		t.Error("WithEstimation clusters differ from the estimate-then-run composite")
+	}
+	if want.DistCalls() != got.DistCalls() {
+		t.Errorf("grouping DistCalls differ: composite=%d shared=%d", want.DistCalls(), got.DistCalls())
+	}
+}
+
+// TestWithEstimationProgressPhases: the estimate phase streams between
+// partition and group, with the usual 0→1 monotone fractions.
+func TestWithEstimationProgressPhases(t *testing.T) {
+	trs := equivalenceWorkload(t, 30)
+	var order []traclus.Phase
+	var estEvents int
+	lastFrac := -1.0
+	_, err := traclus.New(
+		traclus.WithConfig(traclus.Config{CostAdvantage: 15, MinSegmentLength: 40}),
+		traclus.WithEstimation(5, 60),
+		traclus.WithProgress(func(ev traclus.ProgressEvent) {
+			if len(order) == 0 || order[len(order)-1] != ev.Phase {
+				order = append(order, ev.Phase)
+				lastFrac = -1
+			}
+			if ev.Fraction < lastFrac {
+				t.Errorf("phase %v: fraction regressed %v -> %v", ev.Phase, lastFrac, ev.Fraction)
+			}
+			lastFrac = ev.Fraction
+			if ev.Phase == traclus.PhaseEstimate {
+				estEvents++
+			}
+		}),
+	).Run(context.Background(), trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []traclus.Phase{traclus.PhasePartition, traclus.PhaseEstimate, traclus.PhaseGroup, traclus.PhaseRepresent}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("phase order = %v, want %v", order, want)
+	}
+	if estEvents < 2 {
+		t.Errorf("estimate phase emitted %d events, want at least begin+complete", estEvents)
+	}
+}
+
+// TestWithEstimationValidation: estimation runs still reject malformed
+// non-estimated fields with the typed error, and bad search bounds fail
+// fast.
+func TestWithEstimationValidation(t *testing.T) {
+	trs := equivalenceWorkload(t, 20)
+	_, err := traclus.New(
+		traclus.WithConfig(traclus.Config{CostAdvantage: -1}),
+		traclus.WithEstimation(5, 60),
+	).Run(context.Background(), trs)
+	var cerr *traclus.ConfigError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("negative CostAdvantage under estimation: got %v, want *ConfigError", err)
+	}
+	_, err = traclus.New(
+		traclus.WithConfig(traclus.Config{}),
+		traclus.WithEstimation(60, 5),
+	).Run(context.Background(), trs)
+	if !errors.As(err, &cerr) {
+		t.Fatalf("inverted estimation bounds: got %v, want *ConfigError", err)
+	}
+}
+
+// TestParseIndexKind covers the shared name → kind mapping and its typed
+// error.
+func TestParseIndexKind(t *testing.T) {
+	for name, want := range map[string]traclus.IndexKind{
+		"grid": traclus.IndexGrid, "rtree": traclus.IndexRTree,
+		"brute": traclus.IndexNone, "scan": traclus.IndexNone, "none": traclus.IndexNone,
+		"GRID": traclus.IndexGrid, " rtree ": traclus.IndexRTree,
+	} {
+		got, err := traclus.ParseIndexKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseIndexKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := traclus.ParseIndexKind("kdtree")
+	var cerr *traclus.ConfigError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("ParseIndexKind(kdtree) error = %v, want *ConfigError", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mdl"
 	"repro/internal/par"
 	"repro/internal/segclust"
+	"repro/internal/spindex"
 	"repro/internal/sweep"
 )
 
@@ -33,8 +34,14 @@ type Config struct {
 	Partition mdl.Config
 	// Distance carries the weights and directedness of the distance.
 	Distance lsdist.Options
-	// Index selects the ε-neighborhood strategy.
+	// Index selects the ε-neighborhood strategy (thin shim over the
+	// spindex backend layer).
 	Index segclust.IndexKind
+	// Backend, when non-nil, overrides Index with a custom spindex backend.
+	// The same backend serves every phase that indexes segments: parameter
+	// estimation, ε-neighborhood grouping, and the classifier's
+	// reference-segment index.
+	Backend spindex.Backend
 	// Gamma is the sweep smoothing parameter γ; 0 defaults to Eps/4.
 	Gamma float64
 	// Workers bounds the parallelism of every phase — MDL partitioning,
@@ -48,6 +55,15 @@ type Config struct {
 // internal/params).
 func DefaultConfig() Config {
 	return Config{Distance: lsdist.DefaultOptions(), Index: segclust.IndexGrid}
+}
+
+// ResolvedBackend resolves the spindex backend every indexing phase uses:
+// the explicit Backend when set, otherwise the IndexKind shim.
+func (c Config) ResolvedBackend() spindex.Backend {
+	if c.Backend != nil {
+		return c.Backend
+	}
+	return segclust.BackendFor(c.Index)
 }
 
 // EffectiveGamma resolves the sweep smoothing parameter: Gamma when set,
@@ -178,18 +194,25 @@ func RunOnItems(items []segclust.Item, cfg Config) (*Output, error) {
 
 // RunOnItemsCtx is RunOnItems with cooperative cancellation.
 func RunOnItemsCtx(ctx context.Context, items []segclust.Item, cfg Config) (*Output, error) {
-	res, err := segclust.RunCtx(ctx, items, segclust.Config{
-		Eps:      cfg.Eps,
-		MinLns:   cfg.MinLns,
-		MinTrajs: cfg.MinTrajs,
-		Options:  cfg.Distance,
-		Index:    cfg.Index,
-		Workers:  cfg.Workers,
-	}, nil)
+	res, err := segclust.RunCtx(ctx, items, cfg.Segclust(), nil)
 	if err != nil {
 		return nil, err
 	}
 	return AssembleCtx(ctx, items, res, cfg, nil, nil)
+}
+
+// Segclust projects the engine configuration onto the grouping phase's
+// Config, Backend included, so every layer resolves the same index backend.
+func (c Config) Segclust() segclust.Config {
+	return segclust.Config{
+		Eps:      c.Eps,
+		MinLns:   c.MinLns,
+		MinTrajs: c.MinTrajs,
+		Options:  c.Distance,
+		Index:    c.Index,
+		Backend:  c.Backend,
+		Workers:  c.Workers,
+	}
 }
 
 // RepresentativeFunc builds one cluster's representative trajectory from

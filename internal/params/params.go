@@ -8,9 +8,11 @@
 // good clustering makes |Nε(L)| skewed (entropy smaller).
 //
 // Every ε evaluation rides segclust's shared parallel neighborhood pass
-// (one immutable SharedIndex built at the maximum ε, per-worker query
-// views), so the heuristic scales with the same Workers knob as the
-// clustering phase itself.
+// (one immutable spindex-backed SharedIndex, per-worker query views, each
+// query at its own exact candidate radius), so the heuristic scales with
+// the same Workers knob as the clustering phase itself — and callers that
+// already indexed the items (the public Pipeline) share that single index
+// via the *Shared entry points instead of building a second one.
 package params
 
 import (
@@ -81,16 +83,15 @@ type EntropyPoint struct {
 }
 
 // Sweep evaluates the entropy at each ε in epsValues, as plotted in
-// Figures 16 and 19. The values need not be sorted. One shared index is
-// built at max(epsValues).
+// Figures 16 and 19. The values need not be sorted. One shared index
+// serves every ε (each query derives its own candidate radius).
 func Sweep(items []segclust.Item, epsValues []float64, opt lsdist.Options, index segclust.IndexKind, workers int) []EntropyPoint {
-	maxEps := 0.0
-	for _, e := range epsValues {
-		if e > maxEps {
-			maxEps = e
-		}
-	}
-	shared := segclust.NewSharedIndex(items, maxEps, opt, index)
+	return SweepShared(segclust.NewSharedIndexFor(items, opt, segclust.BackendFor(index)), epsValues, workers)
+}
+
+// SweepShared is Sweep over a prebuilt shared index — the entry point for
+// callers that already indexed the items for other phases.
+func SweepShared(shared *segclust.SharedIndex, epsValues []float64, workers int) []EntropyPoint {
 	out := make([]EntropyPoint, len(epsValues))
 	for i, eps := range epsValues {
 		n := shared.NeighborhoodWeights(eps, workers)
@@ -109,19 +110,25 @@ type Estimate struct {
 	Evaluations  int
 }
 
+// DefaultIterations is the default annealing step count; the search
+// evaluates DefaultIterations+1 ε candidates (progress reporters size their
+// phase with it).
+const DefaultIterations = 60
+
 // AnnealOptions tune the simulated-annealing ε search (reference [14] of
 // the paper). The zero value is replaced by sensible defaults.
 type AnnealOptions struct {
-	Iterations int     // annealing steps (default 60)
+	Iterations int     // annealing steps (default DefaultIterations)
 	InitTemp   float64 // initial temperature as a fraction of entropy scale (default 1.0)
 	Cooling    float64 // geometric cooling factor per step (default 0.93)
 	Seed       int64   // RNG seed (deterministic search)
 	Workers    int     // parallelism for neighborhood evaluation
+	OnEval     func()  // invoked after each ε evaluation (progress reporting)
 }
 
 func (o AnnealOptions) withDefaults() AnnealOptions {
 	if o.Iterations <= 0 {
-		o.Iterations = 60
+		o.Iterations = DefaultIterations
 	}
 	if o.InitTemp <= 0 {
 		o.InitTemp = 1
@@ -145,14 +152,37 @@ func EstimateEps(items []segclust.Item, lo, hi float64, opt lsdist.Options, inde
 // ctx ending and returns ctx.Err(). The uncancelled search is bit-identical
 // to EstimateEps (same seeded random walk, same evaluations).
 func EstimateEpsCtx(ctx context.Context, items []segclust.Item, lo, hi float64, opt lsdist.Options, index segclust.IndexKind, an AnnealOptions) (Estimate, error) {
-	if !(lo > 0) || !(hi > lo) {
-		return Estimate{}, errors.New("params: need 0 < lo < hi")
+	// Re-checked by EstimateEpsSharedCtx, but rejecting here first keeps
+	// invalid bounds from paying (and counting) an index build.
+	if err := checkRange(lo, hi); err != nil {
+		return Estimate{}, err
 	}
 	if len(items) == 0 {
 		return Estimate{}, errors.New("params: no segments")
 	}
+	return EstimateEpsSharedCtx(ctx, segclust.NewSharedIndexFor(items, opt, segclust.BackendFor(index)), lo, hi, an)
+}
+
+func checkRange(lo, hi float64) error {
+	if !(lo > 0) || !(hi > lo) {
+		return errors.New("params: need 0 < lo < hi")
+	}
+	return nil
+}
+
+// EstimateEpsSharedCtx is EstimateEpsCtx over a prebuilt shared index: the
+// pipeline builds the dataset's index once and hands it here, so the
+// annealing search costs no second index construction and every ε
+// evaluation queries at its own exact candidate radius. The search is
+// bit-identical to EstimateEpsCtx over a fresh index of the same backend.
+func EstimateEpsSharedCtx(ctx context.Context, shared *segclust.SharedIndex, lo, hi float64, an AnnealOptions) (Estimate, error) {
+	if err := checkRange(lo, hi); err != nil {
+		return Estimate{}, err
+	}
+	if shared.Len() == 0 {
+		return Estimate{}, errors.New("params: no segments")
+	}
 	an = an.withDefaults()
-	shared := segclust.NewSharedIndex(items, hi, opt, index)
 	rng := rand.New(rand.NewSource(an.Seed))
 
 	evals := 0
@@ -161,6 +191,9 @@ func EstimateEpsCtx(ctx context.Context, items []segclust.Item, lo, hi float64, 
 		n, err := shared.NeighborhoodWeightsCtx(ctx, eps, an.Workers)
 		if err != nil {
 			return 0, 0, err
+		}
+		if an.OnEval != nil {
+			an.OnEval()
 		}
 		return Entropy(n), Average(n), nil
 	}

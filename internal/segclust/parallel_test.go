@@ -178,7 +178,7 @@ func TestNeighborhoodArenaMatchesLazy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: newSource(items, cfg)}
+	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: NewSharedIndexFor(items, cfg.Options, cfg.backend()).view(cfg.Eps)}
 	var hood []int
 	for i := range items {
 		var w float64
@@ -216,7 +216,7 @@ func TestPrecomputedHoodsMatchLazy(t *testing.T) {
 			weights[i] = w
 		})
 
-	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: newSource(items, cfg)}
+	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: NewSharedIndexFor(items, cfg.Options, cfg.backend()).view(cfg.Eps)}
 	var hood []int
 	for i := range items {
 		var w float64

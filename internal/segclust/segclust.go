@@ -5,9 +5,10 @@
 // density-connected set only becomes a cluster if enough *distinct
 // trajectories* participate (Definition 10).
 //
-// ε-neighborhoods are computed either by brute force or through a spatial
-// index (grid or R-tree) using the sound Euclidean prefilter of
-// internal/lsdist; all three paths produce identical clusterings. With
+// ε-neighborhoods are computed through the unified index subsystem of
+// internal/spindex — brute force, uniform grid, or R-tree (or any custom
+// Backend), all using the sound Euclidean prefilter of internal/lsdist —
+// and all backends produce identical clusterings. With
 // Config.Workers > 1 every neighborhood is precomputed concurrently through
 // per-worker views of one immutable SharedIndex into one flat int32 arena,
 // and the grouping itself then runs as connected components of the
@@ -23,12 +24,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/geom"
-	"repro/internal/gridindex"
 	"repro/internal/lsdist"
 	"repro/internal/par"
-	"repro/internal/rtree"
+	"repro/internal/spindex"
 )
 
 // Item is one clusterable line segment: a trajectory partition together
@@ -79,6 +80,38 @@ func (k IndexKind) String() string {
 	}
 }
 
+// BackendFor maps the compatibility IndexKind to its internal/spindex
+// backend. IndexKind survives as a thin shim over the backend layer so
+// existing Configs, flags, and serialized requests keep working.
+func BackendFor(k IndexKind) spindex.Backend {
+	switch k {
+	case IndexRTree:
+		return spindex.RTree()
+	case IndexNone:
+		return spindex.Brute()
+	default:
+		return spindex.Grid()
+	}
+}
+
+// ParseIndexKind maps a user-facing backend name ("grid", "rtree",
+// "brute"; "scan" and "none" are accepted aliases of brute) to its
+// IndexKind. Unknown names return a *ConfigError, which serving layers map
+// to HTTP 400.
+func ParseIndexKind(s string) (IndexKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "grid":
+		return IndexGrid, nil
+	case "rtree":
+		return IndexRTree, nil
+	case "brute", "scan", "none":
+		return IndexNone, nil
+	default:
+		return IndexGrid, &ConfigError{Field: "Index", Value: s,
+			Reason: `must be one of "grid", "rtree", "brute"`}
+	}
+}
+
 // Config parameterises the clustering.
 type Config struct {
 	// Eps is the ε-neighborhood radius in distance units.
@@ -92,8 +125,13 @@ type Config struct {
 	MinTrajs int
 	// Distance options (weights, directedness).
 	Options lsdist.Options
-	// Index selects the neighborhood strategy.
+	// Index selects the neighborhood strategy (thin shim over Backend:
+	// grid, R-tree, or brute scan).
 	Index IndexKind
+	// Backend, when non-nil, overrides Index with an arbitrary spindex
+	// backend (custom plug-ins ride this; the public Pipeline's
+	// WithIndexBackend sets it).
+	Backend spindex.Backend
 	// Workers bounds parallelism (≤ 0 = all CPUs). With more than one
 	// worker every ε-neighborhood is precomputed concurrently through
 	// per-worker views of a shared index into one flat arena, and the
@@ -204,65 +242,29 @@ func (r *Result) NoiseCount() int {
 	return n
 }
 
+// backend resolves the configured spindex backend: the explicit Backend
+// when set, otherwise the IndexKind shim.
+func (c Config) backend() spindex.Backend {
+	if c.Backend != nil {
+		return c.Backend
+	}
+	return BackendFor(c.Index)
+}
+
 // neighborSource produces ε-neighborhood candidate ids for a query item.
 type neighborSource interface {
 	candidates(i int, dst []int) []int
 }
 
-type scanSource struct{ n int }
-
-func (s scanSource) candidates(_ int, dst []int) []int {
-	for j := 0; j < s.n; j++ {
-		dst = append(dst, j)
-	}
-	return dst
+// epsView binds a per-goroutine spindex cursor to one query ε; it is what
+// the engine's refinement loop consumes.
+type epsView struct {
+	sq  *spindex.SearchQuery
+	eps float64
 }
 
-type gridSource struct {
-	idx    *gridindex.Index
-	rects  []geom.Rect
-	radius float64
-	seen   []bool
-}
-
-func (g *gridSource) candidates(i int, dst []int) []int {
-	return g.idx.Candidates(g.rects[i], g.radius, dst, g.seen)
-}
-
-type rtreeSource struct {
-	tree   *rtree.Tree
-	rects  []geom.Rect
-	radius float64
-}
-
-func (r *rtreeSource) candidates(i int, dst []int) []int {
-	r.tree.WithinDist(r.rects[i], r.radius, func(id int) bool {
-		dst = append(dst, id)
-		return true
-	})
-	return dst
-}
-
-func newSource(items []Item, cfg Config) neighborSource {
-	radius, ok := lsdist.SearchRadius(cfg.Eps, cfg.Options.Weights)
-	if !ok || cfg.Index == IndexNone {
-		return scanSource{n: len(items)}
-	}
-	rects := make([]geom.Rect, len(items))
-	for i, it := range items {
-		rects[i] = it.Seg.Bounds()
-	}
-	switch cfg.Index {
-	case IndexRTree:
-		return &rtreeSource{tree: rtree.Bulk(rects), rects: rects, radius: radius}
-	default:
-		return &gridSource{
-			idx:    gridindex.Build(segments(items), 0),
-			rects:  rects,
-			radius: radius,
-			seen:   make([]bool, len(items)),
-		}
-	}
+func (v epsView) candidates(i int, dst []int) []int {
+	return v.sq.CandidatesOf(i, v.eps, dst)
 }
 
 func segments(items []Item) []geom.Segment {
@@ -320,7 +322,7 @@ func (h *hoodSet) hood(i int) []int32 { return h.ids[h.off[i]:h.off[i+1]] }
 // Run executes the Figure-12 algorithm. cfg.Workers > 1 precomputes the
 // ε-neighborhoods concurrently; the clustering is identical either way.
 func Run(items []Item, cfg Config) (*Result, error) {
-	return run(context.Background(), items, cfg, lsdist.New(cfg.Options), nil)
+	return run(context.Background(), items, cfg, lsdist.New(cfg.Options), nil, nil)
 }
 
 // RunCtx is Run with cooperative cancellation and an optional per-item
@@ -335,7 +337,19 @@ func Run(items []Item, cfg Config) (*Result, error) {
 // been resolved — from worker goroutines on the parallel path, inline on
 // the serial one — so callers can stream grouping progress.
 func RunCtx(ctx context.Context, items []Item, cfg Config, onItem func()) (*Result, error) {
-	return run(ctx, items, cfg, lsdist.New(cfg.Options), onItem)
+	return run(ctx, items, cfg, lsdist.New(cfg.Options), onItem, nil)
+}
+
+// RunSharedCtx is RunCtx over a prebuilt SharedIndex — the single-build
+// data flow of the pipeline: the caller indexes the items once (shared
+// across parameter estimation and any number of clustering runs) and the
+// grouping only queries it. shared must have been built with
+// NewSharedIndexFor over exactly these items and cfg.Options; cfg.Index and
+// cfg.Backend are ignored in its favour. The result is bit-identical to
+// RunCtx with the equivalent Config — the index structure does not depend
+// on ε, and every query derives its own candidate radius.
+func RunSharedCtx(ctx context.Context, shared *SharedIndex, cfg Config, onItem func()) (*Result, error) {
+	return run(ctx, shared.items, cfg, lsdist.New(cfg.Options), onItem, shared)
 }
 
 // RunWithDistance executes the Figure-12 algorithm under an arbitrary
@@ -358,10 +372,11 @@ func RunWithDistance(items []Item, dist lsdist.Func, cfg Config) (*Result, error
 		cfg.Options.Weights = lsdist.DefaultWeights()
 	}
 	cfg.Index = IndexNone // no prefilter is sound for an unknown distance
-	return run(context.Background(), items, cfg, dist, nil)
+	cfg.Backend = nil
+	return run(context.Background(), items, cfg, dist, nil, nil)
 }
 
-func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem func()) (*Result, error) {
+func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem func(), shared *SharedIndex) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -372,15 +387,18 @@ func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem
 	if minTrajs <= 0 {
 		minTrajs = int(cfg.MinLns)
 	}
+	if shared == nil {
+		shared = NewSharedIndexFor(items, cfg.Options, cfg.backend())
+	}
 	if par.Workers(cfg.Workers, len(items)) > 1 {
-		return runParallel(ctx, items, cfg, dist, onItem, minTrajs)
+		return runParallel(ctx, shared, cfg, dist, onItem, minTrajs)
 	}
 	e := &engine{
 		items:  items,
 		cfg:    cfg,
 		dist:   dist,
 		labels: make([]int, len(items)),
-		src:    newSource(items, cfg),
+		src:    shared.view(cfg.Eps),
 	}
 	for i := range e.labels {
 		e.labels[i] = unclassified
@@ -439,8 +457,8 @@ func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem
 // ResultFromLabels. It returns exactly what the serial path returns —
 // labels, cluster order, Removed, and DistCalls are all bit-identical at
 // every worker count.
-func runParallel(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem func(), minTrajs int) (*Result, error) {
-	shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
+func runParallel(ctx context.Context, shared *SharedIndex, cfg Config, dist lsdist.Func, onItem func(), minTrajs int) (*Result, error) {
+	items := shared.items
 	hs, calls, err := shared.neighborhoods(ctx, cfg.Eps, cfg.Workers, dist, onItem)
 	if err != nil {
 		return nil, err
@@ -679,54 +697,46 @@ func sortedKeys(m map[int]bool) []int {
 	return out
 }
 
-// SharedIndex is an immutable neighborhood index that can serve many
-// goroutines, each through its own view (per-view scratch buffers).
+// SharedIndex is an immutable neighborhood index over one item set that can
+// serve many goroutines, each through its own view (per-view scratch
+// buffers), at any query ε — the index structure is ε-free and every view
+// derives its candidate radius from its own ε. It is the "build once,
+// answer many queries" object the pipeline threads through parameter
+// estimation and grouping.
 type SharedIndex struct {
 	items  []Item
 	opt    lsdist.Options
-	kind   IndexKind
-	radius float64
-	rects  []geom.Rect
-	grid   *gridindex.Index
-	tree   *rtree.Tree
+	search *spindex.Searcher
 }
 
-// NewSharedIndex builds the index once for repeated ε-queries (possibly at
-// different ε up to maxEps, e.g. the parameter sweep of Section 4.4).
-func NewSharedIndex(items []Item, maxEps float64, opt lsdist.Options, kind IndexKind) *SharedIndex {
-	s := &SharedIndex{items: items, opt: opt, kind: kind}
-	radius, ok := lsdist.SearchRadius(maxEps, opt.Weights)
-	if !ok {
-		s.kind = IndexNone
-		return s
-	}
-	s.radius = radius
-	if kind == IndexNone {
-		return s
-	}
-	s.rects = make([]geom.Rect, len(items))
-	for i, it := range items {
-		s.rects[i] = it.Seg.Bounds()
-	}
-	if kind == IndexRTree {
-		s.tree = rtree.Bulk(s.rects)
-	} else {
-		s.grid = gridindex.Build(segments(items), 0)
-	}
-	return s
+// NewSharedIndex builds the index once for repeated ε-queries.
+//
+// Deprecated-shape compatibility form: maxEps is vestigial — since the
+// spindex refactor every query derives its own exact candidate radius, so
+// the index serves any ε — and kind is the IndexKind shim over
+// spindex backends. New code calls NewSharedIndexFor.
+func NewSharedIndex(items []Item, _ float64, opt lsdist.Options, kind IndexKind) *SharedIndex {
+	return NewSharedIndexFor(items, opt, BackendFor(kind))
 }
 
-// view returns a neighborSource backed by the shared structures but with
-// private scratch space.
-func (s *SharedIndex) view() neighborSource {
-	switch {
-	case s.kind == IndexNone:
-		return scanSource{n: len(s.items)}
-	case s.kind == IndexRTree:
-		return &rtreeSource{tree: s.tree, rects: s.rects, radius: s.radius}
-	default:
-		return &gridSource{idx: s.grid, rects: s.rects, radius: s.radius, seen: make([]bool, len(s.items))}
+// NewSharedIndexFor builds backend's index over the items once. The
+// searcher layer downgrades to the brute backend itself when the distance
+// weights admit no sound Euclidean prefilter.
+func NewSharedIndexFor(items []Item, opt lsdist.Options, backend spindex.Backend) *SharedIndex {
+	return &SharedIndex{
+		items:  items,
+		opt:    opt,
+		search: spindex.NewSearcher(segments(items), opt, backend),
 	}
+}
+
+// Len returns the number of indexed items.
+func (s *SharedIndex) Len() int { return len(s.items) }
+
+// view returns a neighborSource for ε-queries at eps, backed by the shared
+// structures but with private scratch space.
+func (s *SharedIndex) view(eps float64) neighborSource {
+	return epsView{sq: s.search.Query(), eps: eps}
 }
 
 // forEachNeighborhood is the shared parallel neighborhood pass: it computes
@@ -748,11 +758,11 @@ func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, dist lsdist.
 // is returned alongside the distance-call count so far (callers must treat
 // their partially-visited state as garbage).
 func (s *SharedIndex) forEachNeighborhoodCtx(ctx context.Context, eps float64, workers int, dist lsdist.Func, visit func(i int, hood []int, weight float64)) (int, error) {
-	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt, Index: s.kind}
+	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt}
 	engines := make([]*engine, par.Workers(workers, len(s.items)))
 	hoods := make([][]int, len(engines))
 	for w := range engines {
-		engines[w] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view()}
+		engines[w] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view(eps)}
 	}
 	err := par.ForEachCtx(ctx, workers, len(s.items), func(w, i int) {
 		var weight float64
@@ -787,13 +797,13 @@ const blockIDs = 1 << 15
 func (s *SharedIndex) neighborhoods(ctx context.Context, eps float64, workers int, dist lsdist.Func, onItem func()) (*hoodSet, int, error) {
 	n := len(s.items)
 	w := par.Workers(workers, n)
-	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt, Index: s.kind}
+	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt}
 	engines := make([]*engine, w)
 	scratch := make([][]int, w)    // per-worker neighborhood scratch
 	blocks := make([][][]int32, w) // per-worker retired blocks, allocation order
 	cur := make([][]int32, w)      // per-worker block being filled
 	for k := range engines {
-		engines[k] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view()}
+		engines[k] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view(eps)}
 	}
 	var (
 		owner = make([]int32, n) // worker whose chunk holds item i's hood,

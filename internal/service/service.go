@@ -64,6 +64,15 @@ type Model struct {
 	cls     *traclus.Classifier
 }
 
+// EstimateRange requests §4.4 parameter estimation inside a build: Eps and
+// MinLns are chosen by the entropy heuristic searched over ε ∈ [Lo, Hi],
+// sharing the build's single spatial index with the grouping phase instead
+// of paying a second index construction and neighborhood sweep the way a
+// separate EstimateParameters call would.
+type EstimateRange struct {
+	Lo, Hi float64
+}
+
 // Build runs the full TRACLUS pipeline over the training trajectories and
 // wraps the result as a servable model. It validates cfg up front (a
 // *traclus.ConfigError maps to a client error in the daemon) and precomputes
@@ -71,18 +80,29 @@ type Model struct {
 // whose clustering found no clusters is still valid — its summary reports
 // zero clusters and Classify returns traclus.ErrNoClusters.
 func Build(name string, trs []traclus.Trajectory, cfg traclus.Config) (*Model, error) {
-	return BuildCtx(context.Background(), name, trs, cfg, nil)
+	return BuildCtx(context.Background(), name, trs, cfg, nil, nil)
 }
 
 // BuildCtx is Build over the cancellable Pipeline API: a done ctx aborts
 // the clustering within one work item and surfaces ctx.Err() (match with
 // errors.Is against context.Canceled — the daemon maps it to a cancelled
-// job, not a failed one). progress, if non-nil, receives the pipeline's
-// phase/fraction stream (serialized, monotone per phase) so an async build
-// job can report live progress to pollers.
-func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, progress func(phase string, fraction float64)) (*Model, error) {
+// job, not a failed one). est, if non-nil, estimates Eps/MinLns during the
+// build (cfg.Eps and cfg.MinLns are ignored; the summary reports the chosen
+// values). progress, if non-nil, receives the pipeline's phase/fraction
+// stream (serialized, monotone per phase) so an async build job can report
+// live progress to pollers.
+//
+// A model build constructs exactly one spatial index per dataset it
+// indexes: one over the pooled trajectory partitions (shared by estimation
+// and grouping) and one over the reference segments behind the classifier
+// (memoized on the result, so later Result.Classify calls reuse it too).
+// The build-count test pins this.
+func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, est *EstimateRange, progress func(phase string, fraction float64)) (*Model, error) {
 	start := time.Now()
 	opts := []traclus.Option{traclus.WithConfig(cfg)}
+	if est != nil {
+		opts = append(opts, traclus.WithEstimation(est.Lo, est.Hi))
+	}
 	if progress != nil {
 		opts = append(opts, traclus.WithProgress(func(ev traclus.ProgressEvent) {
 			progress(ev.Phase.String(), ev.Fraction)
@@ -91,6 +111,10 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 	res, err := traclus.New(opts...).Run(ctx, trs)
 	if err != nil {
 		return nil, err
+	}
+	if res.Estimated != nil {
+		cfg.Eps = res.Estimated.Eps
+		cfg.MinLns = float64(res.Estimated.MinLnsLo+res.Estimated.MinLnsHi) / 2
 	}
 	points := 0
 	for _, tr := range trs {
@@ -120,7 +144,10 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 		},
 	}
 	if len(res.Clusters) > 0 {
-		if m.cls, err = traclus.NewClassifier(res); err != nil {
+		// The memoized accessor shares one classifier (and one
+		// reference-segment index) between the model and any direct
+		// Result.Classify callers — never two builds over the same dataset.
+		if m.cls, err = res.Classifier(); err != nil {
 			return nil, fmt.Errorf("service: building classifier for %q: %w", name, err)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/spindex"
 	"repro/internal/synth"
 
 	traclus "repro"
@@ -59,7 +60,7 @@ func TestBuildRejectsBadConfig(t *testing.T) {
 func TestBuildCtxCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	m, err := BuildCtx(ctx, "doomed", trainingSet(), buildConfig(), nil)
+	m, err := BuildCtx(ctx, "doomed", trainingSet(), buildConfig(), nil, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -76,7 +77,7 @@ func TestBuildCtxStreamsProgress(t *testing.T) {
 		frac  float64
 	}
 	var events []ev // serialized by the pipeline's progress contract
-	m, err := BuildCtx(context.Background(), "corridors", trainingSet(), buildConfig(),
+	m, err := BuildCtx(context.Background(), "corridors", trainingSet(), buildConfig(), nil,
 		func(phase string, fraction float64) { events = append(events, ev{phase, fraction}) })
 	if err != nil {
 		t.Fatal(err)
@@ -298,4 +299,74 @@ func waitForState(t *testing.T, jobs *Jobs, id string, want JobState) {
 	}
 	job, _ := jobs.Get(id)
 	t.Fatalf("job %s never reached %s: %+v", id, want, job)
+}
+
+// TestModelBuildConstructsOneIndexPerDataset pins the single-build data
+// flow of the spindex refactor: a model build indexes exactly two datasets
+// — the pooled trajectory partitions (once, shared by the grouping phase at
+// every worker count) and the classifier's reference segments (once,
+// memoized on the result) — and nothing else, at any worker count and with
+// or without in-build parameter estimation.
+func TestModelBuildConstructsOneIndexPerDataset(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		cfg := buildConfig()
+		cfg.Workers = workers
+		before := spindex.Builds()
+		m, err := Build("count", trainingSet(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spindex.Builds() - before; got != 2 {
+			t.Errorf("workers=%d: model build constructed %d indexes, want 2 (segments + reference segments)", workers, got)
+		}
+		// Classifying, and even reaching through to Result.Classify, must
+		// reuse the already-built reference index — zero further builds.
+		before = spindex.Builds()
+		if _, _, err := m.Classify(trainingSet()[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Result().Classify(trainingSet()[1]); err != nil {
+			t.Fatal(err)
+		}
+		if got := spindex.Builds() - before; got != 0 {
+			t.Errorf("workers=%d: serving classifies constructed %d extra indexes, want 0", workers, got)
+		}
+	}
+	// An auto-estimated build shares the one segment index between the
+	// estimation sweep and the grouping phase: still two builds total.
+	before := spindex.Builds()
+	if _, err := BuildCtx(context.Background(), "auto", trainingSet(), buildConfig(),
+		&EstimateRange{Lo: 5, Hi: 60}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := spindex.Builds() - before; got != 2 {
+		t.Errorf("auto build constructed %d indexes, want 2", got)
+	}
+}
+
+// TestBuildWithEstimation covers the in-build §4.4 estimation path: the
+// summary must report the chosen parameters, matching a standalone
+// EstimateParameters call.
+func TestBuildWithEstimation(t *testing.T) {
+	est, err := traclus.EstimateParameters(trainingSet(), 5, 60, traclus.Config{
+		CostAdvantage: 15, MinSegmentLength: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildCtx(context.Background(), "auto", trainingSet(), buildConfig(),
+		&EstimateRange{Lo: 5, Hi: 60}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.Summary()
+	if sum.Eps != est.Eps {
+		t.Errorf("Summary.Eps = %v, want the estimated %v", sum.Eps, est.Eps)
+	}
+	if want := float64(est.MinLnsLo+est.MinLnsHi) / 2; sum.MinLns != want {
+		t.Errorf("Summary.MinLns = %v, want %v", sum.MinLns, want)
+	}
+	if m.Result().Estimated == nil {
+		t.Error("Result.Estimated unset on an estimated build")
+	}
 }

@@ -1,0 +1,168 @@
+package spindex
+
+// This file is the one audited home of the dist ≥ c·mindist pruning logic:
+// the ε-range candidate generation the grouping and estimation phases
+// refine, and the exact expanding-radius nearest-segment search the online
+// classifier assigns with. Both used to live as private copies in
+// internal/segclust and the root classify.go; they share the same lower
+// bound and must stay together.
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/lsdist"
+)
+
+// maxExpandIters bounds the expanding-radius doublings of Nearest before it
+// gives up on pruning and falls back to one exhaustive scan. 48 doublings
+// take any positive radius past every finite coordinate scale.
+const maxExpandIters = 48
+
+// Searcher couples one immutable SegmentIndex with the exact TRACLUS
+// distance and its Euclidean lower bound dist ≥ Factor·mindist. It is built
+// once per dataset (the Build counter pins that) and then answers any
+// number of ε-range and nearest queries, at any ε, through per-goroutine
+// SearchQuery cursors.
+//
+// When the distance weights admit no lower bound (Factor() == 0), or the
+// caller asked for Brute, the index degenerates to the exhaustive scan and
+// every query remains correct — just unpruned, as Lemma 3's baseline.
+type Searcher struct {
+	segs   []geom.Segment
+	rects  []geom.Rect // query rectangles for indexed-item queries; nil for brute
+	dist   lsdist.Func
+	factor float64 // c in dist ≥ c·mindist; 0 = no sound pruning
+	index  SegmentIndex
+	brute  bool // the index reports every id on every query
+}
+
+// NewSearcher builds backend's index over segs once and wraps it with the
+// distance machinery for opt. A zero lower-bound factor (positional weight
+// 0) forces the Brute backend regardless of the request — no other backend
+// can be queried soundly without it.
+func NewSearcher(segs []geom.Segment, opt lsdist.Options, backend Backend) *Searcher {
+	if !opt.Weights.Valid() {
+		opt.Weights = lsdist.DefaultWeights()
+	}
+	s := &Searcher{
+		segs:   segs,
+		dist:   lsdist.New(opt),
+		factor: lsdist.LowerBoundFactor(opt.Weights),
+	}
+	if backend == nil {
+		backend = Grid()
+	}
+	if s.factor == 0 {
+		backend = Brute()
+	}
+	if _, s.brute = backend.(bruteBackend); !s.brute {
+		s.rects = make([]geom.Rect, len(segs))
+		for i, sg := range segs {
+			s.rects[i] = sg.Bounds()
+		}
+	}
+	s.index = Build(backend, segs)
+	return s
+}
+
+// Len returns the number of indexed segments.
+func (s *Searcher) Len() int { return len(s.segs) }
+
+// Factor returns the lower-bound constant c (0 = no pruning possible).
+func (s *Searcher) Factor() float64 { return s.factor }
+
+// Query returns a fresh per-goroutine cursor. Cursors are cheap relative to
+// the index; pool them on serving hot paths.
+func (s *Searcher) Query() *SearchQuery {
+	return &SearchQuery{s: s, q: s.index.Query()}
+}
+
+// SearchQuery is a per-goroutine cursor over a Searcher: it owns the
+// candidate scratch and the backend cursor, so concurrent queries never
+// share mutable state.
+type SearchQuery struct {
+	s    *Searcher
+	q    Query
+	cand []int
+}
+
+// radius converts a TRACLUS-distance threshold into the complete Euclidean
+// candidate radius eps/c (lsdist.SearchRadius). The brute path never
+// consults it.
+func (sq *SearchQuery) radius(eps float64) float64 { return eps / sq.s.factor }
+
+// CandidatesOf appends to dst the id of every indexed segment possibly
+// within TRACLUS distance eps of indexed segment i: the Euclidean
+// prefilter at radius eps/c against i's precomputed query rectangle.
+// Callers refine with the exact distance. The returned ids are a superset
+// of the true ε-neighborhood (completeness follows from the lower bound;
+// see the package documentation).
+func (sq *SearchQuery) CandidatesOf(i int, eps float64, dst []int) []int {
+	if sq.s.brute {
+		return sq.q.Within(geom.Rect{}, 0, dst)
+	}
+	return sq.q.Within(sq.s.rects[i], sq.radius(eps), dst)
+}
+
+// Nearest returns the indexed segment exactly nearest to q under the
+// TRACLUS distance, and that distance. seed is a TRACLUS-distance scale
+// (typically the model's ε) seeding the first candidate radius seed/c; the
+// search expands the radius geometrically, and the lower bound guarantees
+// that once the best exact distance among candidates within Euclidean
+// radius r is ≤ c·r, no segment outside the candidate set can be closer —
+// the exactness invariant the property tests pin against brute force.
+//
+// Ties on the exact distance resolve through prefer: prefer(i, j) reports
+// whether candidate i should replace the incumbent j (nil keeps the first
+// encountered — note that candidate enumeration order is backend-specific,
+// so deterministic callers must pass an order-free prefer). The returned id
+// is -1 only when no distance evaluated below +Inf (extreme coordinates
+// overflowing the computation).
+func (sq *SearchQuery) Nearest(q geom.Segment, seed float64, prefer func(cand, incumbent int) bool) (id int, d float64) {
+	s := sq.s
+	if s.brute {
+		return sq.scanNearest(q, prefer)
+	}
+	r := seed / s.factor
+	if !(r > 0) || math.IsInf(r, 0) {
+		return sq.scanNearest(q, prefer)
+	}
+	bounds := q.Bounds()
+	for iter := 0; iter < maxExpandIters; iter++ {
+		sq.cand = sq.q.Within(bounds, r, sq.cand[:0])
+		best, bestD := sq.bestOf(q, sq.cand, prefer)
+		if best >= 0 && bestD <= s.factor*r {
+			return best, bestD
+		}
+		r *= 2
+		if math.IsInf(r, 0) {
+			break
+		}
+	}
+	return sq.scanNearest(q, prefer)
+}
+
+// scanNearest is the unpruned exact search over every indexed segment.
+func (sq *SearchQuery) scanNearest(q geom.Segment, prefer func(cand, incumbent int) bool) (int, float64) {
+	return sq.best(q, sq.s.Len(), func(i int) int { return i }, prefer)
+}
+
+func (sq *SearchQuery) bestOf(q geom.Segment, cand []int, prefer func(cand, incumbent int) bool) (int, float64) {
+	return sq.best(q, len(cand), func(i int) int { return cand[i] }, prefer)
+}
+
+// best scans n indexed segments selected by idx. An id of -1 means no
+// segment compared below +Inf and callers must treat the query as
+// unclassifiable.
+func (sq *SearchQuery) best(q geom.Segment, n int, idx func(int) int, prefer func(cand, incumbent int) bool) (id int, bestD float64) {
+	id, bestD = -1, math.Inf(1)
+	for i := 0; i < n; i++ {
+		j := idx(i)
+		d := sq.s.dist(q, sq.s.segs[j])
+		if d < bestD || (d == bestD && d < math.Inf(1) && prefer != nil && id >= 0 && prefer(j, id)) {
+			id, bestD = j, d
+		}
+	}
+	return id, bestD
+}

@@ -93,17 +93,23 @@ type RepresentativeBuilder interface {
 // Phase identifies a pipeline phase in a ProgressEvent.
 type Phase int
 
-// The three phases, in pipeline order.
+// The phases, in pipeline order: partition, then — only when the pipeline
+// was built WithEstimation — estimate, then group and represent.
+// PhaseEstimate's numeric value postdates the original three, so persisted
+// phase numbers keep their meaning.
 const (
 	PhasePartition Phase = iota // MDL partitioning of trajectories
 	PhaseGroup                  // density grouping of pooled segments
 	PhaseRepresent              // per-cluster representative trajectories
+	PhaseEstimate               // §4.4 ε/MinLns estimation (WithEstimation runs only)
 )
 
 func (p Phase) String() string {
 	switch p {
 	case PhasePartition:
 		return "partition"
+	case PhaseEstimate:
+		return "estimate"
 	case PhaseGroup:
 		return "group"
 	case PhaseRepresent:
@@ -134,11 +140,16 @@ type ProgressFunc func(ProgressEvent)
 // after New and safe for concurrent Run calls.
 type Pipeline struct {
 	cfg       Config
+	backend   IndexBackend
+	est       *estimateRange
 	partition Partitioner
 	group     Grouper
 	represent RepresentativeBuilder
 	progress  ProgressFunc
 }
+
+// estimateRange is the ε search interval of WithEstimation.
+type estimateRange struct{ lo, hi float64 }
 
 // Option configures a Pipeline.
 type Option func(*Pipeline)
@@ -164,6 +175,24 @@ func WithRepresentativeBuilder(b RepresentativeBuilder) Option {
 
 // WithProgress installs a progress hook.
 func WithProgress(fn ProgressFunc) Option { return func(p *Pipeline) { p.progress = fn } }
+
+// WithIndexBackend plugs a custom spatial-index backend into every phase
+// that indexes segments — parameter estimation, ε-neighborhood grouping,
+// and the classifier built over the run's result — overriding the
+// Config.Index kind shim. The backend must honour the conservative
+// candidate contract documented on IndexBackend; the built-in backends are
+// GridIndexBackend, RTreeIndexBackend, and BruteIndexBackend.
+func WithIndexBackend(b IndexBackend) Option { return func(p *Pipeline) { p.backend = b } }
+
+// WithEstimation makes Run choose Eps and MinLns itself before clustering,
+// with the Section 4.4 heuristic searched over ε ∈ [lo, hi] (Config.Eps and
+// Config.MinLns are ignored; MinLns is set to the middle of the suggested
+// range, avg|Nε|+2). The estimation shares the run's single spatial index
+// with the grouping phase — one build serves both — and the chosen
+// parameters are reported on Result.Estimated.
+func WithEstimation(lo, hi float64) Option {
+	return func(p *Pipeline) { p.est = &estimateRange{lo: lo, hi: hi} }
+}
 
 // New builds a Pipeline from functional options. With no options it is the
 // paper's pipeline under the zero Config — set at least Eps and MinLns via
@@ -193,7 +222,18 @@ func New(opts ...Option) *Pipeline {
 // the package-level Run.
 func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 	cfg := p.cfg
-	if err := cfg.Validate(); err != nil {
+	if p.est != nil {
+		// Eps and MinLns are what the estimation phase exists to find;
+		// everything else must still be well-formed.
+		if err := cfg.validateEstimation(); err != nil {
+			return nil, fmt.Errorf("traclus: %w", err)
+		}
+		if !(p.est.lo > 0) || !(p.est.hi > p.est.lo) {
+			return nil, fmt.Errorf("traclus: %w", &ConfigError{
+				Field: "Estimation", Value: [2]float64{p.est.lo, p.est.hi},
+				Reason: "must satisfy 0 < lo < hi"})
+		}
+	} else if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("traclus: %w", err)
 	}
 	if err := core.ValidateTrajectories(trs); err != nil {
@@ -202,7 +242,7 @@ func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ccfg := cfg.core()
+	ccfg := p.coreConfig(cfg)
 	rep := newProgressReporter(p.progress)
 
 	rep.begin(PhasePartition, len(trs))
@@ -212,8 +252,40 @@ func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 	}
 	rep.finish()
 
+	// Single-build data flow: the one spatial index over the pooled items
+	// serves parameter estimation and the grouping phase's ε-neighborhood
+	// precompute alike. It is built only when a phase will query it (the
+	// default grouper, or estimation); a fully custom Grouper indexes — or
+	// doesn't — on its own terms.
+	var shared *segclust.SharedIndex
+	_, groupsShared := p.group.(sharedGrouper)
+	if groupsShared || p.est != nil {
+		shared = segclust.NewSharedIndexFor(items, ccfg.Distance, ccfg.ResolvedBackend())
+	}
+
+	var estimated *Estimate
+	if p.est != nil {
+		rep.begin(PhaseEstimate, params.DefaultIterations+1)
+		est, err := params.EstimateEpsSharedCtx(ctx, shared, p.est.lo, p.est.hi,
+			params.AnnealOptions{Workers: cfg.Workers, OnEval: rep.tick})
+		if err != nil {
+			return nil, stageError(ctx, PhaseEstimate, err)
+		}
+		rep.finish()
+		cfg.Eps = est.Eps
+		cfg.MinLns = float64(est.MinLnsLo+est.MinLnsHi) / 2
+		ccfg = p.coreConfig(cfg)
+		estimated = &Estimate{
+			Eps:          est.Eps,
+			Entropy:      est.Entropy,
+			AvgNeighbors: est.AvgNeighbors,
+			MinLnsLo:     est.MinLnsLo,
+			MinLnsHi:     est.MinLnsHi,
+		}
+	}
+
 	rep.begin(PhaseGroup, len(items))
-	grouping, err := runGroup(ctx, p.group, items, cfg, rep)
+	grouping, err := runGroup(ctx, p.group, items, cfg, shared, rep)
 	if err != nil {
 		return nil, stageError(ctx, PhaseGroup, err)
 	}
@@ -233,7 +305,20 @@ func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 		return nil, stageError(ctx, PhaseRepresent, err)
 	}
 	rep.finish()
-	return newResult(out, ccfg), nil
+	res := newResult(out, ccfg)
+	res.Estimated = estimated
+	return res, nil
+}
+
+// coreConfig projects the public Config onto the engine configuration,
+// applying the pipeline-level backend override so one backend choice
+// reaches every indexing phase (estimation, grouping, classification).
+func (p *Pipeline) coreConfig(cfg Config) core.Config {
+	ccfg := cfg.core()
+	if p.backend != nil {
+		ccfg.Backend = p.backend
+	}
+	return ccfg
 }
 
 // representFunc adapts the configured RepresentativeBuilder for
@@ -258,7 +343,13 @@ func runPartition(ctx context.Context, s Partitioner, trs []Trajectory, cfg Conf
 	return s.Partition(ctx, trs, cfg)
 }
 
-func runGroup(ctx context.Context, g Grouper, items []Item, cfg Config, rep *progressReporter) (*Grouping, error) {
+// runGroup invokes the grouping stage. The in-package default grouper
+// consumes the pipeline's prebuilt shared index (and streams ticks); custom
+// stages get the plain Grouper call.
+func runGroup(ctx context.Context, g Grouper, items []Item, cfg Config, shared *segclust.SharedIndex, rep *progressReporter) (*Grouping, error) {
+	if sg, ok := g.(sharedGrouper); ok && shared != nil {
+		return sg.groupSharedTicked(ctx, shared, cfg, rep.tick)
+	}
 	if tg, ok := g.(tickedGrouper); ok {
 		return tg.groupTicked(ctx, items, cfg, rep.tick)
 	}
@@ -284,12 +375,20 @@ func (p *Pipeline) Estimate(ctx context.Context, trs []Trajectory, lo, hi float6
 	if err := cfg.validateEstimation(); err != nil {
 		return Estimate{}, fmt.Errorf("traclus: %w", err)
 	}
-	ccfg := cfg.core()
+	if !(lo > 0) || !(hi > lo) {
+		// Rejected before partitioning or indexing anything.
+		return Estimate{}, fmt.Errorf("traclus: params: need 0 < lo < hi")
+	}
+	ccfg := p.coreConfig(cfg)
 	items, err := core.PartitionAllCtx(ctx, trs, ccfg, nil)
 	if err != nil {
 		return Estimate{}, err
 	}
-	est, err := params.EstimateEpsCtx(ctx, items, lo, hi, ccfg.Distance, ccfg.Index,
+	if len(items) == 0 {
+		return Estimate{}, fmt.Errorf("traclus: params: no segments")
+	}
+	shared := segclust.NewSharedIndexFor(items, ccfg.Distance, ccfg.ResolvedBackend())
+	est, err := params.EstimateEpsSharedCtx(ctx, shared, lo, hi,
 		params.AnnealOptions{Workers: cfg.Workers})
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
@@ -343,20 +442,22 @@ type tickedGrouper interface {
 	groupTicked(ctx context.Context, items []Item, cfg Config, tick func()) (*Grouping, error)
 }
 
+// sharedGrouper marks groupers that cluster through the pipeline's prebuilt
+// shared index instead of indexing the items themselves.
+type sharedGrouper interface {
+	groupSharedTicked(ctx context.Context, shared *segclust.SharedIndex, cfg Config, tick func()) (*Grouping, error)
+}
+
 func (g dbscanGrouper) Group(ctx context.Context, items []Item, cfg Config) (*Grouping, error) {
 	return g.groupTicked(ctx, items, cfg, nil)
 }
 
 func (dbscanGrouper) groupTicked(ctx context.Context, items []Item, cfg Config, tick func()) (*Grouping, error) {
-	ccfg := cfg.core()
-	return segclust.RunCtx(ctx, items, segclust.Config{
-		Eps:      ccfg.Eps,
-		MinLns:   ccfg.MinLns,
-		MinTrajs: ccfg.MinTrajs,
-		Options:  ccfg.Distance,
-		Index:    ccfg.Index,
-		Workers:  ccfg.Workers,
-	}, tick)
+	return segclust.RunCtx(ctx, items, cfg.core().Segclust(), tick)
+}
+
+func (dbscanGrouper) groupSharedTicked(ctx context.Context, shared *segclust.SharedIndex, cfg Config, tick func()) (*Grouping, error) {
+	return segclust.RunSharedCtx(ctx, shared, cfg.core().Segclust(), tick)
 }
 
 // GroupOPTICS returns the alternative grouping stage: an OPTICS ordering of

@@ -40,6 +40,7 @@ import (
 	"repro/internal/mdl"
 	"repro/internal/quality"
 	"repro/internal/segclust"
+	"repro/internal/spindex"
 )
 
 // Re-exported geometric types. A Trajectory is a sequence of points with an
@@ -61,7 +62,10 @@ func NewTrajectory(id int, pts []Point) Trajectory { return geom.NewTrajectory(i
 // Weights are the distance component multipliers w⊥, w∥, wθ.
 type Weights = lsdist.Weights
 
-// IndexKind selects how ε-neighborhoods are computed.
+// IndexKind selects how ε-neighborhoods are computed. It survives as a
+// thin compatibility shim over the unified index subsystem
+// (internal/spindex): each kind names one of the three first-class
+// backends, and WithIndexBackend plugs arbitrary ones.
 type IndexKind = segclust.IndexKind
 
 // Index strategies.
@@ -70,6 +74,42 @@ const (
 	IndexRTree = segclust.IndexRTree // R-tree prefilter
 	IndexNone  = segclust.IndexNone  // exhaustive O(n²) scan
 )
+
+// ParseIndexKind maps a user-facing backend name — "grid", "rtree",
+// "brute" (aliases "scan", "none") — to its IndexKind. Unknown names
+// return a *ConfigError, which serving layers surface as HTTP 400.
+func ParseIndexKind(s string) (IndexKind, error) { return segclust.ParseIndexKind(s) }
+
+// IndexBackend constructs the spatial index behind every ε-neighborhood
+// and nearest-representative query: one Build per dataset (the pooled
+// trajectory partitions; a model's reference segments), then any number of
+// concurrent queries through per-goroutine cursors.
+//
+// Custom implementations must honour the conservative candidate contract:
+// a cursor's Within(q, r, dst) must report every indexed segment whose
+// minimum Euclidean distance to the rectangle q is at most r — false
+// positives are allowed (the engine refines candidates with the exact
+// distance), false negatives are never, and no id may repeat within one
+// query. See the "Index layer" section of ARCHITECTURE.md.
+type IndexBackend = spindex.Backend
+
+// SegmentIndex is the immutable index an IndexBackend builds.
+type SegmentIndex = spindex.SegmentIndex
+
+// IndexQuery is a per-goroutine query cursor over a SegmentIndex.
+type IndexQuery = spindex.Query
+
+// GridIndexBackend returns the uniform-grid backend (the default,
+// IndexGrid's implementation).
+func GridIndexBackend() IndexBackend { return spindex.Grid() }
+
+// RTreeIndexBackend returns the R-tree backend (IndexRTree's
+// implementation).
+func RTreeIndexBackend() IndexBackend { return spindex.RTree() }
+
+// BruteIndexBackend returns the exhaustive-scan backend (IndexNone's
+// implementation, the Lemma 3 O(n²) baseline).
+func BruteIndexBackend() IndexBackend { return spindex.Brute() }
 
 // Config holds the user-facing TRACLUS parameters.
 type Config struct {
@@ -128,6 +168,12 @@ func (c Config) Validate() error {
 	}
 	return c.validateEstimation()
 }
+
+// ValidateForEstimation validates every Config field except Eps and MinLns
+// — the two parameters estimation (Pipeline.Estimate, WithEstimation)
+// exists to find. Serving layers use it to vet auto-estimated builds up
+// front with the same typed *ConfigError Run would return.
+func (c Config) ValidateForEstimation() error { return c.validateEstimation() }
 
 // validateEstimation checks the Config fields the parameter-estimation path
 // consumes — everything except Eps and MinLns, which EstimateParameters
@@ -191,6 +237,9 @@ type Result struct {
 	// RemovedClusters counts density-connected sets rejected by the
 	// trajectory-cardinality filter.
 	RemovedClusters int
+	// Estimated reports the §4.4 parameter estimate when the run chose its
+	// own Eps/MinLns (a Pipeline built WithEstimation); nil otherwise.
+	Estimated *Estimate
 
 	out *core.Output
 	cfg core.Config
@@ -273,6 +322,20 @@ type Estimate struct {
 	AvgNeighbors float64 // avg|Nε(L)|
 	MinLnsLo     int     // suggested MinLns range (avg+1 .. avg+3)
 	MinLnsHi     int
+}
+
+// DefaultEstimationRange derives an ε search interval for the Section 4.4
+// heuristic from the data extent: hi is one tenth of the bounding
+// rectangle's margin (floor 10), lo is hi/60. It is the defaulting rule
+// behind cmd/traclus -auto and the daemon's auto builds; pass the result
+// to WithEstimation or Pipeline.Estimate when no better prior exists.
+func DefaultEstimationRange(trs []Trajectory) (lo, hi float64) {
+	bounds, _ := geom.BoundsOf(trs)
+	hi = bounds.Margin() / 10
+	if hi <= 1 {
+		hi = 10
+	}
+	return hi / 60, hi
 }
 
 // EstimateParameters applies the Section 4.4 heuristic: simulated annealing

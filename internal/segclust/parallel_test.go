@@ -174,11 +174,11 @@ func TestNeighborhoodArenaMatchesLazy(t *testing.T) {
 	items := corridorItemsSpread(rng, 400, 3, 20, 600)
 	cfg := defaultCfg()
 	shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
-	hs, calls, err := shared.neighborhoods(context.Background(), cfg.Eps, 8, lsdist.New(cfg.Options), nil)
+	hs, calls, err := shared.neighborhoods(context.Background(), cfg.Eps, 8, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: NewSharedIndexFor(items, cfg.Options, cfg.backend()).view(cfg.Eps)}
+	lazy := &engine{items: items, cfg: cfg, src: NewSharedIndexFor(items, cfg.Options, cfg.backend()).view(cfg.Eps)}
 	var hood []int
 	for i := range items {
 		var w float64
@@ -210,13 +210,13 @@ func TestPrecomputedHoodsMatchLazy(t *testing.T) {
 	shared := NewSharedIndex(items, cfg.Eps, cfg.Options, cfg.Index)
 	hoods := make([][]int, len(items))
 	weights := make([]float64, len(items))
-	calls := shared.forEachNeighborhood(cfg.Eps, 8, lsdist.New(cfg.Options),
+	calls := shared.forEachNeighborhood(cfg.Eps, 8,
 		func(i int, hood []int, w float64) {
 			hoods[i] = append([]int(nil), hood...)
 			weights[i] = w
 		})
 
-	lazy := &engine{items: items, cfg: cfg, dist: lsdist.New(cfg.Options), src: NewSharedIndexFor(items, cfg.Options, cfg.backend()).view(cfg.Eps)}
+	lazy := &engine{items: items, cfg: cfg, src: NewSharedIndexFor(items, cfg.Options, cfg.backend()).view(cfg.Eps)}
 	var hood []int
 	for i := range items {
 		var w float64

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/lsdist"
@@ -251,13 +252,23 @@ func (c Config) backend() spindex.Backend {
 	return BackendFor(c.Index)
 }
 
-// neighborSource produces ε-neighborhood candidate ids for a query item.
+// neighborSource produces ε-neighborhood candidate ids for a query item
+// and scores whole candidate blocks against it — the block-at-a-time
+// contract of the columnar kernel refactor: the engine never evaluates a
+// distance pair-at-a-time; it asks its source for one index-aligned block
+// of exact distances per query and refines that.
 type neighborSource interface {
 	candidates(i int, dst []int) []int
+	// distBlock writes dist(item i, item j) for every j in cand into out,
+	// index-aligned with cand (resized, reusing capacity), and returns it.
+	distBlock(i int, cand []int, out []float64) []float64
 }
 
 // epsView binds a per-goroutine spindex cursor to one query ε; it is what
-// the engine's refinement loop consumes.
+// the engine's refinement loop consumes. Candidate generation and block
+// scoring both ride the cursor: the scoring goes through the batch kernel
+// over the searcher's columnar pool (or its bit-identical scalar fallback
+// for non-finite datasets).
 type epsView struct {
 	sq  *spindex.SearchQuery
 	eps float64
@@ -265,6 +276,36 @@ type epsView struct {
 
 func (v epsView) candidates(i int, dst []int) []int {
 	return v.sq.CandidatesOf(i, v.eps, dst)
+}
+
+func (v epsView) distBlock(i int, cand []int, out []float64) []float64 {
+	return v.sq.DistBlock(i, cand, out)
+}
+
+// customDistView carries an arbitrary caller-supplied distance function
+// over a neighborSource's candidate generation: RunWithDistance's path. No
+// columnar kernel exists for an unknown Func, so blocks are scored by the
+// scalar loop — the exact shape the engine ran before the kernel refactor.
+type customDistView struct {
+	inner neighborSource
+	items []Item
+	dist  lsdist.Func
+}
+
+func (v customDistView) candidates(i int, dst []int) []int {
+	return v.inner.candidates(i, dst)
+}
+
+func (v customDistView) distBlock(i int, cand []int, out []float64) []float64 {
+	if cap(out) < len(cand) {
+		out = make([]float64, len(cand))
+	}
+	out = out[:len(cand)]
+	a := v.items[i].Seg
+	for k, j := range cand {
+		out[k] = v.dist(a, v.items[j].Seg)
+	}
+	return out
 }
 
 func segments(items []Item) []geom.Segment {
@@ -280,26 +321,46 @@ func segments(items []Item) []geom.Segment {
 type engine struct {
 	items  []Item
 	cfg    Config
-	dist   lsdist.Func
 	src    neighborSource
 	labels []int // unclassified / Noise / cluster id
 	calls  int
-	cand   []int // candidate scratch
+	cand   []int     // candidate scratch
+	dists  []float64 // distance scratch, ≤ refineBlock per chunk
 }
 
 const unclassified = -2
 
+// refineBlock chunks the block refinement: candidate lists are scored in
+// sub-blocks of at most this many pairs, so the distance scratch is one
+// fixed 8 KiB buffer per engine for the whole run (and stays L1-resident)
+// no matter how large ε-neighborhoods grow. Chunking changes nothing about
+// the scored values or their order — it only bounds the scratch.
+const refineBlock = 1024
+
 // neighborhood returns the ids (including i) within ε of item i, and the
 // weighted cardinality. The result lands in dst's backing array; callers
 // must treat it as scratch that the next call overwrites.
+//
+// The refinement is block-at-a-time: one candidates call, then per
+// refineBlock-sized chunk one distBlock call scoring the chunk and a
+// branch-only filter pass over flat arrays. DistCalls accounting is per
+// pair scored — len(candidates) per query, exactly what the
+// pair-at-a-time loop counted.
 func (e *engine) neighborhood(i int, dst []int) ([]int, float64) {
 	e.cand = e.src.candidates(i, e.cand[:0])
+	e.calls += len(e.cand)
 	var weight float64
-	for _, j := range e.cand {
-		e.calls++
-		if e.dist(e.items[i].Seg, e.items[j].Seg) <= e.cfg.Eps {
-			dst = append(dst, j)
-			weight += e.items[j].Weight
+	for lo := 0; lo < len(e.cand); lo += refineBlock {
+		chunk := e.cand[lo:]
+		if len(chunk) > refineBlock {
+			chunk = chunk[:refineBlock]
+		}
+		e.dists = e.src.distBlock(i, chunk, e.dists)
+		for k, j := range chunk {
+			if e.dists[k] <= e.cfg.Eps {
+				dst = append(dst, j)
+				weight += e.items[j].Weight
+			}
 		}
 	}
 	return dst, weight
@@ -322,7 +383,7 @@ func (h *hoodSet) hood(i int) []int32 { return h.ids[h.off[i]:h.off[i+1]] }
 // Run executes the Figure-12 algorithm. cfg.Workers > 1 precomputes the
 // ε-neighborhoods concurrently; the clustering is identical either way.
 func Run(items []Item, cfg Config) (*Result, error) {
-	return run(context.Background(), items, cfg, lsdist.New(cfg.Options), nil, nil)
+	return run(context.Background(), items, cfg, nil, nil, nil)
 }
 
 // RunCtx is Run with cooperative cancellation and an optional per-item
@@ -337,7 +398,7 @@ func Run(items []Item, cfg Config) (*Result, error) {
 // been resolved — from worker goroutines on the parallel path, inline on
 // the serial one — so callers can stream grouping progress.
 func RunCtx(ctx context.Context, items []Item, cfg Config, onItem func()) (*Result, error) {
-	return run(ctx, items, cfg, lsdist.New(cfg.Options), onItem, nil)
+	return run(ctx, items, cfg, nil, onItem, nil)
 }
 
 // RunSharedCtx is RunCtx over a prebuilt SharedIndex — the single-build
@@ -349,7 +410,7 @@ func RunCtx(ctx context.Context, items []Item, cfg Config, onItem func()) (*Resu
 // RunCtx with the equivalent Config — the index structure does not depend
 // on ε, and every query derives its own candidate radius.
 func RunSharedCtx(ctx context.Context, shared *SharedIndex, cfg Config, onItem func()) (*Result, error) {
-	return run(ctx, shared.items, cfg, lsdist.New(cfg.Options), onItem, shared)
+	return run(ctx, shared.items, cfg, nil, onItem, shared)
 }
 
 // RunWithDistance executes the Figure-12 algorithm under an arbitrary
@@ -373,10 +434,17 @@ func RunWithDistance(items []Item, dist lsdist.Func, cfg Config) (*Result, error
 	}
 	cfg.Index = IndexNone // no prefilter is sound for an unknown distance
 	cfg.Backend = nil
+	if dist == nil {
+		dist = lsdist.New(cfg.Options)
+	}
 	return run(context.Background(), items, cfg, dist, nil, nil)
 }
 
-func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem func(), shared *SharedIndex) (*Result, error) {
+// run is the shared core. custom is the caller-supplied distance of
+// RunWithDistance, or nil for the canonical TRACLUS distance — the nil case
+// scores candidate blocks through the shared index's columnar batch kernel;
+// a custom Func has no kernel and keeps the scalar per-pair loop.
+func run(ctx context.Context, items []Item, cfg Config, custom lsdist.Func, onItem func(), shared *SharedIndex) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -391,14 +459,13 @@ func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem
 		shared = NewSharedIndexFor(items, cfg.Options, cfg.backend())
 	}
 	if par.Workers(cfg.Workers, len(items)) > 1 {
-		return runParallel(ctx, shared, cfg, dist, onItem, minTrajs)
+		return runParallel(ctx, shared, cfg, custom, onItem, minTrajs)
 	}
 	e := &engine{
 		items:  items,
 		cfg:    cfg,
-		dist:   dist,
 		labels: make([]int, len(items)),
-		src:    shared.view(cfg.Eps),
+		src:    shared.viewFor(cfg.Eps, custom),
 	}
 	for i := range e.labels {
 		e.labels[i] = unclassified
@@ -457,9 +524,9 @@ func run(ctx context.Context, items []Item, cfg Config, dist lsdist.Func, onItem
 // ResultFromLabels. It returns exactly what the serial path returns —
 // labels, cluster order, Removed, and DistCalls are all bit-identical at
 // every worker count.
-func runParallel(ctx context.Context, shared *SharedIndex, cfg Config, dist lsdist.Func, onItem func(), minTrajs int) (*Result, error) {
+func runParallel(ctx context.Context, shared *SharedIndex, cfg Config, custom lsdist.Func, onItem func(), minTrajs int) (*Result, error) {
 	items := shared.items
-	hs, calls, err := shared.neighborhoods(ctx, cfg.Eps, cfg.Workers, dist, onItem)
+	hs, calls, err := shared.neighborhoods(ctx, cfg.Eps, cfg.Workers, custom, onItem)
 	if err != nil {
 		return nil, err
 	}
@@ -707,6 +774,28 @@ type SharedIndex struct {
 	items  []Item
 	opt    lsdist.Options
 	search *spindex.Searcher
+	// scr recycles per-worker neighborhood scratch across passes. The
+	// parameter-estimation sweep runs one pass per candidate ε — a hundred
+	// passes against one index is normal — and without recycling every pass
+	// re-allocates each worker's candidate, distance, and neighborhood
+	// buffers just to grow them back to steady-state size. The buffers carry
+	// no results between passes (each use fully overwrites the prefix it
+	// reads), so recycling cannot affect outputs.
+	scr sync.Pool
+}
+
+// scratchSet is the recyclable per-worker scratch of a neighborhood pass.
+type scratchSet struct {
+	cand  []int
+	dists []float64
+	hood  []int
+}
+
+func (s *SharedIndex) getScratch() *scratchSet {
+	if sc, ok := s.scr.Get().(*scratchSet); ok {
+		return sc
+	}
+	return &scratchSet{}
 }
 
 // NewSharedIndex builds the index once for repeated ε-queries.
@@ -734,9 +823,21 @@ func NewSharedIndexFor(items []Item, opt lsdist.Options, backend spindex.Backend
 func (s *SharedIndex) Len() int { return len(s.items) }
 
 // view returns a neighborSource for ε-queries at eps, backed by the shared
-// structures but with private scratch space.
+// structures but with private scratch space. Distance blocks are scored by
+// the searcher's batch kernel.
 func (s *SharedIndex) view(eps float64) neighborSource {
 	return epsView{sq: s.search.Query(), eps: eps}
+}
+
+// viewFor is view with an optional custom distance: non-nil custom wraps
+// the candidate generation with the scalar per-pair scorer (no kernel
+// exists for an arbitrary Func); nil keeps the kernel path.
+func (s *SharedIndex) viewFor(eps float64, custom lsdist.Func) neighborSource {
+	v := s.view(eps)
+	if custom != nil {
+		return customDistView{inner: v, items: s.items, dist: custom}
+	}
+	return v
 }
 
 // forEachNeighborhood is the shared parallel neighborhood pass: it computes
@@ -747,9 +848,10 @@ func (s *SharedIndex) view(eps float64) neighborSource {
 // worker-owned scratch; copy if needed). The return value is the total
 // number of exact distance evaluations, which is independent of the worker
 // count. Both the clustering precompute (Run with Workers > 1) and the
-// Section 4.4 parameter heuristic ride this one pass.
-func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, dist lsdist.Func, visit func(i int, hood []int, weight float64)) int {
-	calls, _ := s.forEachNeighborhoodCtx(context.Background(), eps, workers, dist, visit)
+// Section 4.4 parameter heuristic ride this one pass, under the index's
+// canonical TRACLUS distance (batch-kernel scored).
+func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, visit func(i int, hood []int, weight float64)) int {
+	calls, _ := s.forEachNeighborhoodCtx(context.Background(), eps, workers, visit)
 	return calls
 }
 
@@ -757,12 +859,16 @@ func (s *SharedIndex) forEachNeighborhood(eps float64, workers int, dist lsdist.
 // cancellation: once ctx is done, remaining items are dropped and ctx.Err()
 // is returned alongside the distance-call count so far (callers must treat
 // their partially-visited state as garbage).
-func (s *SharedIndex) forEachNeighborhoodCtx(ctx context.Context, eps float64, workers int, dist lsdist.Func, visit func(i int, hood []int, weight float64)) (int, error) {
+func (s *SharedIndex) forEachNeighborhoodCtx(ctx context.Context, eps float64, workers int, visit func(i int, hood []int, weight float64)) (int, error) {
 	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt}
 	engines := make([]*engine, par.Workers(workers, len(s.items)))
 	hoods := make([][]int, len(engines))
+	scs := make([]*scratchSet, len(engines))
 	for w := range engines {
-		engines[w] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view(eps)}
+		sc := s.getScratch()
+		scs[w] = sc
+		engines[w] = &engine{items: s.items, cfg: cfg, src: s.view(eps), cand: sc.cand, dists: sc.dists}
+		hoods[w] = sc.hood
 	}
 	err := par.ForEachCtx(ctx, workers, len(s.items), func(w, i int) {
 		var weight float64
@@ -770,8 +876,11 @@ func (s *SharedIndex) forEachNeighborhoodCtx(ctx context.Context, eps float64, w
 		visit(i, hoods[w], weight)
 	})
 	calls := 0
-	for _, e := range engines {
+	for w, e := range engines {
 		calls += e.calls
+		sc := scs[w]
+		sc.cand, sc.dists, sc.hood = e.cand, e.dists, hoods[w]
+		s.scr.Put(sc)
 	}
 	return calls, err
 }
@@ -794,7 +903,7 @@ const blockIDs = 1 << 15
 // if non-nil, ticks once per resolved item (from worker goroutines). The
 // int count is the exact-distance evaluations, identical to what the lazy
 // serial path would spend.
-func (s *SharedIndex) neighborhoods(ctx context.Context, eps float64, workers int, dist lsdist.Func, onItem func()) (*hoodSet, int, error) {
+func (s *SharedIndex) neighborhoods(ctx context.Context, eps float64, workers int, custom lsdist.Func, onItem func()) (*hoodSet, int, error) {
 	n := len(s.items)
 	w := par.Workers(workers, n)
 	cfg := Config{Eps: eps, MinLns: 1, Options: s.opt}
@@ -802,8 +911,12 @@ func (s *SharedIndex) neighborhoods(ctx context.Context, eps float64, workers in
 	scratch := make([][]int, w)    // per-worker neighborhood scratch
 	blocks := make([][][]int32, w) // per-worker retired blocks, allocation order
 	cur := make([][]int32, w)      // per-worker block being filled
+	scs := make([]*scratchSet, w)
 	for k := range engines {
-		engines[k] = &engine{items: s.items, cfg: cfg, dist: dist, src: s.view(eps)}
+		sc := s.getScratch()
+		scs[k] = sc
+		engines[k] = &engine{items: s.items, cfg: cfg, src: s.viewFor(eps, custom), cand: sc.cand, dists: sc.dists}
+		scratch[k] = sc.hood
 	}
 	var (
 		owner = make([]int32, n) // worker whose chunk holds item i's hood,
@@ -840,8 +953,11 @@ func (s *SharedIndex) neighborhoods(ctx context.Context, eps float64, workers in
 		}
 	})
 	calls := 0
-	for _, e := range engines {
+	for k, e := range engines {
 		calls += e.calls
+		sc := scs[k]
+		sc.cand, sc.dists, sc.hood = e.cand, e.dists, scratch[k]
+		s.scr.Put(sc)
 	}
 	if err != nil {
 		return nil, calls, err
@@ -882,7 +998,7 @@ func (s *SharedIndex) NeighborhoodWeights(eps float64, workers int) []float64 {
 // must be discarded.
 func (s *SharedIndex) NeighborhoodWeightsCtx(ctx context.Context, eps float64, workers int) ([]float64, error) {
 	out := make([]float64, len(s.items))
-	_, err := s.forEachNeighborhoodCtx(ctx, eps, workers, lsdist.New(s.opt),
+	_, err := s.forEachNeighborhoodCtx(ctx, eps, workers,
 		func(i int, _ []int, weight float64) { out[i] = weight })
 	if err != nil {
 		return nil, err

@@ -1,0 +1,151 @@
+package segpool
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func seg(x1, y1, x2, y2 float64) geom.Segment {
+	return geom.Segment{Start: geom.Point{X: x1, Y: y1}, End: geom.Point{X: x2, Y: y2}}
+}
+
+func randSegs(rng *rand.Rand, n int) []geom.Segment {
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		segs[i] = seg(rng.NormFloat64()*100, rng.NormFloat64()*100,
+			rng.NormFloat64()*100, rng.NormFloat64()*100)
+	}
+	return segs
+}
+
+// TestPoolRoundTrip pins the exactness of the columnar layout: every stored
+// coordinate comes back bit for bit through Segment, and every derived
+// column equals the scalar code's on-the-fly computation bit for bit.
+func TestPoolRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	segs := randSegs(rng, 333)
+	segs = append(segs, seg(0, 0, 0, 0), seg(1e154, 0, -1e154, 0)) // Len2 overflow row
+	p, err := New(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != len(segs) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(segs))
+	}
+	for i, s := range segs {
+		if got := p.Segment(i); got != s {
+			t.Fatalf("segment %d round-trips to %v, want %v", i, got, s)
+		}
+		v := p.View(i)
+		w, ok := ViewOf(s)
+		if !ok || v != w {
+			t.Fatalf("segment %d: View %+v != ViewOf %+v", i, v, w)
+		}
+		eq := func(name string, got, want float64) {
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("segment %d: %s = %v (%016x), want %v (%016x)",
+					i, name, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+		vec := s.Vector()
+		eq("DX", v.DX, vec.X)
+		eq("DY", v.DY, vec.Y)
+		eq("Len2", v.Len2, s.Length2())
+		eq("Length", v.Length, s.Length())
+	}
+}
+
+// TestPoolEmpty checks that the empty dataset builds an empty, queryable
+// pool rather than erroring.
+func TestPoolEmpty(t *testing.T) {
+	p, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("empty pool has Len %d", p.Len())
+	}
+}
+
+// TestPoolRejectsNonFinite checks the build-time gate that keeps datasets
+// with NaN/±Inf coordinates on the scalar distance path: New must fail with
+// a *NonFiniteError naming the first offending segment, and ViewOf must
+// refuse the same inputs.
+func TestPoolRejectsNonFinite(t *testing.T) {
+	bad := []geom.Segment{
+		seg(math.NaN(), 0, 1, 1),
+		seg(0, math.Inf(1), 1, 1),
+		seg(0, 0, math.Inf(-1), 1),
+		seg(0, 0, 1, math.NaN()),
+	}
+	for i, b := range bad {
+		if _, ok := ViewOf(b); ok {
+			t.Errorf("ViewOf accepted non-finite segment %v", b)
+		}
+		segs := append(randSegs(rand.New(rand.NewSource(3)), 5), b)
+		_, err := New(segs)
+		var nf *NonFiniteError
+		if !errors.As(err, &nf) {
+			t.Fatalf("case %d: New returned %v, want *NonFiniteError", i, err)
+		}
+		if nf.Index != 5 || !segBitsEqual(nf.Seg, b) {
+			t.Errorf("case %d: error reports segment %d (%v), want 5 (%v)", i, nf.Index, nf.Seg, b)
+		}
+	}
+}
+
+// segBitsEqual compares segments by coordinate bits, so NaN payloads compare
+// equal to themselves (struct == would report NaN != NaN).
+func segBitsEqual(a, b geom.Segment) bool {
+	av := [4]float64{a.Start.X, a.Start.Y, a.End.X, a.End.Y}
+	bv := [4]float64{b.Start.X, b.Start.Y, b.End.X, b.End.Y}
+	for i := range av {
+		if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildsCounter checks the counter tests use to pin the build-once data
+// flow: successful builds tick it, rejected builds do not.
+func TestBuildsCounter(t *testing.T) {
+	before := Builds()
+	if _, err := New(randSegs(rand.New(rand.NewSource(5)), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := Builds() - before; got != 1 {
+		t.Errorf("successful build ticked counter by %d, want 1", got)
+	}
+	before = Builds()
+	if _, err := New([]geom.Segment{seg(math.NaN(), 0, 1, 1)}); err == nil {
+		t.Fatal("expected non-finite build to fail")
+	}
+	if got := Builds() - before; got != 0 {
+		t.Errorf("rejected build ticked counter by %d, want 0", got)
+	}
+}
+
+// TestColumnsShareBacking pins the single-allocation layout: the five
+// columns are carved from one backing array in declaration order, each with
+// capacity clipped to its own length so an append can never bleed into the
+// neighbouring column.
+func TestColumnsShareBacking(t *testing.T) {
+	p, err := New(randSegs(rand.New(rand.NewSource(9)), 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := [][]float64{p.X1, p.Y1, p.X2, p.Y2, p.Length}
+	for i, c := range cols {
+		if len(c) != 17 {
+			t.Fatalf("column %d has length %d, want 17", i, len(c))
+		}
+		if cap(c) != len(c) {
+			t.Errorf("column %d has capacity %d > length %d: append could cross columns", i, cap(c), len(c))
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/segpool"
 	"repro/internal/spindex"
 	"repro/internal/synth"
 
@@ -312,6 +313,7 @@ func TestModelBuildConstructsOneIndexPerDataset(t *testing.T) {
 		cfg := buildConfig()
 		cfg.Workers = workers
 		before := spindex.Builds()
+		poolsBefore := segpool.Builds()
 		m, err := Build("count", trainingSet(), cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -319,9 +321,16 @@ func TestModelBuildConstructsOneIndexPerDataset(t *testing.T) {
 		if got := spindex.Builds() - before; got != 2 {
 			t.Errorf("workers=%d: model build constructed %d indexes, want 2 (segments + reference segments)", workers, got)
 		}
+		// The columnar pools mirror the indexes one-to-one: every searcher
+		// build pools its dataset exactly once.
+		if got := segpool.Builds() - poolsBefore; got != 2 {
+			t.Errorf("workers=%d: model build constructed %d segment pools, want 2", workers, got)
+		}
 		// Classifying, and even reaching through to Result.Classify, must
-		// reuse the already-built reference index — zero further builds.
+		// reuse the already-built reference index — zero further builds,
+		// and zero further pools.
 		before = spindex.Builds()
+		poolsBefore = segpool.Builds()
 		if _, _, err := m.Classify(trainingSet()[0]); err != nil {
 			t.Fatal(err)
 		}
@@ -331,16 +340,24 @@ func TestModelBuildConstructsOneIndexPerDataset(t *testing.T) {
 		if got := spindex.Builds() - before; got != 0 {
 			t.Errorf("workers=%d: serving classifies constructed %d extra indexes, want 0", workers, got)
 		}
+		if got := segpool.Builds() - poolsBefore; got != 0 {
+			t.Errorf("workers=%d: serving classifies constructed %d extra segment pools, want 0", workers, got)
+		}
 	}
 	// An auto-estimated build shares the one segment index between the
-	// estimation sweep and the grouping phase: still two builds total.
+	// estimation sweep and the grouping phase: still two builds total, and
+	// two pools.
 	before := spindex.Builds()
+	poolsBefore := segpool.Builds()
 	if _, err := BuildCtx(context.Background(), "auto", trainingSet(), buildConfig(),
 		&EstimateRange{Lo: 5, Hi: 60}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := spindex.Builds() - before; got != 2 {
 		t.Errorf("auto build constructed %d indexes, want 2", got)
+	}
+	if got := segpool.Builds() - poolsBefore; got != 2 {
+		t.Errorf("auto build constructed %d segment pools, want 2", got)
 	}
 }
 

@@ -6,18 +6,33 @@ package spindex
 // classifier assigns with. Both used to live as private copies in
 // internal/segclust and the root classify.go; they share the same lower
 // bound and must stay together.
+//
+// Since the columnar-kernel refactor the refinement arithmetic itself also
+// lives behind this file: a Searcher owns the segpool.Pool mirror of its
+// segment set and an lsdist.Kernel, and every caller that used to evaluate
+// the scalar distance per candidate now scores whole candidate blocks
+// through DistBlock/Nearest. The kernel path is bit-identical to the scalar
+// one (see internal/lsdist/kernel.go), so which path runs is purely a
+// performance property; datasets or queries with non-finite coordinates
+// stay on the scalar fallback.
 
 import (
 	"math"
 
 	"repro/internal/geom"
 	"repro/internal/lsdist"
+	"repro/internal/segpool"
 )
 
 // maxExpandIters bounds the expanding-radius doublings of Nearest before it
 // gives up on pruning and falls back to one exhaustive scan. 48 doublings
 // take any positive radius past every finite coordinate scale.
 const maxExpandIters = 48
+
+// scanBlock is the chunk size of exhaustive kernel scans (Nearest's
+// unpruned fallback): large enough to amortise the per-block call, small
+// enough that the per-cursor distance scratch stays cache-resident.
+const scanBlock = 1024
 
 // Searcher couples one immutable SegmentIndex with the exact TRACLUS
 // distance and its Euclidean lower bound dist ≥ Factor·mindist. It is built
@@ -30,17 +45,26 @@ const maxExpandIters = 48
 // every query remains correct — just unpruned, as Lemma 3's baseline.
 type Searcher struct {
 	segs   []geom.Segment
-	rects  []geom.Rect // query rectangles for indexed-item queries; nil for brute
+	rects  []geom.Rect // fallback query rectangles; nil for brute or when pool covers them
 	dist   lsdist.Func
 	factor float64 // c in dist ≥ c·mindist; 0 = no sound pruning
 	index  SegmentIndex
 	brute  bool // the index reports every id on every query
+
+	// Columnar fast path: the SoA mirror of segs and the batch kernel that
+	// scores candidate blocks against it. pool is nil when any segment
+	// coordinate is non-finite; every scoring entry point then falls back
+	// to the scalar dist, which handles such inputs bit-identically to the
+	// pre-kernel code (because it IS that code).
+	pool   *segpool.Pool
+	kernel *lsdist.Kernel
 }
 
 // NewSearcher builds backend's index over segs once and wraps it with the
 // distance machinery for opt. A zero lower-bound factor (positional weight
 // 0) forces the Brute backend regardless of the request — no other backend
-// can be queried soundly without it.
+// can be queried soundly without it. The columnar pool for the batch
+// kernels is built here too: one pool per dataset, exactly like the index.
 func NewSearcher(segs []geom.Segment, opt lsdist.Options, backend Backend) *Searcher {
 	if !opt.Weights.Valid() {
 		opt.Weights = lsdist.DefaultWeights()
@@ -50,13 +74,21 @@ func NewSearcher(segs []geom.Segment, opt lsdist.Options, backend Backend) *Sear
 		dist:   lsdist.New(opt),
 		factor: lsdist.LowerBoundFactor(opt.Weights),
 	}
+	if pool, err := segpool.New(segs); err == nil {
+		s.pool = pool
+		s.kernel = lsdist.NewKernel(opt)
+	}
 	if backend == nil {
 		backend = Grid()
 	}
 	if s.factor == 0 {
 		backend = Brute()
 	}
-	if _, s.brute = backend.(bruteBackend); !s.brute {
+	// Query rectangles for indexed-item queries are materialised only on
+	// the scalar fallback: with a pool the coordinates are already resident
+	// in its columns and rectOf derives the identical Bounds() on the fly,
+	// so the precomputed copy would be len(segs) rects of pure overlap.
+	if _, s.brute = backend.(bruteBackend); !s.brute && s.pool == nil {
 		s.rects = make([]geom.Rect, len(segs))
 		for i, sg := range segs {
 			s.rects[i] = sg.Bounds()
@@ -66,11 +98,27 @@ func NewSearcher(segs []geom.Segment, opt lsdist.Options, backend Backend) *Sear
 	return s
 }
 
+// rectOf returns indexed segment i's query rectangle — Bounds() of the
+// segment, reconstructed from the pool columns when they exist (the round
+// trip through the pool is exact, so the rect is bit-identical to the
+// precomputed one).
+func (s *Searcher) rectOf(i int) geom.Rect {
+	if s.pool != nil {
+		return s.pool.Segment(i).Bounds()
+	}
+	return s.rects[i]
+}
+
 // Len returns the number of indexed segments.
 func (s *Searcher) Len() int { return len(s.segs) }
 
 // Factor returns the lower-bound constant c (0 = no pruning possible).
 func (s *Searcher) Factor() float64 { return s.factor }
+
+// Batched reports whether the columnar kernel path is active (false only
+// for datasets with non-finite coordinates, which stay on the scalar
+// fallback).
+func (s *Searcher) Batched() bool { return s.pool != nil }
 
 // Query returns a fresh per-goroutine cursor. Cursors are cheap relative to
 // the index; pool them on serving hot paths.
@@ -79,12 +127,13 @@ func (s *Searcher) Query() *SearchQuery {
 }
 
 // SearchQuery is a per-goroutine cursor over a Searcher: it owns the
-// candidate scratch and the backend cursor, so concurrent queries never
-// share mutable state.
+// candidate scratch, the distance scratch, and the backend cursor, so
+// concurrent queries never share mutable state.
 type SearchQuery struct {
 	s    *Searcher
 	q    Query
 	cand []int
+	out  []float64
 }
 
 // radius converts a TRACLUS-distance threshold into the complete Euclidean
@@ -102,7 +151,46 @@ func (sq *SearchQuery) CandidatesOf(i int, eps float64, dst []int) []int {
 	if sq.s.brute {
 		return sq.q.Within(geom.Rect{}, 0, dst)
 	}
-	return sq.q.Within(sq.s.rects[i], sq.radius(eps), dst)
+	return sq.q.Within(sq.s.rectOf(i), sq.radius(eps), dst)
+}
+
+// DistBlock scores the exact TRACLUS distance from indexed segment i to
+// every indexed candidate in ids, into out index-aligned with ids (resized,
+// reusing capacity). This is the refinement half of every ε-neighborhood
+// query: CandidatesOf generates the block, DistBlock scores it in one call
+// through the batch kernel instead of one closure call per pair. The
+// scored values are bit-identical to evaluating the scalar distance per
+// pair — datasets off the kernel path (non-finite coordinates) literally do
+// exactly that.
+func (sq *SearchQuery) DistBlock(i int, ids []int, out []float64) []float64 {
+	s := sq.s
+	if s.pool != nil {
+		return s.kernel.DistBlock(s.pool, s.pool.View(i), ids, out)
+	}
+	return sq.scalarBlock(s.segs[i], ids, out)
+}
+
+// DistBlockSeg is DistBlock for a query segment that is not in the index
+// (the classification shape). Non-finite queries fall back to the scalar
+// path.
+func (sq *SearchQuery) DistBlockSeg(q geom.Segment, ids []int, out []float64) []float64 {
+	s := sq.s
+	if s.pool != nil {
+		if qv, ok := segpool.ViewOf(q); ok {
+			return s.kernel.DistBlock(s.pool, qv, ids, out)
+		}
+	}
+	return sq.scalarBlock(q, ids, out)
+}
+
+// scalarBlock is the fallback block scorer: the scalar distance applied
+// per candidate, producing the same index-aligned layout as the kernel.
+func (sq *SearchQuery) scalarBlock(q geom.Segment, ids []int, out []float64) []float64 {
+	out = out[:0]
+	for _, j := range ids {
+		out = append(out, sq.s.dist(q, sq.s.segs[j]))
+	}
+	return out
 }
 
 // Nearest returns the indexed segment exactly nearest to q under the
@@ -112,6 +200,7 @@ func (sq *SearchQuery) CandidatesOf(i int, eps float64, dst []int) []int {
 // that once the best exact distance among candidates within Euclidean
 // radius r is ≤ c·r, no segment outside the candidate set can be closer —
 // the exactness invariant the property tests pin against brute force.
+// Candidate blocks are scored through the batch kernel.
 //
 // Ties on the exact distance resolve through prefer: prefer(i, j) reports
 // whether candidate i should replace the incumbent j (nil keeps the first
@@ -143,26 +232,78 @@ func (sq *SearchQuery) Nearest(q geom.Segment, seed float64, prefer func(cand, i
 	return sq.scanNearest(q, prefer)
 }
 
-// scanNearest is the unpruned exact search over every indexed segment.
+// scanNearest is the unpruned exact search over every indexed segment,
+// kernel-scored in fixed-size blocks so the distance scratch stays small.
 func (sq *SearchQuery) scanNearest(q geom.Segment, prefer func(cand, incumbent int) bool) (int, float64) {
-	return sq.best(q, sq.s.Len(), func(i int) int { return i }, prefer)
-}
-
-func (sq *SearchQuery) bestOf(q geom.Segment, cand []int, prefer func(cand, incumbent int) bool) (int, float64) {
-	return sq.best(q, len(cand), func(i int) int { return cand[i] }, prefer)
-}
-
-// best scans n indexed segments selected by idx. An id of -1 means no
-// segment compared below +Inf and callers must treat the query as
-// unclassifiable.
-func (sq *SearchQuery) best(q geom.Segment, n int, idx func(int) int, prefer func(cand, incumbent int) bool) (id int, bestD float64) {
-	id, bestD = -1, math.Inf(1)
-	for i := 0; i < n; i++ {
-		j := idx(i)
-		d := sq.s.dist(q, sq.s.segs[j])
-		if d < bestD || (d == bestD && d < math.Inf(1) && prefer != nil && id >= 0 && prefer(j, id)) {
-			id, bestD = j, d
+	s := sq.s
+	var qv segpool.Seg
+	batched := s.pool != nil
+	if batched {
+		var ok bool
+		if qv, ok = segpool.ViewOf(q); !ok {
+			batched = false
 		}
 	}
-	return id, bestD
+	b := bestTracker{id: -1, d: math.Inf(1), prefer: prefer}
+	n := s.Len()
+	for lo := 0; lo < n; lo += scanBlock {
+		hi := lo + scanBlock
+		if hi > n {
+			hi = n
+		}
+		if batched {
+			sq.out = s.kernel.DistRange(s.pool, qv, lo, hi, sq.out)
+		} else {
+			sq.out = ensureLen(sq.out, hi-lo)
+			for j := lo; j < hi; j++ {
+				sq.out[j-lo] = s.dist(q, s.segs[j])
+			}
+		}
+		for t, d := range sq.out {
+			b.offer(lo+t, d)
+		}
+	}
+	return b.id, b.d
+}
+
+// bestOf selects the exact nearest among a candidate block, scoring the
+// block through the kernel in one call.
+func (sq *SearchQuery) bestOf(q geom.Segment, cand []int, prefer func(cand, incumbent int) bool) (int, float64) {
+	sq.out = sq.DistBlockSeg(q, cand, sq.out)
+	b := bestTracker{id: -1, d: math.Inf(1), prefer: prefer}
+	for t, d := range sq.out {
+		b.offer(cand[t], d)
+	}
+	return b.id, b.d
+}
+
+// bestTracker folds scored (id, distance) pairs into the running exact
+// minimum with the deterministic tie-break contract of Nearest: a candidate
+// replaces the incumbent when strictly closer, or on an exact finite tie
+// when prefer says so. An id of -1 means no distance compared below +Inf
+// and callers must treat the query as unclassifiable.
+type bestTracker struct {
+	id     int
+	d      float64
+	prefer func(cand, incumbent int) bool
+}
+
+func (b *bestTracker) offer(j int, d float64) {
+	if d < b.d || (d == b.d && d < math.Inf(1) && b.prefer != nil && b.id >= 0 && b.prefer(j, b.id)) {
+		b.id, b.d = j, d
+	}
+}
+
+// ensureLen returns out resized to n, reusing its capacity when possible;
+// growth is at least doubling so creeping block sizes do not reallocate at
+// every new maximum.
+func ensureLen(out []float64, n int) []float64 {
+	if cap(out) < n {
+		c := 2 * cap(out)
+		if c < n {
+			c = n
+		}
+		return make([]float64, n, c)
+	}
+	return out[:n]
 }

@@ -21,8 +21,10 @@ import (
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/lsdist"
 	"repro/internal/mdl"
 	"repro/internal/quality"
+	"repro/internal/segclust"
 	"repro/internal/spindex"
 )
 
@@ -40,6 +42,14 @@ type Classifier struct {
 	part        mdl.Config
 	eps         float64
 	numClusters int
+
+	// opts, kind, and custom record how the reference index was built, so
+	// Snapshot can serialize a geometry-only description that rebuilds the
+	// identical classifier. custom marks an unnameable (plugged-in) backend:
+	// such classifiers serve normally but refuse to snapshot.
+	opts   lsdist.Options
+	kind   IndexKind
+	custom bool
 
 	// Pooled reference segments: search.Segment(i) belongs to cluster
 	// owner[i]; search indexes them with the model's backend and answers
@@ -70,6 +80,9 @@ func NewClassifier(res *Result) (*Classifier, error) {
 		part:        res.cfg.Partition,
 		eps:         res.cfg.Eps,
 		numClusters: len(res.Clusters),
+		opts:        res.cfg.Distance,
+		kind:        res.cfg.Index,
+		custom:      res.cfg.Backend != nil,
 	}
 	var segs []geom.Segment
 	for ci, cl := range res.Clusters {
@@ -188,6 +201,94 @@ func (r *Result) Classify(tr Trajectory) (clusterID int, distance float64, err e
 		return -1, 0, err
 	}
 	return cls.Classify(tr)
+}
+
+// ClassifierSnapshot is the geometry-only, backend-agnostic description of
+// a Classifier: everything NewClassifierFromSnapshot needs to rebuild a
+// classifier that assigns every trajectory bit-identically to the original.
+// The spatial index over the reference segments is deliberately absent —
+// it is rebuilt on load from Reference and Index, which keeps the snapshot
+// format independent of index internals (and lets the loader substitute a
+// different backend without changing a single assignment).
+type ClassifierSnapshot struct {
+	// Eps is the model's ε, driving the expanding-radius nearest search.
+	Eps float64
+	// CostAdvantage and MinSegmentLength are the MDL partitioning
+	// parameters applied to query trajectories.
+	CostAdvantage    float64
+	MinSegmentLength float64
+	// Weights and Undirected define the distance (Weights are resolved —
+	// never the zero value).
+	Weights    Weights
+	Undirected bool
+	// Index names the spatial-index backend to rebuild with.
+	Index IndexKind
+	// Reference holds each cluster's reference segments, indexed by
+	// cluster id; concatenated in order they are exactly the segments the
+	// original classifier indexed.
+	Reference [][]Segment
+}
+
+// ErrUnsnapshotable is returned by Classifier.Snapshot when the classifier
+// was built with a plugged-in custom index backend: the snapshot format
+// names backends, and a custom one has no name to rebuild from.
+var ErrUnsnapshotable = errors.New("traclus: classifier uses a custom index backend and cannot be snapshotted")
+
+// Snapshot extracts the classifier's geometry-only description. The
+// round trip NewClassifierFromSnapshot(c.Snapshot()) yields a classifier
+// whose Classify is bit-identical to c on every trajectory: the same
+// reference segments in the same order, the same distance, the same MDL
+// partitioning, and the same (named) backend.
+func (c *Classifier) Snapshot() (ClassifierSnapshot, error) {
+	if c.custom {
+		return ClassifierSnapshot{}, ErrUnsnapshotable
+	}
+	s := ClassifierSnapshot{
+		Eps:              c.eps,
+		CostAdvantage:    c.part.CostAdvantage,
+		MinSegmentLength: c.part.MinLength,
+		Weights:          c.opts.Weights,
+		Undirected:       c.opts.Undirected,
+		Index:            c.kind,
+		Reference:        make([][]Segment, c.numClusters),
+	}
+	// owner is non-decreasing (segments were appended cluster by cluster),
+	// so per-cluster append reproduces the original within-cluster order.
+	for i, cl := range c.owner {
+		s.Reference[cl] = append(s.Reference[cl], c.search.Segment(i))
+	}
+	return s, nil
+}
+
+// NewClassifierFromSnapshot rebuilds a classifier from its geometry-only
+// snapshot, constructing a fresh spatial index over the reference segments
+// (one spindex build). Every cluster must contribute at least one reference
+// segment; a snapshot with no clusters at all returns ErrNoClusters, like
+// classifying against an empty result.
+func NewClassifierFromSnapshot(s ClassifierSnapshot) (*Classifier, error) {
+	if len(s.Reference) == 0 {
+		return nil, ErrNoClusters
+	}
+	c := &Classifier{
+		part:        mdl.Config{CostAdvantage: s.CostAdvantage, MinLength: s.MinSegmentLength},
+		eps:         s.Eps,
+		numClusters: len(s.Reference),
+		opts:        lsdist.Options{Weights: s.Weights, Undirected: s.Undirected},
+		kind:        s.Index,
+	}
+	var segs []geom.Segment
+	for ci, ref := range s.Reference {
+		if len(ref) == 0 {
+			return nil, fmt.Errorf("traclus: classifier snapshot cluster %d has no reference segments", ci)
+		}
+		for _, sg := range ref {
+			segs = append(segs, sg)
+			c.owner = append(c.owner, ci)
+		}
+	}
+	c.search = spindex.NewSearcher(segs, c.opts, segclust.BackendFor(s.Index))
+	c.queryPool.New = func() any { return c.search.Query() }
+	return c, nil
 }
 
 // ClusterStat summarises one cluster for monitoring and serving.

@@ -1,0 +1,492 @@
+package main
+
+// Model building, twice over the same core: the /v1 interface takes one
+// validated JSON BuildRequest body (data inline, config consolidated, no
+// silent defaults), the legacy alias keeps the query-parameter + raw-body
+// interface with its historical eps=30/minlns=6 defaults. Both funnel into
+// startBuild, which owns the cache check, ownership forwarding, the build
+// semaphore, and the single-flight job start.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+
+	"repro/internal/service"
+	"repro/internal/trackio"
+
+	traclus "repro"
+)
+
+// BuildRequest is the /v1 build body. Pointer fields are presence-tested:
+// v1 refuses to invent clustering parameters, so eps and min_lns are
+// required unless auto estimation is requested — a request that omits them
+// is answered 400, never built with defaults the client did not choose.
+type BuildRequest struct {
+	// Name identifies the model; required, and the shard key in a replica
+	// set.
+	Name string `json:"name"`
+	// Format names the trajectory encoding of Data: csv (default),
+	// besttrack, or telemetry.
+	Format string `json:"format,omitempty"`
+	// Species filters multi-species formats (telemetry).
+	Species string `json:"species,omitempty"`
+	// Data is the trajectory payload itself, inline in the named format.
+	Data string `json:"data"`
+	// Config carries every clustering parameter; required unless Auto is
+	// set inside it.
+	Config BuildConfig `json:"config"`
+}
+
+// BuildConfig consolidates the legacy query parameters (eps, minlns,
+// mintrajs, undirected, cost_advantage, min_seg_len, gamma, index,
+// workers, auto, auto_lo, auto_hi) into one JSON object.
+type BuildConfig struct {
+	Eps              *float64   `json:"eps,omitempty"`
+	MinLns           *float64   `json:"min_lns,omitempty"`
+	MinTrajs         *int       `json:"min_trajs,omitempty"`
+	Undirected       *bool      `json:"undirected,omitempty"`
+	CostAdvantage    *float64   `json:"cost_advantage,omitempty"`
+	MinSegmentLength *float64   `json:"min_seg_len,omitempty"`
+	Gamma            *float64   `json:"gamma,omitempty"`
+	Index            string     `json:"index,omitempty"`
+	Workers          *int       `json:"workers,omitempty"`
+	Auto             *AutoRange `json:"auto,omitempty"`
+}
+
+// AutoRange requests §4.4 entropy estimation of eps/min_lns over [Lo, Hi].
+// Absent bounds derive from the data extent; an explicit 0 is a bound
+// violation, not a request for the default — presence decides, not the
+// zero value.
+type AutoRange struct {
+	Lo *float64 `json:"lo,omitempty"`
+	Hi *float64 `json:"hi,omitempty"`
+}
+
+// buildSpec is the normalized outcome of either build interface.
+type buildSpec struct {
+	name    string
+	cfg     traclus.Config
+	est     *service.EstimateRange
+	loSet   bool // est.Lo was explicit (not extent-derived)
+	hiSet   bool
+	format  trackio.Format
+	species string
+	data    []byte
+}
+
+// handleBuildV1 is POST /v1/models: one JSON body, strictly decoded.
+func (s *server) handleBuildV1(w http.ResponseWriter, r *http.Request) {
+	raw, err := s.readRaw(w, r)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	var req BuildRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest, "decoding BuildRequest: "+err.Error(), nil)
+		return
+	}
+	if !service.ValidModelName(req.Name) {
+		writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest,
+			"model name must match "+service.ModelNamePattern(), map[string]any{"field": "name"})
+		return
+	}
+	if s.forwardToOwner(w, r, req.Name, raw) {
+		return
+	}
+	spec := buildSpec{name: req.Name, species: req.Species, data: []byte(req.Data), format: trackio.FormatCSV}
+	if req.Format != "" {
+		if spec.format, err = trackio.ParseFormat(req.Format); err != nil {
+			writeTypedError(w, err)
+			return
+		}
+	}
+	c := req.Config
+	if c.Auto != nil {
+		spec.est = &service.EstimateRange{}
+		if c.Auto.Lo != nil {
+			spec.est.Lo, spec.loSet = *c.Auto.Lo, true
+		}
+		if c.Auto.Hi != nil {
+			spec.est.Hi, spec.hiSet = *c.Auto.Hi, true
+		}
+	} else {
+		// No silent defaults in v1: the two parameters that define the
+		// clustering must be explicit when not estimated.
+		if c.Eps == nil || c.MinLns == nil {
+			writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest,
+				"config.eps and config.min_lns are required unless config.auto is set", map[string]any{"field": "config"})
+			return
+		}
+	}
+	setIf := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setIf(&spec.cfg.Eps, c.Eps)
+	setIf(&spec.cfg.MinLns, c.MinLns)
+	setIf(&spec.cfg.CostAdvantage, c.CostAdvantage)
+	setIf(&spec.cfg.MinSegmentLength, c.MinSegmentLength)
+	setIf(&spec.cfg.Gamma, c.Gamma)
+	if c.MinTrajs != nil {
+		spec.cfg.MinTrajs = *c.MinTrajs
+	}
+	if c.Undirected != nil {
+		spec.cfg.Undirected = *c.Undirected
+	}
+	if c.Workers != nil {
+		spec.cfg.Workers = *c.Workers
+	} else {
+		spec.cfg.Workers = s.cfg.workers
+	}
+	if c.Index != "" {
+		kind, err := traclus.ParseIndexKind(c.Index)
+		if err != nil {
+			writeTypedError(w, err)
+			return
+		}
+		spec.cfg.Index = kind
+	}
+	s.startBuild(w, r, spec)
+}
+
+// handleBuildLegacy is POST /models, the deprecated interface: parameters
+// in the query string (with the historical eps=30/minlns=6 defaults), raw
+// trajectory data as the body.
+func (s *server) handleBuildLegacy(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if !service.ValidModelName(name) {
+		writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest,
+			"model name must match "+service.ModelNamePattern(), map[string]any{"field": "name"})
+		return
+	}
+	cfg, est, loSet, hiSet, err := buildConfigFromQuery(r)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	cfg.Workers = s.cfg.workers
+	format := trackio.FormatCSV
+	if f := r.URL.Query().Get("format"); f != "" {
+		if format, err = trackio.ParseFormat(f); err != nil {
+			writeTypedError(w, err)
+			return
+		}
+	}
+	raw, err := s.readRaw(w, r)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if s.forwardToOwner(w, r, name, raw) {
+		return
+	}
+	s.startBuild(w, r, buildSpec{
+		name: name, cfg: cfg, est: est, loSet: loSet, hiSet: hiSet,
+		format: format, species: r.URL.Query().Get("species"), data: raw,
+	})
+}
+
+// startBuild is the shared build core: cache check, config validation,
+// data parse, estimation-bound resolution, build-slot acquisition, and the
+// async single-flight job start. The caller has already resolved ownership
+// (forwarding happens on the raw request).
+func (s *server) startBuild(w http.ResponseWriter, r *http.Request, spec buildSpec) {
+	// A name already resident — in memory or as a disk snapshot — is
+	// answered explicitly instead of silently dropping the new upload: the
+	// client learns the model was served from cache and must DELETE first
+	// (which also removes the snapshot file) to rebuild with new data or
+	// parameters. A snapshot that exists but fails to decode is not a hit:
+	// the fresh build below will overwrite it.
+	if _, ok, err := s.store.Get(spec.name); err == nil && ok {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"model":  spec.name,
+			"state":  service.JobDone,
+			"cached": true,
+		})
+		return
+	}
+	if spec.est == nil {
+		if err := spec.cfg.Validate(); err != nil {
+			writeTypedError(w, err)
+			return
+		}
+	} else if err := spec.cfg.ValidateForEstimation(); err != nil {
+		// Eps/MinLns are what auto estimation finds; everything else must
+		// still be well-formed.
+		writeTypedError(w, err)
+		return
+	}
+	trs, err := s.parseTrajectories(spec.data, spec.format, spec.species)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if len(trs) == 0 {
+		writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest, "no trajectories in request body", nil)
+		return
+	}
+	if spec.est != nil {
+		// Absent bounds derive from the data extent (the CLI's -auto rule),
+		// each side independently so an explicit single bound survives. The
+		// combined interval is then validated here, synchronously — bad
+		// bounds must answer 400, not a failed async job.
+		defLo, defHi := traclus.DefaultEstimationRange(trs)
+		if !spec.loSet {
+			spec.est.Lo = defLo
+		}
+		if !spec.hiSet {
+			spec.est.Hi = defHi
+		}
+		if !(spec.est.Lo > 0) || !(spec.est.Hi > spec.est.Lo) {
+			writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Sprintf("auto estimation bounds must satisfy 0 < lo < hi, got [%v, %v]", spec.est.Lo, spec.est.Hi),
+				map[string]any{"lo": fmt.Sprint(spec.est.Lo), "hi": fmt.Sprint(spec.est.Hi)})
+			return
+		}
+	}
+	// Only requests that may start a fresh clustering run consume a build
+	// slot and retain their upload; a request for a name already in flight
+	// joins that build instead — its job merely waits on the shared outcome
+	// (Store.Wait), so it neither 429s unrelated builds nor parks its
+	// parsed body for the build's duration. The Pending check is advisory:
+	// a race can let same-name duplicates each take a slot (the semaphore
+	// tolerates the over-count; single-flight still runs one build), or
+	// land a join on a build that just failed, which reports a retryable
+	// job failure.
+	name, cfg, est := spec.name, spec.cfg, spec.est
+	joins := s.store.Pending(name)
+	var startJob func(ctx context.Context, update func(phase string, fraction float64)) (string, error)
+	if joins {
+		startJob = func(ctx context.Context, _ func(string, float64)) (string, error) {
+			// The joiner waits under its own job context, so cancelling it
+			// (or DELETE on the model) releases this waiter even though the
+			// shared build belongs to another job.
+			_, found, err := s.store.WaitCtx(ctx, name)
+			if err != nil {
+				return "", err
+			}
+			if !found {
+				return "", fmt.Errorf("concurrent build of %q failed and was dropped; retry", name)
+			}
+			return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
+		}
+	} else {
+		select {
+		case s.buildSem <- struct{}{}:
+		default:
+			writeErrorCode(w, http.StatusTooManyRequests, codeTooManyBuilds,
+				fmt.Sprintf("too many builds in flight (max %d); retry after a job finishes", s.cfg.maxBuilds),
+				map[string]any{"max_builds": s.cfg.maxBuilds})
+			return
+		}
+		startJob = func(ctx context.Context, update func(phase string, fraction float64)) (string, error) {
+			defer func() { <-s.buildSem }()
+			_, built, _, err := s.store.GetOrBuild(name, func() (*service.Model, error) {
+				return s.cfg.buildModel(ctx, name, trs, cfg, est, update)
+			})
+			if err == nil && !built {
+				return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
+			}
+			return "", err
+		}
+	}
+	writeJSON(w, http.StatusAccepted, s.jobs.Start(s.cfg.baseCtx, name, startJob))
+}
+
+// readRaw reads the full request body under the configured byte cap; an
+// oversized body surfaces the typed *http.MaxBytesError (413).
+func (s *server) readRaw(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body := r.Body
+	if s.cfg.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	}
+	return io.ReadAll(body)
+}
+
+// parseTrajectories decodes trajectory data in the given format under the
+// per-upload caps. CSV goes through the streaming decoder so hostile
+// inputs are bounded before they are materialised.
+func (s *server) parseTrajectories(data []byte, format trackio.Format, species string) ([]traclus.Trajectory, error) {
+	if format == trackio.FormatCSV {
+		d := trackio.NewCSVDecoder(bytes.NewReader(data))
+		d.MaxPoints = s.cfg.maxPoints
+		d.MaxTrajectories = s.cfg.maxTrajectories
+		trs, err := d.DecodeAllCSV()
+		if err != nil {
+			return nil, err
+		}
+		// Merge non-contiguous runs of one id so the daemon parses CSV
+		// exactly like the CLI's ReadCSV, interleaved ids included.
+		return trackio.MergeByID(trs), nil
+	}
+	trs, err := trackio.Read(bytes.NewReader(data), format, species)
+	if err != nil {
+		return nil, err
+	}
+	// These formats have no streaming decoder yet; enforce the same
+	// per-upload caps post-parse so they are never silently wider than the
+	// CSV path.
+	if err := checkUploadLimits(trs, s.cfg.maxPoints, s.cfg.maxTrajectories); err != nil {
+		return nil, err
+	}
+	return trs, nil
+}
+
+// checkUploadLimits applies the points/trajectories caps to an already
+// parsed upload, mirroring the CSVDecoder's streaming enforcement.
+func checkUploadLimits(trs []traclus.Trajectory, maxPoints, maxTrajs int) error {
+	if maxTrajs > 0 && len(trs) > maxTrajs {
+		return &trackio.LimitError{What: "trajectories", Limit: maxTrajs}
+	}
+	if maxPoints > 0 {
+		total := 0
+		for _, tr := range trs {
+			total += len(tr.Points)
+		}
+		if total > maxPoints {
+			return &trackio.LimitError{What: "points", Limit: maxPoints}
+		}
+	}
+	return nil
+}
+
+// buildConfigFromQuery parses the legacy query-parameter interface,
+// keeping its historical defaults (eps=30, minlns=6). loSet/hiSet report
+// whether the auto bounds were explicit — presence decides defaulting.
+func buildConfigFromQuery(r *http.Request) (cfg traclus.Config, est *service.EstimateRange, loSet, hiSet bool, err error) {
+	cfg = traclus.Config{Eps: 30, MinLns: 6}
+	q := r.URL.Query()
+	if v := q.Get("auto"); v != "" {
+		b, perr := strconv.ParseBool(v)
+		if perr != nil {
+			return cfg, nil, false, false, fmt.Errorf("bad auto %q", v)
+		}
+		if b {
+			est = &service.EstimateRange{}
+		}
+	}
+	floats := map[string]*float64{
+		"eps":            &cfg.Eps,
+		"minlns":         &cfg.MinLns,
+		"cost_advantage": &cfg.CostAdvantage,
+		"min_seg_len":    &cfg.MinSegmentLength,
+		"gamma":          &cfg.Gamma,
+	}
+	if est != nil {
+		floats["auto_lo"], floats["auto_hi"] = &est.Lo, &est.Hi
+	}
+	for key, dst := range floats {
+		v := q.Get(key)
+		if v == "" {
+			continue
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil {
+			return cfg, nil, false, false, fmt.Errorf("bad %s %q", key, v)
+		}
+		*dst = f
+	}
+	if est != nil {
+		loSet = q.Get("auto_lo") != ""
+		hiSet = q.Get("auto_hi") != ""
+	}
+	if v := q.Get("mintrajs"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil {
+			return cfg, nil, false, false, fmt.Errorf("bad mintrajs %q", v)
+		}
+		cfg.MinTrajs = n
+	}
+	if v := q.Get("undirected"); v != "" {
+		b, perr := strconv.ParseBool(v)
+		if perr != nil {
+			return cfg, nil, false, false, fmt.Errorf("bad undirected %q", v)
+		}
+		cfg.Undirected = b
+	}
+	if v := q.Get("index"); v != "" {
+		// Unknown backend names surface the typed *ConfigError as a 400.
+		kind, perr := traclus.ParseIndexKind(v)
+		if perr != nil {
+			return cfg, nil, false, false, perr
+		}
+		cfg.Index = kind
+	}
+	return cfg, est, loSet, hiSet, nil
+}
+
+// handleClassify classifies uploaded trajectories against the named model.
+// In sharded mode a local miss fetches the owner's snapshot once and
+// caches it; classification itself always runs locally.
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	m, found, err := s.localModel(r, r.PathValue("name"))
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	if !found {
+		writeErrorCode(w, http.StatusNotFound, codeNotFound, "model not found", nil)
+		return
+	}
+	raw, err := s.readRaw(w, r)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	trs, err := s.parseTrajectories(raw, trackio.FormatCSV, "")
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if len(trs) == 0 {
+		writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest, "no trajectories in request body", nil)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.classifyTimeout)
+	defer cancel()
+	results := m.ClassifyBatch(ctx, trs, s.cfg.workers)
+	if err := r.Context().Err(); err != nil {
+		// Cancellation and deadline map differently: a vanished client is a
+		// 499-style abandonment (no response can reach anyone — log it so
+		// operators can tell dropped clients from slow models), while our
+		// own classify deadline falls through to the 504/partial logic.
+		if errors.Is(err, context.Canceled) {
+			log.Printf("traclusd: %s %s: client disconnected before response (499): %v", r.Method, r.URL.Path, err)
+			return
+		}
+		log.Printf("traclusd: %s %s: request context ended: %v", r.Method, r.URL.Path, err)
+		return
+	}
+	// On deadline expiry, completed assignments are still returned (the
+	// stragglers carry the context error per item); a batch where nothing
+	// completed is a plain timeout.
+	timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
+	if timedOut {
+		done := 0
+		for _, a := range results {
+			if a.Err == "" {
+				done++
+			}
+		}
+		if done == 0 {
+			writeErrorCode(w, http.StatusGatewayTimeout, codeTimeout, "classification timed out", nil)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":     m.Name(),
+		"results":   results,
+		"timed_out": timedOut,
+	})
+}

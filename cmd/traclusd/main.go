@@ -1,69 +1,69 @@
 // Command traclusd is the TRACLUS serving daemon: it builds clustering
-// models from uploaded trajectory data and answers online classification
-// queries about new trajectories — the batch-model-then-serve-updates split
-// the batch CLI cannot provide.
+// models from uploaded trajectory data, persists them as versioned binary
+// snapshots, and answers online classification queries about new
+// trajectories — the batch-model-then-serve-updates split the batch CLI
+// cannot provide.
 //
 // Usage:
 //
 //	traclusd [-addr :8125] [-workers 0] [-max-models 16]
 //	         [-max-body 33554432] [-max-points 5000000]
 //	         [-max-trajectories 500000] [-max-builds 4]
-//	         [-classify-timeout 30s]
+//	         [-classify-timeout 30s] [-data-dir DIR]
+//	         [-peers URL,URL,...] [-self URL]
 //
-// API:
+// Versioned API (v1):
 //
-//	POST /models?name=<id>&eps=<ε>&minlns=<m>[&format=csv|besttrack|telemetry]
-//	     body: trajectory data in the given format
-//	     → 202 {"id":"job-1","model":"<id>",...}; poll the job
-//	GET  /jobs/{id}        → job state: running | done | failed | cancelled,
-//	                         plus live {"phase","progress"} while running
-//	GET  /models/{name}    → model summary + per-cluster stats
-//	POST /models/{name}/classify
-//	     body: trajectories as CSV (traj_id,x,y)
-//	     → 200 {"model":"<id>","results":[{traj_id,cluster,distance},...]}
-//	DELETE /models/{name}  → evict the model and cancel its in-flight builds
-//	GET  /healthz          → liveness + model/job counts
+//	POST /v1/models            body: JSON BuildRequest (see api.go)
+//	                           → 202 job to poll, or 200 {"cached":true}
+//	GET  /v1/models            → {"models":[...]} resident model names
+//	GET  /v1/models/{name}     → model summary + per-cluster stats
+//	POST /v1/models/{name}/classify   body: CSV (traj_id,x,y)
+//	GET  /v1/models/{name}/snapshot   → binary snapshot (export)
+//	PUT  /v1/models/{name}/snapshot   body: binary snapshot (import)
+//	DELETE /v1/models/{name}   → evict + cancel in-flight builds
+//	GET  /v1/jobs/{id}         → job state + live phase/progress
+//	GET  /v1/healthz           → liveness + model/job counts
 //
-// Build parameters mirror cmd/traclus flags: eps, minlns, mintrajs,
-// undirected, cost_advantage, min_seg_len, gamma, species, and index
-// (spatial-index backend: grid, rtree, or brute — every backend builds the
-// identical model). auto=true estimates eps/minlns with the §4.4 entropy
-// heuristic instead, searched over [auto_lo, auto_hi] (unset bounds derive
-// from the data extent); the estimation shares the build's single index
-// with the clustering, and the summary reports the chosen values. Invalid
-// parameters (NaN/negative ε, bad weights, unknown index names, …) are
-// rejected with 400 and the typed validation message; oversized bodies
-// with 413. Model builds are
-// asynchronous, cancellable, and deduplicated: concurrent builds of the
-// same name share one underlying clustering run, job polling streams the
-// pipeline's live phase/fraction progress, DELETE on a still-building name
-// aborts the build (the job finishes as "cancelled", distinct from
-// "failed"), and finished models are served from an LRU cache. A POST for a
-// name already in the cache answers 200 with {"cached":true} and does not
-// rebuild — DELETE the model first to rebuild with new data or parameters.
+// Every error is the one JSON envelope {"code","message","details"} (the
+// legacy "error" field rides along); see api.go for the code ↔ status
+// mapping. The pre-/v1 routes survive as thin aliases that answer with a
+// Deprecation header and keep the old query-parameter build interface;
+// /v1 builds take the consolidated JSON body instead and refuse silent
+// defaults (eps/min_lns must be explicit unless auto estimation is on).
 //
-// Context mapping: a classification whose client disconnects is logged as
-// a 499-style abandonment (no response can be written); one that exhausts
-// its own deadline with nothing completed answers 504.
+// Persistence: with -data-dir set, every finished build is written behind
+// as <dir>/<name>.snap and cache misses read through to disk, so a daemon
+// restarted on the same directory serves previously built models without
+// re-running the clustering — only the classifier's spatial index is
+// rebuilt on load. Snapshots are self-contained, validated on decode
+// (corrupt, truncated, or future-version files are rejected with typed
+// 422s, never a crash), and portable across replicas.
+//
+// Scale-out: -peers lists the replica set (full base URLs, comma
+// separated) and -self names this process's own entry. Model names are
+// sharded over the replicas by consistent hashing; a build request landing
+// on a non-owner is forwarded to the owner (one hop, loop-guarded, the
+// X-Traclus-Owner response header names it), duplicate builds across the
+// fleet collapse into the owner's single-flight, and build jobs are polled
+// on the owner. Classification stays local: a non-owner fetches the
+// finished snapshot from the owner once, caches it (memory + disk), and
+// serves every later query itself.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"regexp"
-	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/ring"
 	"repro/internal/service"
-	"repro/internal/trackio"
 
 	traclus "repro"
 )
@@ -78,12 +78,27 @@ func main() {
 	maxTrajs := fs.Int("max-trajectories", 0, "maximum trajectories per upload (0 = default 500k)")
 	maxBuilds := fs.Int("max-builds", 0, "maximum concurrently running builds (0 = default 4)")
 	classifyTimeout := fs.Duration("classify-timeout", 30*time.Second, "per-request classification deadline")
+	dataDir := fs.String("data-dir", "", "snapshot directory for durable models (empty = memory-only)")
+	peers := fs.String("peers", "", "comma-separated replica base URLs for sharded serving (empty = standalone)")
+	self := fs.String("self", "", "this replica's own entry in -peers")
 	_ = fs.Parse(os.Args[1:])
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s := newServer(serverConfig{
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		if *self == "" {
+			log.Fatalf("traclusd: -peers requires -self")
+		}
+	}
+
+	s, err := newServer(serverConfig{
 		workers:         *workers,
 		maxModels:       *maxModels,
 		maxBody:         *maxBody,
@@ -91,8 +106,14 @@ func main() {
 		maxTrajectories: *maxTrajs,
 		maxBuilds:       *maxBuilds,
 		classifyTimeout: *classifyTimeout,
+		dataDir:         *dataDir,
+		peers:           peerList,
+		self:            strings.TrimRight(*self, "/"),
 		baseCtx:         ctx, // SIGTERM also cancels in-flight builds
 	})
+	if err != nil {
+		log.Fatalf("traclusd: %v", err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s,
@@ -107,17 +128,21 @@ func main() {
 		log.Fatalf("traclusd: %v", err)
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: stop accepting, drain in-flight requests.
+	// Graceful shutdown: stop accepting, drain in-flight requests, then let
+	// the write-behind snapshot saves finish — a SIGTERM right after a build
+	// must not lose the model.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("traclusd: shutdown: %v", err)
 	}
+	s.store.Quiesce()
 	log.Printf("traclusd: stopped")
 }
 
 // serverConfig carries the daemon's tunables; the zero value is usable in
-// tests (unbounded cache, no body cap, long timeout).
+// tests (unbounded cache, no body cap, long timeout, memory-only store,
+// standalone).
 type serverConfig struct {
 	workers         int
 	maxModels       int
@@ -126,6 +151,10 @@ type serverConfig struct {
 	maxTrajectories int // cap on trajectories per upload (0 = default)
 	maxBuilds       int // cap on concurrently running builds (0 = default)
 	classifyTimeout time.Duration
+
+	dataDir string   // snapshot directory ("" = memory-only)
+	peers   []string // replica base URLs ("" or len 0 = standalone)
+	self    string   // this replica's entry in peers
 
 	// baseCtx parents every build-job context, so daemon shutdown also
 	// cancels in-flight builds. nil means context.Background().
@@ -139,9 +168,11 @@ type serverConfig struct {
 
 type server struct {
 	cfg   serverConfig
-	store *service.Store
+	store *service.DiskStore
 	jobs  *service.Jobs
 	mux   *http.ServeMux
+	ring  *ring.Ring   // nil when standalone
+	peerc *http.Client // forwarding + snapshot-fetch client
 
 	// buildSem gates concurrently running builds: each is a full clustering
 	// run fanning out across all workers while holding its upload, so the
@@ -151,7 +182,7 @@ type server struct {
 	buildSem chan struct{}
 }
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.buildModel == nil {
 		cfg.buildModel = service.BuildCtx
 	}
@@ -170,288 +201,63 @@ func newServer(cfg serverConfig) *server {
 	if cfg.maxBuilds == 0 {
 		cfg.maxBuilds = 4
 	}
+	store, err := service.NewDiskStore(cfg.dataDir, cfg.maxModels)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
 		cfg:      cfg,
-		store:    service.NewStore(cfg.maxModels),
+		store:    store,
 		jobs:     service.NewJobs(),
 		mux:      http.NewServeMux(),
+		peerc:    &http.Client{Timeout: 60 * time.Second},
 		buildSem: make(chan struct{}, cfg.maxBuilds),
 	}
-	s.mux.HandleFunc("POST /models", s.handleBuild)
-	s.mux.HandleFunc("GET /models/{name}", s.handleModelGet)
-	s.mux.HandleFunc("DELETE /models/{name}", s.handleModelDelete)
-	s.mux.HandleFunc("POST /models/{name}/classify", s.handleClassify)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	if len(cfg.peers) > 0 {
+		s.ring = ring.New(cfg.peers, 0)
+	}
+	s.register()
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-var modelName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
-
-// handleBuild reads the full training upload synchronously (the body dies
-// with the request), then clusters asynchronously: the response is a 202
-// with a job to poll. Duplicate concurrent builds of one name collapse into
-// a single run via the store's single-flight path.
-func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if !modelName.MatchString(name) {
-		writeError(w, http.StatusBadRequest, "model name must match "+modelName.String())
-		return
-	}
-	// A name already in the cache is answered explicitly instead of
-	// silently dropping the new upload: the client learns the model was
-	// served from cache and must DELETE first to rebuild with new data or
-	// parameters.
-	if _, ok := s.store.Get(name); ok {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"model":  name,
-			"state":  service.JobDone,
-			"cached": true,
-		})
-		return
-	}
-	cfg, est, err := buildConfigFromQuery(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	cfg.Workers = s.cfg.workers
-	if est == nil {
-		if err := cfg.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-	} else if err := cfg.ValidateForEstimation(); err != nil {
-		// Eps/MinLns are what auto estimation finds; everything else must
-		// still be well-formed.
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	format := trackio.FormatCSV
-	if f := r.URL.Query().Get("format"); f != "" {
-		if format, err = trackio.ParseFormat(f); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-	}
-	trs, err := s.readBody(w, r, format)
-	if err != nil {
-		writeBodyError(w, err)
-		return
-	}
-	if len(trs) == 0 {
-		writeError(w, http.StatusBadRequest, "no trajectories in request body")
-		return
-	}
-	if est != nil {
-		// Absent bounds derive from the data extent (the CLI's -auto
-		// rule), each side independently so an explicit single bound
-		// survives — presence-tested, so an explicit auto_lo=0 is a bound
-		// violation, not a request for the default. The combined interval
-		// is then validated here, synchronously — bad bounds must answer
-		// 400, not a failed async job.
-		defLo, defHi := traclus.DefaultEstimationRange(trs)
-		if r.URL.Query().Get("auto_lo") == "" {
-			est.Lo = defLo
-		}
-		if r.URL.Query().Get("auto_hi") == "" {
-			est.Hi = defHi
-		}
-		if !(est.Lo > 0) || !(est.Hi > est.Lo) {
-			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("auto estimation bounds must satisfy 0 < lo < hi, got [%v, %v]", est.Lo, est.Hi))
-			return
-		}
-	}
-	// Only requests that may start a fresh clustering run consume a build
-	// slot and retain their upload; a request for a name already in flight
-	// joins that build instead — its job merely waits on the shared outcome
-	// (Store.Wait), so it neither 429s unrelated builds nor parks its
-	// parsed body for the build's duration. The Pending check is advisory:
-	// a race can let same-name duplicates each take a slot (the semaphore
-	// tolerates the over-count; single-flight still runs one build), or
-	// land a join on a build that just failed, which reports a retryable
-	// job failure.
-	joins := s.store.Pending(name)
-	var startJob func(ctx context.Context, update func(phase string, fraction float64)) (string, error)
-	if joins {
-		startJob = func(ctx context.Context, _ func(string, float64)) (string, error) {
-			// The joiner waits under its own job context, so cancelling it
-			// (or DELETE on the model) releases this waiter even though the
-			// shared build belongs to another job.
-			_, found, err := s.store.WaitCtx(ctx, name)
-			if err != nil {
-				return "", err
-			}
-			if !found {
-				return "", fmt.Errorf("concurrent build of %q failed and was dropped; retry", name)
-			}
-			return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
-		}
-	} else {
-		select {
-		case s.buildSem <- struct{}{}:
-		default:
-			writeError(w, http.StatusTooManyRequests,
-				fmt.Sprintf("too many builds in flight (max %d); retry after a job finishes", s.cfg.maxBuilds))
-			return
-		}
-		startJob = func(ctx context.Context, update func(phase string, fraction float64)) (string, error) {
-			defer func() { <-s.buildSem }()
-			_, built, err := s.store.GetOrBuild(name, func() (*service.Model, error) {
-				return s.cfg.buildModel(ctx, name, trs, cfg, est, update)
-			})
-			if err == nil && !built {
-				return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
-			}
-			return "", err
-		}
-	}
-	writeJSON(w, http.StatusAccepted, s.jobs.Start(s.cfg.baseCtx, name, startJob))
-}
-
-// readBody parses the request body in the given format under the configured
-// size cap. CSV goes through the streaming decoder so hostile inputs are
-// bounded before they are materialised.
-func (s *server) readBody(w http.ResponseWriter, r *http.Request, format trackio.Format) ([]traclus.Trajectory, error) {
-	body := r.Body
-	if s.cfg.maxBody > 0 {
-		body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
-	}
-	var trs []traclus.Trajectory
-	var err error
-	if format == trackio.FormatCSV {
-		d := trackio.NewCSVDecoder(body)
-		d.MaxPoints = s.cfg.maxPoints
-		d.MaxTrajectories = s.cfg.maxTrajectories
-		trs, err = d.DecodeAllCSV()
-		// Merge non-contiguous runs of one id so the daemon parses CSV
-		// exactly like the CLI's ReadCSV, interleaved ids included.
-		if err == nil {
-			trs = trackio.MergeByID(trs)
-		}
-	} else {
-		trs, err = trackio.Read(body, format, r.URL.Query().Get("species"))
-		if err == nil {
-			// These formats have no streaming decoder yet; enforce the same
-			// per-upload caps post-parse so they are never silently wider
-			// than the CSV path.
-			err = checkUploadLimits(trs, s.cfg.maxPoints, s.cfg.maxTrajectories)
-		}
-	}
-	if err != nil {
-		// A body truncated at the size cap surfaces as a parse error on the
-		// cut-off line before the reader reports the cap; probe one more
-		// byte so such failures answer 413 rather than 400.
-		var maxErr *http.MaxBytesError
-		if !errors.As(err, &maxErr) {
-			var b [1]byte
-			if _, perr := body.Read(b[:]); perr != nil && errors.As(perr, &maxErr) {
-				return nil, perr
-			}
-		}
-		return nil, err
-	}
-	return trs, nil
-}
-
-// checkUploadLimits applies the points/trajectories caps to an already
-// parsed upload, mirroring the CSVDecoder's streaming enforcement.
-func checkUploadLimits(trs []traclus.Trajectory, maxPoints, maxTrajs int) error {
-	if maxTrajs > 0 && len(trs) > maxTrajs {
-		return &trackio.LimitError{What: "trajectories", Limit: maxTrajs}
-	}
-	if maxPoints > 0 {
-		total := 0
-		for _, tr := range trs {
-			total += len(tr.Points)
-		}
-		if total > maxPoints {
-			return &trackio.LimitError{What: "points", Limit: maxPoints}
-		}
-	}
-	return nil
-}
-
-func buildConfigFromQuery(r *http.Request) (traclus.Config, *service.EstimateRange, error) {
-	cfg := traclus.Config{Eps: 30, MinLns: 6}
-	q := r.URL.Query()
-	var est *service.EstimateRange
-	if v := q.Get("auto"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			return cfg, nil, fmt.Errorf("bad auto %q", v)
-		}
-		if b {
-			est = &service.EstimateRange{}
-		}
-	}
-	floats := map[string]*float64{
-		"eps":            &cfg.Eps,
-		"minlns":         &cfg.MinLns,
-		"cost_advantage": &cfg.CostAdvantage,
-		"min_seg_len":    &cfg.MinSegmentLength,
-		"gamma":          &cfg.Gamma,
-	}
-	if est != nil {
-		floats["auto_lo"], floats["auto_hi"] = &est.Lo, &est.Hi
-	}
-	for key, dst := range floats {
-		v := q.Get(key)
-		if v == "" {
-			continue
-		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return cfg, nil, fmt.Errorf("bad %s %q", key, v)
-		}
-		*dst = f
-	}
-	if v := q.Get("mintrajs"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return cfg, nil, fmt.Errorf("bad mintrajs %q", v)
-		}
-		cfg.MinTrajs = n
-	}
-	if v := q.Get("undirected"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			return cfg, nil, fmt.Errorf("bad undirected %q", v)
-		}
-		cfg.Undirected = b
-	}
-	if v := q.Get("index"); v != "" {
-		// Unknown backend names surface the typed *ConfigError as a 400.
-		kind, err := traclus.ParseIndexKind(v)
-		if err != nil {
-			return cfg, nil, err
-		}
-		cfg.Index = kind
-	}
-	return cfg, est, nil
-}
-
+// handleModelGet serves the model summary, fetching the snapshot from the
+// owning replica on a local miss (sharded mode only).
 func (s *server) handleModelGet(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.store.Get(r.PathValue("name"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "model not found")
+	m, found, err := s.localModel(r, r.PathValue("name"))
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	if !found {
+		writeErrorCode(w, http.StatusNotFound, codeNotFound, "model not found", nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, m.Summary())
 }
 
-// handleModelDelete evicts the named model and aborts any builds of it
-// still in flight (their jobs finish as "cancelled"). 404 only when there
-// was neither a cached model nor a running build.
+// handleModelList reports the resident model names, most recently used
+// first. Models only on disk (or on peers) are not listed — this is the
+// serving cache, not a catalog.
+func (s *server) handleModelList(w http.ResponseWriter, _ *http.Request) {
+	names := s.store.Names()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": names})
+}
+
+// handleModelDelete evicts the named model (cache and snapshot file) and
+// aborts any builds of it still in flight (their jobs finish as
+// "cancelled"). 404 only when there was neither a cached model nor a
+// running build. In sharded mode the delete is local to this replica.
 func (s *server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	cancelled := s.jobs.CancelModel(name)
 	deleted := s.store.Delete(name)
 	if !deleted && cancelled == 0 {
-		writeError(w, http.StatusNotFound, "model not found")
+		writeErrorCode(w, http.StatusNotFound, codeNotFound, "model not found", nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -461,96 +267,29 @@ func (s *server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.store.Get(r.PathValue("name"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "model not found")
-		return
-	}
-	trs, err := s.readBody(w, r, trackio.FormatCSV)
-	if err != nil {
-		writeBodyError(w, err)
-		return
-	}
-	if len(trs) == 0 {
-		writeError(w, http.StatusBadRequest, "no trajectories in request body")
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.classifyTimeout)
-	defer cancel()
-	results := m.ClassifyBatch(ctx, trs, s.cfg.workers)
-	if err := r.Context().Err(); err != nil {
-		// Cancellation and deadline map differently: a vanished client is a
-		// 499-style abandonment (no response can reach anyone — log it so
-		// operators can tell dropped clients from slow models), while our
-		// own classify deadline falls through to the 504/partial logic.
-		if errors.Is(err, context.Canceled) {
-			log.Printf("traclusd: %s %s: client disconnected before response (499): %v", r.Method, r.URL.Path, err)
-			return
-		}
-		log.Printf("traclusd: %s %s: request context ended: %v", r.Method, r.URL.Path, err)
-		return
-	}
-	// On deadline expiry, completed assignments are still returned (the
-	// stragglers carry the context error per item); a batch where nothing
-	// completed is a plain timeout.
-	timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
-	if timedOut {
-		done := 0
-		for _, a := range results {
-			if a.Err == "" {
-				done++
-			}
-		}
-		if done == 0 {
-			writeError(w, http.StatusGatewayTimeout, "classification timed out")
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"model":     m.Name(),
-		"results":   results,
-		"timed_out": timedOut,
-	})
-}
-
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "job not found")
+		writeErrorCode(w, http.StatusNotFound, codeNotFound, "job not found", nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status": "ok",
 		"models": s.store.Len(),
 		"jobs":   s.jobs.Len(),
-	})
-}
-
-// writeBodyError maps body-read failures to status codes: size-cap hits are
-// 413, everything else (parse errors) 400.
-func writeBodyError(w http.ResponseWriter, err error) {
-	var maxErr *http.MaxBytesError
-	var limitErr *trackio.LimitError
-	if errors.As(err, &maxErr) || errors.As(err, &limitErr) {
-		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
-		return
 	}
-	writeError(w, http.StatusBadRequest, err.Error())
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("traclusd: encoding response: %v", err)
+	if s.cfg.dataDir != "" {
+		resp["data_dir"] = s.cfg.dataDir
+		resp["snapshot_loads"] = s.store.Loads()
+		resp["snapshot_saves"] = s.store.Saves()
 	}
-}
-
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+	if s.ring != nil {
+		resp["replicas"] = s.ring.Replicas()
+		resp["self"] = s.cfg.self
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

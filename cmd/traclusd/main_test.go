@@ -42,7 +42,10 @@ func csvOf(t *testing.T, trs ...traclus.Trajectory) string {
 
 func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -1,0 +1,66 @@
+package main
+
+// The daemon's entire routing surface is this one table. Every endpoint is
+// a versioned /v1 pattern; pre-/v1 paths survive as aliases that serve the
+// same handler (or, for builds, the legacy query-parameter handler) with a
+// Deprecation header and a Link to the successor pattern. The table is
+// pinned by a table-driven test over every method × path, so adding or
+// renaming a route without updating the table — or registering one outside
+// it — fails the suite.
+
+import "net/http"
+
+type route struct {
+	method string
+	// path is the /v1 pattern (net/http ServeMux syntax).
+	path    string
+	handler http.HandlerFunc
+	// legacy is the deprecated alias pattern ("" = v1-only endpoint).
+	legacy string
+	// legacyHandler overrides handler on the alias (nil = same handler);
+	// the build endpoint needs it because the legacy interface is query
+	// parameters + raw body while v1 takes the JSON BuildRequest.
+	legacyHandler http.HandlerFunc
+}
+
+func (s *server) routes() []route {
+	return []route{
+		{method: http.MethodGet, path: "/v1/healthz", handler: s.handleHealthz, legacy: "/healthz"},
+		{method: http.MethodGet, path: "/v1/models", handler: s.handleModelList},
+		{method: http.MethodPost, path: "/v1/models", handler: s.handleBuildV1, legacy: "/models", legacyHandler: s.handleBuildLegacy},
+		{method: http.MethodGet, path: "/v1/models/{name}", handler: s.handleModelGet, legacy: "/models/{name}"},
+		{method: http.MethodDelete, path: "/v1/models/{name}", handler: s.handleModelDelete, legacy: "/models/{name}"},
+		{method: http.MethodPost, path: "/v1/models/{name}/classify", handler: s.handleClassify, legacy: "/models/{name}/classify"},
+		{method: http.MethodGet, path: "/v1/models/{name}/snapshot", handler: s.handleSnapshotGet},
+		{method: http.MethodPut, path: "/v1/models/{name}/snapshot", handler: s.handleSnapshotPut},
+		{method: http.MethodGet, path: "/v1/jobs/{id}", handler: s.handleJobGet, legacy: "/jobs/{id}"},
+	}
+}
+
+// register installs the route table into the mux — the only place handlers
+// are attached.
+func (s *server) register() {
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.method+" "+rt.path, rt.handler)
+		if rt.legacy == "" {
+			continue
+		}
+		h := rt.legacyHandler
+		if h == nil {
+			h = rt.handler
+		}
+		s.mux.HandleFunc(rt.method+" "+rt.legacy, deprecatedAlias(rt.path, h))
+	}
+}
+
+// deprecatedAlias wraps a legacy route's handler with the RFC 8594-style
+// deprecation signal: Deprecation: true plus a Link to the /v1 successor
+// pattern. The response body is unchanged, so existing clients keep
+// working while new ones can discover the migration target mechanically.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}

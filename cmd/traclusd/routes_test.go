@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRouteTable drives every method × path in the route table and pins
+// the routing contract mechanically: every /v1 route is registered and
+// answers JSON (never the mux's plain-text 404), every legacy alias
+// serves with the Deprecation header and a Link naming its successor, and
+// an unregistered method on a registered path is a 405 from the mux.
+func TestRouteTable(t *testing.T) {
+	s, ts := testServer(t, serverConfig{})
+
+	fill := func(pattern string) string {
+		p := strings.ReplaceAll(pattern, "{name}", "probe")
+		return strings.ReplaceAll(p, "{id}", "job-0")
+	}
+	routes := s.routes()
+	if len(routes) == 0 {
+		t.Fatal("empty route table")
+	}
+	seen := map[string]bool{}
+	for _, rt := range routes {
+		key := rt.method + " " + rt.path
+		if seen[key] {
+			t.Errorf("duplicate route %s", key)
+		}
+		seen[key] = true
+		if !strings.HasPrefix(rt.path, "/v1/") {
+			t.Errorf("%s: primary pattern is not versioned", key)
+		}
+		if strings.HasPrefix(rt.legacy, "/v1/") {
+			t.Errorf("%s: legacy alias %s is versioned", key, rt.legacy)
+		}
+
+		for _, probe := range []struct {
+			path   string
+			legacy bool
+		}{{fill(rt.path), false}, {fill(rt.legacy), true}} {
+			if probe.path == "" {
+				continue
+			}
+			req := httptest.NewRequest(rt.method, probe.path, strings.NewReader(""))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code == http.StatusNotFound && rec.Header().Get("Content-Type") != "application/json" {
+				t.Errorf("%s %s: not registered (plain-text 404)", rt.method, probe.path)
+				continue
+			}
+			if got, want := rec.Header().Get("Deprecation"), ""; probe.legacy {
+				want = "true"
+				if link := rec.Header().Get("Link"); !strings.Contains(link, rt.path) ||
+					!strings.Contains(link, `rel="successor-version"`) {
+					t.Errorf("%s %s: Link = %q, want successor %s", rt.method, probe.path, link, rt.path)
+				}
+				if got != want {
+					t.Errorf("%s %s: Deprecation = %q, want %q", rt.method, probe.path, got, want)
+				}
+			} else if got != "" {
+				t.Errorf("%s %s: /v1 route answered with Deprecation header", rt.method, probe.path)
+			}
+		}
+
+		// A method the table does not register on this path must be a 405
+		// (or another registered route's answer) — never this handler.
+		wrong := http.MethodPatch
+		req := httptest.NewRequest(wrong, fill(rt.path), nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("PATCH %s = %d, want 405", fill(rt.path), rec.Code)
+		}
+	}
+	_ = ts
+}

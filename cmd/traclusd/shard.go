@@ -1,0 +1,140 @@
+package main
+
+// Sharded serving over the consistent-hash ring (internal/ring). The
+// protocol is deliberately one-hop:
+//
+//   - Builds run on the owner. A build request landing on a non-owner is
+//     forwarded verbatim to the owner, whose response (the job to poll)
+//     streams back to the client; the X-Traclus-Owner header tells the
+//     client where that job lives. The X-Traclus-Forwarded header is the
+//     loop guard — a forwarded request is always served locally, so a
+//     stale or disagreeing ring degrades to local service, never a cycle.
+//   - Classification runs locally everywhere. A non-owner that misses both
+//     its cache and its disk fetches the owner's finished snapshot once,
+//     installs it (memory + disk), and serves every later query itself.
+//
+// Duplicate builds of one name across the fleet therefore collapse into
+// the owner's single-flight — the dedupe test pins N replicas posting the
+// same name to exactly one underlying clustering run.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+const (
+	// forwardedHeader marks a request already forwarded once (value: the
+	// forwarding replica). Its presence forces local handling.
+	forwardedHeader = "X-Traclus-Forwarded"
+	// ownerHeader names the replica that owns the model a response is
+	// about, so clients learn where the build job lives.
+	ownerHeader = "X-Traclus-Owner"
+)
+
+// owner returns the replica owning name, or "" when standalone.
+func (s *server) owner(name string) string {
+	if s.ring == nil {
+		return ""
+	}
+	return s.ring.Owner(name)
+}
+
+// forwardToOwner proxies a build request (method, URL, headers relevant to
+// the build, and the already-read body) to the replica owning name. It
+// reports true when it wrote the response — either the owner's reply or a
+// 502 — and false when the request is local: standalone mode, we are the
+// owner, or the request was already forwarded once.
+func (s *server) forwardToOwner(w http.ResponseWriter, r *http.Request, name string, body []byte) bool {
+	owner := s.owner(name)
+	if owner == "" {
+		return false
+	}
+	w.Header().Set(ownerHeader, owner)
+	if owner == s.cfg.self || r.Header.Get(forwardedHeader) != "" {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeErrorCode(w, http.StatusBadGateway, codePeerUnreachable,
+			fmt.Sprintf("forwarding to owner %s: %v", owner, err), nil)
+		return true
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(forwardedHeader, s.cfg.self)
+	resp, err := s.peerc.Do(req)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadGateway, codePeerUnreachable,
+			fmt.Sprintf("forwarding to owner %s: %v", owner, err), map[string]any{"owner": owner})
+		return true
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is gone; all we can do is log the broken relay.
+		log.Printf("traclusd: relaying %s %s from %s: %v", r.Method, r.URL.Path, owner, err)
+	}
+	return true
+}
+
+// localModel resolves name to a servable model: the local cache, then the
+// local disk, then — on a non-owner replica whose request is not itself a
+// peer fetch — the owner's snapshot endpoint. A fetched model is installed
+// locally (memory and disk) so the fetch happens once per replica, not per
+// query.
+func (s *server) localModel(r *http.Request, name string) (*service.Model, bool, error) {
+	m, found, err := s.store.Get(name)
+	if found || err != nil {
+		return m, found, err
+	}
+	owner := s.owner(name)
+	if owner == "" || owner == s.cfg.self || r.Header.Get(forwardedHeader) != "" {
+		return nil, false, nil
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		owner+"/v1/models/"+name+"/snapshot", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set(forwardedHeader, s.cfg.self)
+	resp, err := s.peerc.Do(req)
+	if err != nil {
+		// The owner being down degrades to "not found here" rather than an
+		// error: the model may genuinely not exist, and a 404 is actionable
+		// (build it) where a 502 is not.
+		return nil, false, nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, nil
+	}
+	body := io.Reader(resp.Body)
+	if s.cfg.maxBody > 0 {
+		body = io.LimitReader(body, s.cfg.maxBody)
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, false, nil
+	}
+	m, err = service.DecodeModel(data)
+	if err != nil {
+		// A peer handing out undecodable snapshots is a server-side bug
+		// worth surfacing, not a silent miss.
+		return nil, true, err
+	}
+	if err := s.store.Put(name, m); err != nil {
+		// A concurrent local build won the name; serve the fetched model
+		// for this request and let the build's result take over after.
+		return m, true, nil
+	}
+	return m, true, nil
+}

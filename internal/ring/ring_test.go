@@ -1,0 +1,118 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func replicaSet(n int) []string {
+	rs := make([]string, n)
+	for i := range rs {
+		rs[i] = fmt.Sprintf("replica-%d:8080", i)
+	}
+	return rs
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("model-%d", i)
+	}
+	return out
+}
+
+// TestDeterministic pins the sharding contract: two rings built
+// independently from the same member set agree on every owner — this is
+// what lets every replica route without coordination.
+func TestDeterministic(t *testing.T) {
+	a := New(replicaSet(5), 0)
+	b := New(replicaSet(5), 0)
+	for _, name := range names(1000) {
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("rings disagree on %q: %q vs %q", name, a.Owner(name), b.Owner(name))
+		}
+	}
+}
+
+// TestOrderIndependent pins that the replica list is canonicalized: the
+// ring is the same whatever order (and duplication) the -peers flag came
+// in.
+func TestOrderIndependent(t *testing.T) {
+	rs := replicaSet(5)
+	shuffled := []string{rs[3], rs[1], rs[4], rs[1], rs[0], rs[2], rs[3], ""}
+	a, b := New(rs, 0), New(shuffled, 0)
+	if a.Len() != 5 || b.Len() != 5 {
+		t.Fatalf("Len = %d, %d, want 5 (dedup + drop empty)", a.Len(), b.Len())
+	}
+	for _, name := range names(1000) {
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("order changed ownership of %q", name)
+		}
+	}
+}
+
+// TestDistribution checks that virtual nodes spread the keyspace roughly
+// evenly: no replica owns more than 2× or less than half its fair share of
+// a large name population.
+func TestDistribution(t *testing.T) {
+	const n, keys = 5, 10000
+	r := New(replicaSet(n), 0)
+	counts := map[string]int{}
+	for _, name := range names(keys) {
+		counts[r.Owner(name)]++
+	}
+	fair := keys / n
+	for repl, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("%s owns %d of %d names (fair share %d)", repl, c, keys, fair)
+		}
+	}
+	if len(counts) != n {
+		t.Errorf("only %d of %d replicas own anything", len(counts), n)
+	}
+}
+
+// TestBoundedRemapping pins the consistent-hashing property itself: adding
+// one replica to n moves only roughly 1/(n+1) of the names, and every move
+// lands on the new replica.
+func TestBoundedRemapping(t *testing.T) {
+	const keys = 10000
+	before := New(replicaSet(5), 0)
+	after := New(append(replicaSet(5), "replica-5:8080"), 0)
+	moved := 0
+	for _, name := range names(keys) {
+		was, is := before.Owner(name), after.Owner(name)
+		if was != is {
+			moved++
+			if is != "replica-5:8080" {
+				t.Fatalf("%q moved %q → %q, not to the new replica", name, was, is)
+			}
+		}
+	}
+	// Expected ~1/6 ≈ 1667; allow generous slack either way.
+	if moved > keys/3 || moved == 0 {
+		t.Errorf("adding 1 of 6 replicas moved %d of %d names", moved, keys)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if got := New(nil, 0).Owner("x"); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	solo := New([]string{"only:1"}, 0)
+	for _, name := range names(50) {
+		if got := solo.Owner(name); got != "only:1" {
+			t.Errorf("single-replica ring owner = %q", got)
+		}
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r := New(replicaSet(8), 0)
+	ns := names(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(ns[i&255])
+	}
+}

@@ -1,0 +1,288 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// snapExt is the on-disk snapshot filename extension; a model named "taxi"
+// persists as <dir>/taxi.snap.
+const snapExt = ".snap"
+
+// DiskStore layers snapshot persistence under the in-memory Store: models
+// built (or imported) through it are written to a directory as versioned
+// binary snapshots, and cache misses read through to disk before falling
+// back to a build. A daemon restarted on the same directory therefore
+// serves every previously built model without re-running the clustering —
+// only the classifier's spatial index is rebuilt, pinned by the durability
+// test.
+//
+// Semantics relative to Store:
+//   - Get/GetOrBuild read through: an LRU miss tries <dir>/<name>.snap
+//     first, inside the same single-flight slot a build would use, so
+//     concurrent misses for one name do one disk load, not N.
+//   - Fresh builds are persisted write-behind: the build's caller returns
+//     as soon as the model is ready; the snapshot encode+write runs in a
+//     background goroutine (Quiesce waits them out — tests and daemon
+//     shutdown call it). A write failure is recorded (SaveErrs) but never
+//     fails the build.
+//   - Put (the import path) persists synchronously: an imported snapshot
+//     must survive a crash immediately after the 2xx.
+//   - Delete removes both the cached model and the snapshot file.
+//
+// A DiskStore with an empty dir is memory-only: exactly a *Store, plus
+// counters. All methods are safe for concurrent use.
+type DiskStore struct {
+	mem *Store
+	dir string // "" = memory-only
+
+	wg    sync.WaitGroup
+	loads atomic.Int64 // successful disk read-throughs
+	saves atomic.Int64 // successful disk writes
+
+	errMu   sync.Mutex
+	saveErr error // first asynchronous save failure, for surfacing in tests/logs
+}
+
+// NewDiskStore creates a disk-backed store capped at maxModels resident
+// models (≤ 0 unbounded; the cap bounds memory, not disk). dir is created
+// if missing; an empty dir disables persistence.
+func NewDiskStore(dir string, maxModels int) (*DiskStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating snapshot dir: %w", err)
+		}
+	}
+	return &DiskStore{mem: NewStore(maxModels), dir: dir}, nil
+}
+
+// Dir returns the snapshot directory ("" when memory-only).
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+// Loads returns the number of models served from disk instead of a build.
+func (ds *DiskStore) Loads() int64 { return ds.loads.Load() }
+
+// Saves returns the number of snapshots successfully written to disk.
+func (ds *DiskStore) Saves() int64 { return ds.saves.Load() }
+
+// SaveErr returns the first write-behind persistence failure, if any.
+func (ds *DiskStore) SaveErr() error {
+	ds.errMu.Lock()
+	defer ds.errMu.Unlock()
+	return ds.saveErr
+}
+
+// Quiesce blocks until all background snapshot writes have finished.
+func (ds *DiskStore) Quiesce() { ds.wg.Wait() }
+
+// Len, Names, Pending, Wait, WaitCtx delegate to the resident cache.
+func (ds *DiskStore) Len() int                               { return ds.mem.Len() }
+func (ds *DiskStore) Names() []string                        { return ds.mem.Names() }
+func (ds *DiskStore) Pending(name string) bool               { return ds.mem.Pending(name) }
+func (ds *DiskStore) Wait(name string) (*Model, bool, error) { return ds.mem.Wait(name) }
+func (ds *DiskStore) WaitCtx(ctx context.Context, name string) (*Model, bool, error) {
+	return ds.mem.WaitCtx(ctx, name)
+}
+
+// path returns the snapshot file for name, guarding against names that
+// could escape the directory. Callers validate with ValidModelName first;
+// this is the second line.
+func (ds *DiskStore) path(name string) (string, error) {
+	if !ValidModelName(name) {
+		return "", fmt.Errorf("service: invalid model name %q", name)
+	}
+	return filepath.Join(ds.dir, name+snapExt), nil
+}
+
+// loadDisk reads and rebuilds <name>.snap. found=false means no snapshot
+// exists (not an error); decode/rebuild failures are returned as-is (typed
+// snapshot errors included).
+func (ds *DiskStore) loadDisk(name string) (m *Model, found bool, err error) {
+	if ds.dir == "" {
+		return nil, false, nil
+	}
+	p, err := ds.path(name)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	m, err = DecodeModel(data)
+	if err != nil {
+		return nil, true, fmt.Errorf("service: loading snapshot %s: %w", p, err)
+	}
+	ds.loads.Add(1)
+	return m, true, nil
+}
+
+// saveDisk encodes and writes the model's snapshot atomically (temp file +
+// rename), so readers never observe a half-written snapshot.
+func (ds *DiskStore) saveDisk(name string, m *Model) error {
+	if ds.dir == "" {
+		return nil
+	}
+	p, err := ds.path(name)
+	if err != nil {
+		return err
+	}
+	data, err := m.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(ds.dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	ds.saves.Add(1)
+	return nil
+}
+
+// saveBehind persists the model in the background (fresh builds).
+func (ds *DiskStore) saveBehind(name string, m *Model) {
+	if ds.dir == "" {
+		return
+	}
+	ds.wg.Add(1)
+	go func() {
+		defer ds.wg.Done()
+		if err := ds.saveDisk(name, m); err != nil {
+			ds.errMu.Lock()
+			if ds.saveErr == nil {
+				ds.saveErr = err
+			}
+			ds.errMu.Unlock()
+		}
+	}()
+}
+
+// Get returns the named model from the resident cache, reading through to
+// disk on a miss (the disk load runs single-flighted, so concurrent misses
+// decode the snapshot once). found=false means neither cache nor disk has
+// it. A snapshot that exists but fails to decode surfaces its typed error.
+func (ds *DiskStore) Get(name string) (m *Model, found bool, err error) {
+	if m, ok := ds.mem.Get(name); ok {
+		return m, true, nil
+	}
+	if ds.dir == "" || !ValidModelName(name) {
+		return nil, false, nil
+	}
+	var missing bool
+	m, _, err = ds.mem.GetOrBuild(name, func() (*Model, error) {
+		m, found, err := ds.loadDisk(name)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			missing = true
+			return nil, errSnapshotMissing
+		}
+		return m, nil
+	})
+	if missing {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	return m, true, nil
+}
+
+// errSnapshotMissing is the internal sentinel loadDisk misses are mapped
+// through inside the single-flight closure; it never escapes Get.
+var errSnapshotMissing = fmt.Errorf("service: no snapshot on disk")
+
+// GetOrBuild returns the named model, loading it from disk on a cache miss
+// and building it only when no snapshot exists either. Single-flight is
+// preserved end to end: concurrent callers for one name share one disk
+// load or one build. A model produced by build (not loaded) is persisted
+// write-behind; loaded reports whether the model came from disk.
+func (ds *DiskStore) GetOrBuild(name string, build func() (*Model, error)) (m *Model, built, loaded bool, err error) {
+	var fromDisk bool
+	m, built, err = ds.mem.GetOrBuild(name, func() (*Model, error) {
+		if m, found, err := ds.loadDisk(name); err == nil && found {
+			fromDisk = true
+			return m, nil
+		}
+		// Disk miss or unreadable snapshot: fall through to a real build
+		// (a corrupt file must not brick the name forever).
+		return build()
+	})
+	if err != nil {
+		return nil, false, false, err
+	}
+	if built && fromDisk {
+		// The single-flight slot ran, but served a disk load, not a build.
+		return m, false, true, nil
+	}
+	if built {
+		ds.saveBehind(name, m)
+	}
+	return m, built, false, nil
+}
+
+// Put inserts an already-built model (the snapshot import path), persisting
+// it synchronously before it becomes visible: a crash right after Put
+// returns must not lose the import. ErrBuildInFlight passes through from
+// the resident cache.
+func (ds *DiskStore) Put(name string, m *Model) error {
+	// Advisory pre-check so the common conflict (import racing a build)
+	// rejects before touching disk; mem.Put below is the real authority.
+	if _, ready := ds.mem.Get(name); !ready && ds.mem.Pending(name) {
+		return ErrBuildInFlight
+	}
+	if err := ds.saveDisk(name, m); err != nil {
+		return err
+	}
+	return ds.mem.Put(name, m)
+}
+
+// Delete evicts the model and removes its snapshot file. It reports
+// whether either existed.
+func (ds *DiskStore) Delete(name string) bool {
+	evicted := ds.mem.Delete(name)
+	if ds.dir == "" {
+		return evicted
+	}
+	p, err := ds.path(name)
+	if err != nil {
+		return evicted
+	}
+	if err := os.Remove(p); err == nil {
+		return true
+	}
+	return evicted
+}
+
+// SnapshotBytes returns the encoded snapshot for name: from the resident
+// model if cached (or loadable), else straight from the file. The export
+// path of GET /v1/models/{name}/snapshot.
+func (ds *DiskStore) SnapshotBytes(name string) (data []byte, found bool, err error) {
+	m, found, err := ds.Get(name)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	data, err = m.EncodeSnapshot()
+	return data, true, err
+}

@@ -17,10 +17,12 @@ package service
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	traclus "repro"
 	"repro/internal/par"
+	"repro/internal/snapshot"
 )
 
 // Assignment is the outcome of classifying one trajectory against a model.
@@ -60,8 +62,20 @@ type Summary struct {
 // for unlimited concurrent reads.
 type Model struct {
 	summary Summary
-	res     *traclus.Result
+	res     *traclus.Result // nil for models loaded from a snapshot
 	cls     *traclus.Classifier
+
+	// cfg is the resolved build configuration (estimation already folded
+	// into Eps/MinLns). The snapshot layer serializes it so a loaded model
+	// classifies under the exact parameters it was built with.
+	cfg traclus.Config
+
+	// Snapshot memoization: models loaded from a snapshot retain it (snap
+	// set before publication); built models compute theirs once on first
+	// export. See persist.go.
+	snapOnce sync.Once
+	snap     *snapshot.Model
+	snapErr  error
 }
 
 // EstimateRange requests §4.4 parameter estimation inside a build: Eps and
@@ -129,6 +143,7 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 	}
 	m := &Model{
 		res: res,
+		cfg: cfg,
 		summary: Summary{
 			Name:            name,
 			Clusters:        len(res.Clusters),
@@ -163,8 +178,14 @@ func (m *Model) Name() string { return m.summary.Name }
 // ClusterStats slice must be treated as read-only).
 func (m *Model) Summary() Summary { return m.summary }
 
-// Result exposes the underlying clustering (read-only by convention).
+// Result exposes the underlying clustering (read-only by convention). It is
+// nil for models loaded from a snapshot: the clustering's full member
+// geometry is not serialized, only what classification needs.
 func (m *Model) Result() *traclus.Result { return m.res }
+
+// Config returns the resolved build configuration (estimated Eps/MinLns
+// already substituted).
+func (m *Model) Config() traclus.Config { return m.cfg }
 
 // Classify assigns one trajectory to its nearest cluster.
 func (m *Model) Classify(tr traclus.Trajectory) (clusterID int, distance float64, err error) {

@@ -3,8 +3,14 @@ package service
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 )
+
+// ErrBuildInFlight is returned by Put when the name is currently being
+// built: replacing the entry mid-build would hand the builder's waiters a
+// model the build didn't produce. Callers retry after the build resolves.
+var ErrBuildInFlight = errors.New("service: model build in flight")
 
 // Store is an LRU cache of named models with single-flight build
 // deduplication: concurrent GetOrBuild calls for the same name trigger
@@ -127,6 +133,45 @@ func (s *Store) Delete(name string) bool {
 	delete(s.entries, name)
 	return true
 }
+
+// Put inserts (or replaces) a ready model under name, marking it most
+// recently used and evicting beyond the cap exactly like a successful
+// build. It is the import path — PUT /v1/models/{name}/snapshot — and
+// never disturbs single-flight: if a build for name is in flight it
+// returns ErrBuildInFlight instead of racing it.
+func (s *Store) Put(name string, m *Model) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[name]; ok {
+		if old.elem == nil {
+			return ErrBuildInFlight
+		}
+		// Replace with a fresh entry rather than mutating the old one:
+		// finished builds and their joiners read the old entry's model
+		// outside the lock, so it must stay immutable once ready.
+		s.lru.Remove(old.elem)
+		old.elem = nil
+	}
+	en := &entry{name: name, ready: closedReady, model: m}
+	s.entries[name] = en
+	en.elem = s.lru.PushFront(en)
+	for s.cap > 0 && s.lru.Len() > s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		old := oldest.Value.(*entry)
+		old.elem = nil
+		delete(s.entries, old.name)
+	}
+	return nil
+}
+
+// closedReady is the shared pre-closed ready channel of entries inserted
+// already-resolved (Put): Wait-style joiners see them as finished builds.
+var closedReady = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // GetOrBuild returns the named model, building it with build on a miss.
 // Among concurrent callers for the same name, exactly one runs build; the

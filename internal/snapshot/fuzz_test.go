@@ -1,0 +1,55 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode drives arbitrary bytes through the strict decoder. The
+// contract under fuzz: Decode never panics, every failure is one of the
+// three typed errors, and anything that decodes re-encodes to bytes that
+// decode to the same model (the codec is a bijection on its valid range).
+func FuzzSnapshotDecode(f *testing.F) {
+	valid, err := Encode(sampleModel())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	empty := sampleModel()
+	empty.Clusters = nil
+	if b, err := Encode(empty); err == nil {
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			var ce *CorruptError
+			var ve *VersionError
+			var ie *InvalidError
+			if !errors.As(err, &ce) && !errors.As(err, &ve) && !errors.As(err, &ie) {
+				t.Fatalf("Decode error is untyped %T: %v", err, err)
+			}
+			return
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded model failed: %v", err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded bytes failed: %v", err)
+		}
+		re2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encode/decode is not stable: %d vs %d bytes", len(re), len(re2))
+		}
+	})
+}

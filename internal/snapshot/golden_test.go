@@ -1,0 +1,149 @@
+package snapshot
+
+// Golden-corpus compatibility test. testdata/golden holds one committed
+// snapshot per format version; every CI run decodes each of them and
+// checks the decoded model field-for-field, so a codec change that breaks
+// reading of previously written snapshots fails loudly instead of
+// stranding data on disk. Regenerate the current version's file with
+//
+//	go test ./internal/snapshot -run TestGoldenCorpus -update
+//
+// ONLY when introducing a new format version — historical files are
+// frozen forever.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+var update = flag.Bool("update", false, "rewrite the current-version golden snapshot")
+
+// goldenModel is a hand-built model exercising every field of the format:
+// multiple clusters, a collapsed representative (fewer points than
+// reference segments would imply), negative coordinates, and exact
+// float64 values that do not round-trip through text.
+func goldenModel() *Model {
+	return &Model{
+		Name: "golden-v1",
+		Config: Config{
+			Eps:              25.5,
+			MinLns:           8,
+			MinTrajs:         3,
+			WPerp:            1,
+			WPar:             1,
+			WAngle:           1,
+			Undirected:       true,
+			CostAdvantage:    15,
+			MinSegmentLength: 40,
+			Gamma:            0.25,
+			Index:            "grid",
+		},
+		Stats: Stats{
+			TotalSegments:   420,
+			NoiseSegments:   17,
+			RemovedClusters: 2,
+			Trajectories:    30,
+			Points:          900,
+			QMeasure:        1234.5678901234567,
+			BuiltAtUnixNano: 1754610000000000000,
+			BuildDurationNS: 73000000,
+		},
+		Clusters: []Cluster{
+			{
+				Segments:     210,
+				Trajectories: 15,
+				SSE:          0.1 + 0.2, // 0.30000000000000004 — text round trips lose this
+				Representative: []geom.Point{
+					{X: -12.5, Y: 3.25}, {X: 0, Y: 0}, {X: 100.125, Y: -7.5},
+				},
+				Reference: []geom.Segment{
+					{Start: geom.Point{X: -12.5, Y: 3.25}, End: geom.Point{X: 0, Y: 0}},
+					{Start: geom.Point{X: 0, Y: 0}, End: geom.Point{X: 100.125, Y: -7.5}},
+				},
+			},
+			{
+				Segments:     193,
+				Trajectories: 12,
+				SSE:          9.869604401089358, // π²
+				// Collapsed representative: the classifier fell back to member
+				// segments. The decoder materialises empty (non-nil) slices.
+				Representative: []geom.Point{},
+				Reference: []geom.Segment{
+					{Start: geom.Point{X: 1e-9, Y: 2e9}, End: geom.Point{X: 3.5, Y: 4.5}},
+				},
+			},
+		},
+	}
+}
+
+func goldenPath(version uint16) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("v%d.snap", version))
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	if *update {
+		data, err := Encode(goldenModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := goldenPath(Version)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", p, len(data))
+	}
+
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden snapshots committed under testdata/golden")
+	}
+	haveCurrent := false
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Decode(data)
+			if err != nil {
+				t.Fatalf("golden snapshot no longer decodes: %v", err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("golden snapshot decodes but fails validation: %v", err)
+			}
+			if f == goldenPath(Version) {
+				haveCurrent = true
+				// The current version must decode to exactly the model that
+				// wrote it, and re-encode byte-identically.
+				if want := goldenModel(); !reflect.DeepEqual(m, want) {
+					t.Errorf("decoded model differs from source:\n got %+v\nwant %+v", m, want)
+				}
+				re, err := Encode(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(re, data) {
+					t.Errorf("re-encoding the golden model changed the bytes (%d vs %d): "+
+						"the writer no longer produces version %d as committed — bump Version "+
+						"and add a new golden file instead of changing this one", len(re), len(data), Version)
+				}
+			}
+		})
+	}
+	if !haveCurrent {
+		t.Errorf("no golden snapshot for current version %d — run with -update to add it", Version)
+	}
+}

@@ -1,0 +1,536 @@
+// Package snapshot is the durable, versioned binary format for served
+// TRACLUS models. A snapshot captures everything a replica needs to answer
+// classification queries — the build configuration, the per-cluster summary
+// statistics, and the representative/reference geometry — and deliberately
+// nothing else: the classifier's spatial index is rebuilt on load, so the
+// format stays geometry-only and backend-agnostic (a snapshot written by a
+// grid-indexed daemon loads identically on one configured for R-trees, and
+// an index-layout change never invalidates the corpus on disk).
+//
+// Wire layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "TRACSNAP"
+//	8       2     format version (uint16; this package writes Version)
+//	10      8     payload length N (uint64)
+//	18      4     CRC-32 (IEEE) of the payload
+//	22      N     payload
+//
+// The payload is a fixed field walk (see encodePayload): strings are
+// uvarint-length-prefixed UTF-8, counts are uvarints, signed integers are
+// zigzag varints, float64s are the 8 raw bytes of math.Float64bits (so the
+// round trip is bit-exact, NaN payloads included), and slices are a count
+// followed by the elements. Decoding is strict: a truncated input, trailing
+// garbage, a checksum mismatch, or an implausible count (one that could not
+// fit in the remaining bytes) returns a *CorruptError; a version this
+// package does not know returns a *VersionError; a structurally sound
+// snapshot whose values are semantically unusable (NaN ε, a cluster with no
+// reference geometry, …) returns a *InvalidError. Decode never panics —
+// FuzzSnapshotDecode pins that.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Version is the newest format version this package writes and the highest
+// it can read. Older versions remain readable forever: the committed golden
+// corpus under testdata/golden replays one file per historical version on
+// every CI run.
+const Version = 1
+
+// magic identifies a snapshot file; it is the first eight bytes.
+const magic = "TRACSNAP"
+
+// headerSize is the fixed prefix before the payload.
+const headerSize = len(magic) + 2 + 8 + 4
+
+// CorruptError reports an input that is not a well-formed snapshot:
+// truncation, trailing bytes, checksum mismatch, or an impossible count.
+type CorruptError struct {
+	// Offset is the byte position at which decoding failed (payload
+	// offsets are relative to the whole input, header included).
+	Offset int
+	// Reason says what was wrong at that offset.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("snapshot: corrupt at byte %d: %s", e.Offset, e.Reason)
+}
+
+// VersionError reports a snapshot written by a newer format version than
+// this binary understands. Older-than-current versions never produce it —
+// they decode through their frozen readers.
+type VersionError struct {
+	// Got is the version the header declares.
+	Got uint16
+	// Supported is the newest version this package reads.
+	Supported uint16
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: unsupported format version %d (this build reads ≤ %d)", e.Got, e.Supported)
+}
+
+// InvalidError reports a structurally well-formed snapshot whose decoded
+// values cannot describe a servable model (the CRC passed, but the content
+// is semantically out of range — e.g. a hand-crafted file).
+type InvalidError struct {
+	// Field names the offending value.
+	Field string
+	// Reason says what it must satisfy.
+	Reason string
+}
+
+func (e *InvalidError) Error() string {
+	return fmt.Sprintf("snapshot: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Config is the serialized build configuration — every parameter that
+// shapes classification of new trajectories against the model. Weights are
+// stored resolved (the writer substitutes the paper's defaults for the zero
+// value), so a loaded classifier computes the exact same distances.
+type Config struct {
+	Eps              float64
+	MinLns           float64
+	MinTrajs         int
+	WPerp            float64 // w⊥
+	WPar             float64 // w∥
+	WAngle           float64 // wθ
+	Undirected       bool
+	CostAdvantage    float64
+	MinSegmentLength float64
+	Gamma            float64
+	// Index is the spatial-index backend name ("grid", "rtree", "brute",
+	// or an accepted alias). It is a serving preference, not part of the
+	// model's identity: every backend classifies bit-identically, and the
+	// loader may honour or override it.
+	Index string
+}
+
+// Stats carries the model-level summary numbers that are expensive (or
+// impossible) to recompute from geometry alone.
+type Stats struct {
+	TotalSegments   int
+	NoiseSegments   int
+	RemovedClusters int
+	Trajectories    int
+	Points          int
+	QMeasure        float64
+	BuiltAtUnixNano int64
+	BuildDurationNS int64
+}
+
+// Cluster is one cluster's snapshot: its summary statistics plus the
+// geometry the classifier serves from. Reference is the classifier's exact
+// reference-segment list for this cluster — usually the consecutive
+// segments of Representative, but the member partitions when the
+// representative collapsed — stored verbatim so a loaded classifier indexes
+// byte-for-byte the same segments in the same order.
+type Cluster struct {
+	Segments       int     // member-partition count
+	Trajectories   int     // |PTR(C)|, distinct participating trajectories
+	SSE            float64 // this cluster's term of the paper's Total SSE
+	Representative []geom.Point
+	Reference      []geom.Segment
+}
+
+// Model is the decoded form of one snapshot.
+type Model struct {
+	Name     string
+	Config   Config
+	Stats    Stats
+	Clusters []Cluster
+}
+
+// maxNameLen bounds the model name, mirroring the daemon's name rule.
+const maxNameLen = 64
+
+// Validate reports the first semantically unusable field as a
+// *InvalidError. Encode refuses invalid models and Decode rejects invalid
+// inputs, so every *Model that crosses the codec is servable.
+func (m *Model) Validate() error {
+	if m.Name == "" || len(m.Name) > maxNameLen {
+		return &InvalidError{Field: "Name", Reason: fmt.Sprintf("must be 1..%d bytes", maxNameLen)}
+	}
+	for _, r := range m.Name {
+		if r == '/' || r == '\\' || r == 0 {
+			return &InvalidError{Field: "Name", Reason: "must not contain path separators or NUL"}
+		}
+	}
+	c := m.Config
+	if !finitePos(c.Eps) {
+		return &InvalidError{Field: "Config.Eps", Reason: "must be positive and finite"}
+	}
+	if !finitePos(c.MinLns) {
+		return &InvalidError{Field: "Config.MinLns", Reason: "must be positive and finite"}
+	}
+	if c.MinTrajs < 0 {
+		return &InvalidError{Field: "Config.MinTrajs", Reason: "must be non-negative"}
+	}
+	for _, w := range [...]struct {
+		name string
+		v    float64
+	}{{"WPerp", c.WPerp}, {"WPar", c.WPar}, {"WAngle", c.WAngle}} {
+		if !finiteNonNeg(w.v) {
+			return &InvalidError{Field: "Config." + w.name, Reason: "must be non-negative and finite"}
+		}
+	}
+	if c.WPerp == 0 && c.WPar == 0 && c.WAngle == 0 {
+		return &InvalidError{Field: "Config.Weights", Reason: "at least one component must be positive"}
+	}
+	for _, w := range [...]struct {
+		name string
+		v    float64
+	}{{"CostAdvantage", c.CostAdvantage}, {"MinSegmentLength", c.MinSegmentLength}, {"Gamma", c.Gamma}} {
+		if !finiteNonNeg(w.v) {
+			return &InvalidError{Field: "Config." + w.name, Reason: "must be non-negative and finite"}
+		}
+	}
+	s := m.Stats
+	for _, n := range [...]struct {
+		name string
+		v    int
+	}{{"TotalSegments", s.TotalSegments}, {"NoiseSegments", s.NoiseSegments},
+		{"RemovedClusters", s.RemovedClusters}, {"Trajectories", s.Trajectories}, {"Points", s.Points}} {
+		if n.v < 0 {
+			return &InvalidError{Field: "Stats." + n.name, Reason: "must be non-negative"}
+		}
+	}
+	for i, cl := range m.Clusters {
+		if cl.Segments < 0 || cl.Trajectories < 0 {
+			return &InvalidError{Field: fmt.Sprintf("Clusters[%d]", i), Reason: "counts must be non-negative"}
+		}
+		if len(cl.Reference) == 0 {
+			return &InvalidError{Field: fmt.Sprintf("Clusters[%d].Reference", i),
+				Reason: "must hold at least one reference segment"}
+		}
+		for _, p := range cl.Representative {
+			if !p.IsFinite() {
+				return &InvalidError{Field: fmt.Sprintf("Clusters[%d].Representative", i),
+					Reason: "coordinates must be finite"}
+			}
+		}
+		for _, sg := range cl.Reference {
+			if !sg.Start.IsFinite() || !sg.End.IsFinite() {
+				return &InvalidError{Field: fmt.Sprintf("Clusters[%d].Reference", i),
+					Reason: "coordinates must be finite"}
+			}
+		}
+	}
+	return nil
+}
+
+func finitePos(v float64) bool    { return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 }
+func finiteNonNeg(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 }
+
+// Encode serializes m in the current format version. It validates first, so
+// bytes produced here always decode.
+func Encode(m *Model) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	payload := encodePayload(m)
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...), nil
+}
+
+func encodePayload(m *Model) []byte {
+	var e encoder
+	e.str(m.Name)
+	c := m.Config
+	e.f64(c.Eps)
+	e.f64(c.MinLns)
+	e.varint(int64(c.MinTrajs))
+	e.f64(c.WPerp)
+	e.f64(c.WPar)
+	e.f64(c.WAngle)
+	e.bool(c.Undirected)
+	e.f64(c.CostAdvantage)
+	e.f64(c.MinSegmentLength)
+	e.f64(c.Gamma)
+	e.str(c.Index)
+	s := m.Stats
+	e.varint(int64(s.TotalSegments))
+	e.varint(int64(s.NoiseSegments))
+	e.varint(int64(s.RemovedClusters))
+	e.varint(int64(s.Trajectories))
+	e.varint(int64(s.Points))
+	e.f64(s.QMeasure)
+	e.varint(s.BuiltAtUnixNano)
+	e.varint(s.BuildDurationNS)
+	e.uvarint(uint64(len(m.Clusters)))
+	for _, cl := range m.Clusters {
+		e.varint(int64(cl.Segments))
+		e.varint(int64(cl.Trajectories))
+		e.f64(cl.SSE)
+		e.uvarint(uint64(len(cl.Representative)))
+		for _, p := range cl.Representative {
+			e.f64(p.X)
+			e.f64(p.Y)
+		}
+		e.uvarint(uint64(len(cl.Reference)))
+		for _, sg := range cl.Reference {
+			e.f64(sg.Start.X)
+			e.f64(sg.Start.Y)
+			e.f64(sg.End.X)
+			e.f64(sg.End.Y)
+		}
+	}
+	return e.buf
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decode parses one snapshot. The error is always typed: *CorruptError,
+// *VersionError, or *InvalidError (see the package documentation for when
+// each applies).
+func Decode(data []byte) (*Model, error) {
+	if len(data) < headerSize {
+		return nil, &CorruptError{Offset: len(data), Reason: "truncated header"}
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, &CorruptError{Offset: 0, Reason: "bad magic (not a TRACLUS snapshot)"}
+	}
+	version := binary.LittleEndian.Uint16(data[len(magic):])
+	if version == 0 {
+		return nil, &CorruptError{Offset: len(magic), Reason: "version 0 is not a valid format version"}
+	}
+	if version > Version {
+		return nil, &VersionError{Got: version, Supported: Version}
+	}
+	plen := binary.LittleEndian.Uint64(data[len(magic)+2:])
+	sum := binary.LittleEndian.Uint32(data[len(magic)+10:])
+	payload := data[headerSize:]
+	if uint64(len(payload)) < plen {
+		return nil, &CorruptError{Offset: len(data), Reason: fmt.Sprintf(
+			"truncated payload: header declares %d bytes, %d present", plen, len(payload))}
+	}
+	if uint64(len(payload)) > plen {
+		return nil, &CorruptError{Offset: headerSize + int(plen), Reason: "trailing bytes after payload"}
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, &CorruptError{Offset: len(magic) + 10, Reason: fmt.Sprintf(
+			"checksum mismatch: header %08x, payload %08x", sum, got)}
+	}
+	// All known versions share the v1 field walk; a future v2 dispatches
+	// here on `version`.
+	d := &decoder{buf: payload, base: headerSize}
+	m, err := decodePayloadV1(d)
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(d.buf) {
+		// Unreachable while the CRC covers the whole payload, but kept so a
+		// future version bump cannot silently accept under-consumed input.
+		return nil, &CorruptError{Offset: d.base + d.off, Reason: "payload longer than its content"}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodePayloadV1(d *decoder) (*Model, error) {
+	m := &Model{}
+	var err error
+	read := func(f func() error) {
+		if err == nil {
+			err = f()
+		}
+	}
+	read(func() error { return d.str(&m.Name, maxNameLen) })
+	c := &m.Config
+	read(func() error { return d.f64(&c.Eps) })
+	read(func() error { return d.f64(&c.MinLns) })
+	read(func() error { return d.vint(&c.MinTrajs) })
+	read(func() error { return d.f64(&c.WPerp) })
+	read(func() error { return d.f64(&c.WPar) })
+	read(func() error { return d.f64(&c.WAngle) })
+	read(func() error { return d.bool(&c.Undirected) })
+	read(func() error { return d.f64(&c.CostAdvantage) })
+	read(func() error { return d.f64(&c.MinSegmentLength) })
+	read(func() error { return d.f64(&c.Gamma) })
+	read(func() error { return d.str(&c.Index, 32) })
+	s := &m.Stats
+	read(func() error { return d.vint(&s.TotalSegments) })
+	read(func() error { return d.vint(&s.NoiseSegments) })
+	read(func() error { return d.vint(&s.RemovedClusters) })
+	read(func() error { return d.vint(&s.Trajectories) })
+	read(func() error { return d.vint(&s.Points) })
+	read(func() error { return d.f64(&s.QMeasure) })
+	read(func() error { return d.vint64(&s.BuiltAtUnixNano) })
+	read(func() error { return d.vint64(&s.BuildDurationNS) })
+	if err != nil {
+		return nil, err
+	}
+	// Minimum encoded cluster: 2 one-byte varints + SSE + 2 zero counts.
+	nclusters, err := d.count(1 + 1 + 8 + 1 + 1)
+	if err != nil {
+		return nil, err
+	}
+	m.Clusters = make([]Cluster, 0, nclusters)
+	for i := 0; i < nclusters; i++ {
+		var cl Cluster
+		read(func() error { return d.vint(&cl.Segments) })
+		read(func() error { return d.vint(&cl.Trajectories) })
+		read(func() error { return d.f64(&cl.SSE) })
+		if err != nil {
+			return nil, err
+		}
+		npts, cerr := d.count(16) // a point is two float64s
+		if cerr != nil {
+			return nil, cerr
+		}
+		cl.Representative = make([]geom.Point, npts)
+		for j := range cl.Representative {
+			p := &cl.Representative[j]
+			read(func() error { return d.f64(&p.X) })
+			read(func() error { return d.f64(&p.Y) })
+		}
+		nref, cerr := d.count(32) // a segment is four float64s
+		if cerr != nil {
+			return nil, cerr
+		}
+		cl.Reference = make([]geom.Segment, nref)
+		for j := range cl.Reference {
+			sg := &cl.Reference[j]
+			read(func() error { return d.f64(&sg.Start.X) })
+			read(func() error { return d.f64(&sg.Start.Y) })
+			read(func() error { return d.f64(&sg.End.X) })
+			read(func() error { return d.f64(&sg.End.Y) })
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.Clusters = append(m.Clusters, cl)
+	}
+	return m, err
+}
+
+// decoder walks the payload with strict bounds checking; every primitive
+// returns a *CorruptError (with the absolute input offset) on underrun.
+type decoder struct {
+	buf  []byte
+	off  int
+	base int // offset of buf[0] in the whole input, for error reporting
+}
+
+func (d *decoder) corrupt(reason string) error {
+	return &CorruptError{Offset: d.base + d.off, Reason: reason}
+}
+
+func (d *decoder) f64(v *float64) error {
+	if d.off+8 > len(d.buf) {
+		return d.corrupt("truncated float64")
+	}
+	*v = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return nil
+}
+
+func (d *decoder) bool(v *bool) error {
+	if d.off >= len(d.buf) {
+		return d.corrupt("truncated bool")
+	}
+	switch d.buf[d.off] {
+	case 0:
+		*v = false
+	case 1:
+		*v = true
+	default:
+		return d.corrupt(fmt.Sprintf("bool byte must be 0 or 1, got %d", d.buf[d.off]))
+	}
+	d.off++
+	return nil
+}
+
+func (d *decoder) uvarint(v *uint64) error {
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return d.corrupt("bad uvarint")
+	}
+	d.off += n
+	*v = x
+	return nil
+}
+
+func (d *decoder) vint64(v *int64) error {
+	x, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return d.corrupt("bad varint")
+	}
+	d.off += n
+	*v = x
+	return nil
+}
+
+func (d *decoder) vint(v *int) error {
+	var x int64
+	if err := d.vint64(&x); err != nil {
+		return err
+	}
+	if x < math.MinInt32 || x > math.MaxInt32 {
+		return d.corrupt(fmt.Sprintf("integer %d out of range", x))
+	}
+	*v = int(x)
+	return nil
+}
+
+// count reads a slice length and rejects any value whose elements could not
+// possibly fit in the remaining payload — the guard that keeps a 5-byte
+// hostile input from asking for a multi-gigabyte allocation.
+func (d *decoder) count(minElemSize int) (int, error) {
+	var n uint64
+	if err := d.uvarint(&n); err != nil {
+		return 0, err
+	}
+	if remaining := uint64(len(d.buf) - d.off); n > remaining/uint64(minElemSize) {
+		return 0, d.corrupt(fmt.Sprintf(
+			"count %d cannot fit in %d remaining bytes (min element size %d)", n, len(d.buf)-d.off, minElemSize))
+	}
+	return int(n), nil
+}
+
+func (d *decoder) str(v *string, maxLen int) error {
+	var n uint64
+	if err := d.uvarint(&n); err != nil {
+		return err
+	}
+	if n > uint64(maxLen) {
+		return d.corrupt(fmt.Sprintf("string length %d exceeds maximum %d", n, maxLen))
+	}
+	if d.off+int(n) > len(d.buf) {
+		return d.corrupt("truncated string")
+	}
+	*v = string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return nil
+}

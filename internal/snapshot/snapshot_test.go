@@ -1,0 +1,203 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// sampleModel is a fully-populated model exercising every field, including
+// a cluster whose representative collapsed (member segments as reference).
+func sampleModel() *Model {
+	return &Model{
+		Name: "corridors-v1",
+		Config: Config{
+			Eps: 30, MinLns: 6, MinTrajs: 3,
+			WPerp: 1, WPar: 1, WAngle: 1,
+			Undirected:    true,
+			CostAdvantage: 15, MinSegmentLength: 40, Gamma: 7.5,
+			Index: "grid",
+		},
+		Stats: Stats{
+			TotalSegments: 120, NoiseSegments: 14, RemovedClusters: 1,
+			Trajectories: 20, Points: 480,
+			QMeasure:        1234.5678,
+			BuiltAtUnixNano: 1754600000000000000,
+			BuildDurationNS: 2_500_000_000,
+		},
+		Clusters: []Cluster{
+			{
+				Segments: 60, Trajectories: 10, SSE: 600.25,
+				Representative: []geom.Point{{X: 100, Y: 200}, {X: 500, Y: 201.5}, {X: 900, Y: 199}},
+				Reference: []geom.Segment{
+					{Start: geom.Point{X: 100, Y: 200}, End: geom.Point{X: 500, Y: 201.5}},
+					{Start: geom.Point{X: 500, Y: 201.5}, End: geom.Point{X: 900, Y: 199}},
+				},
+			},
+			{
+				Segments: 46, Trajectories: 9, SSE: 512.125,
+				Representative: nil, // collapsed: reference = member segments
+				Reference: []geom.Segment{
+					{Start: geom.Point{X: 300, Y: 80}, End: geom.Point{X: 300.25, Y: 240}},
+					{Start: geom.Point{X: 299.5, Y: 240}, End: geom.Point{X: 301, Y: 520}},
+				},
+			},
+		},
+	}
+}
+
+func mustEncode(t *testing.T, m *Model) []byte {
+	t.Helper()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleModel()
+	got, err := Decode(mustEncode(t, want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// Normalise nil-vs-empty before the deep compare: the codec encodes
+	// both as count 0 and decodes to empty, which is semantically equal.
+	if want.Clusters[1].Representative == nil {
+		want.Clusters[1].Representative = []geom.Point{}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRoundTripZeroClusters(t *testing.T) {
+	m := sampleModel()
+	m.Clusters = nil
+	got, err := Decode(mustEncode(t, m))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Clusters) != 0 {
+		t.Fatalf("got %d clusters, want 0", len(got.Clusters))
+	}
+}
+
+// TestTruncationAtEveryByte is the strictness core: every proper prefix of
+// a valid snapshot must fail with a typed *CorruptError — never a panic,
+// never a silently partial model.
+func TestTruncationAtEveryByte(t *testing.T) {
+	data := mustEncode(t, sampleModel())
+	for n := 0; n < len(data); n++ {
+		m, err := Decode(data[:n])
+		if err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded: %+v", n, len(data), m)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("prefix %d: error %T (%v), want *CorruptError", n, err, err)
+		}
+	}
+}
+
+// TestBitFlipCorruption flips one bit in every payload byte; the CRC must
+// catch each flip with a typed error.
+func TestBitFlipCorruption(t *testing.T) {
+	data := mustEncode(t, sampleModel())
+	for i := headerSize; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", i)
+		} else if ce := (*CorruptError)(nil); !errors.As(err, &ce) {
+			t.Fatalf("bit flip at byte %d: error %T, want *CorruptError", i, err)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := mustEncode(t, sampleModel())
+	data[0] = 'X'
+	var ce *CorruptError
+	if _, err := Decode(data); !errors.As(err, &ce) {
+		t.Fatalf("bad magic: error %v, want *CorruptError", err)
+	}
+}
+
+func TestUnknownVersion(t *testing.T) {
+	data := mustEncode(t, sampleModel())
+	binary.LittleEndian.PutUint16(data[len(magic):], Version+1)
+	var ve *VersionError
+	if _, err := Decode(data); !errors.As(err, &ve) {
+		t.Fatalf("future version: error %v, want *VersionError", err)
+	} else if ve.Got != Version+1 || ve.Supported != Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+	binary.LittleEndian.PutUint16(data[len(magic):], 0)
+	var ce *CorruptError
+	if _, err := Decode(data); !errors.As(err, &ce) {
+		t.Fatalf("version 0: error %v, want *CorruptError", err)
+	}
+}
+
+func TestTrailingGarbage(t *testing.T) {
+	data := append(mustEncode(t, sampleModel()), 0xAA)
+	var ce *CorruptError
+	if _, err := Decode(data); !errors.As(err, &ce) {
+		t.Fatalf("trailing byte: error %v, want *CorruptError", err)
+	}
+}
+
+// TestHostileCount pins the allocation guard: a tiny input whose cluster
+// count claims billions of elements must be rejected before any allocation,
+// not trusted into make().
+func TestHostileCount(t *testing.T) {
+	m := sampleModel()
+	m.Clusters = nil
+	data := mustEncode(t, m)
+	// Rewrite the trailing cluster count (0, one byte) to a huge uvarint,
+	// fixing up length and CRC so only the count guard can reject it.
+	payload := append([]byte(nil), data[headerSize:len(data)-1]...)
+	payload = binary.AppendUvarint(payload, 1<<40)
+	out := append([]byte(nil), data[:len(magic)+2]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	out = append(out, payload...)
+	var ce *CorruptError
+	if _, err := Decode(out); !errors.As(err, &ce) {
+		t.Fatalf("hostile count: error %v, want *CorruptError", err)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"empty name", func(m *Model) { m.Name = "" }},
+		{"separator in name", func(m *Model) { m.Name = "a/b" }},
+		{"NaN eps", func(m *Model) { m.Config.Eps = math.NaN() }},
+		{"zero eps", func(m *Model) { m.Config.Eps = 0 }},
+		{"negative minlns", func(m *Model) { m.Config.MinLns = -1 }},
+		{"all-zero weights", func(m *Model) { m.Config.WPerp, m.Config.WPar, m.Config.WAngle = 0, 0, 0 }},
+		{"negative gamma", func(m *Model) { m.Config.Gamma = -2 }},
+		{"negative stat", func(m *Model) { m.Stats.Points = -1 }},
+		{"empty reference", func(m *Model) { m.Clusters[0].Reference = nil }},
+		{"non-finite reference", func(m *Model) { m.Clusters[0].Reference[0].End.X = math.Inf(1) }},
+		{"non-finite representative", func(m *Model) { m.Clusters[0].Representative[0].Y = math.NaN() }},
+	}
+	for _, tc := range cases {
+		m := sampleModel()
+		tc.mutate(m)
+		_, err := Encode(m)
+		var ie *InvalidError
+		if !errors.As(err, &ie) {
+			t.Errorf("%s: Encode error %v, want *InvalidError", tc.name, err)
+		}
+	}
+}

@@ -112,6 +112,12 @@ func (s *Searcher) rectOf(i int) geom.Rect {
 // Len returns the number of indexed segments.
 func (s *Searcher) Len() int { return len(s.segs) }
 
+// Segment returns indexed segment i exactly as it was handed to
+// NewSearcher. The snapshot layer reads the reference geometry back out
+// through it, so a saved-and-reloaded searcher indexes bit-identical
+// segments.
+func (s *Searcher) Segment(i int) geom.Segment { return s.segs[i] }
+
 // Factor returns the lower-bound constant c (0 = no pruning possible).
 func (s *Searcher) Factor() float64 { return s.factor }
 

@@ -14,14 +14,17 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dendro"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/gridindex"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
+	"repro/internal/params"
 	"repro/internal/rtree"
 	"repro/internal/segclust"
 	"repro/internal/service"
+	"repro/internal/spindex"
 	"repro/internal/synth"
 
 	traclus "repro"
@@ -531,6 +534,84 @@ func BenchmarkServiceModelBuild(b *testing.B) {
 			if _, err := service.BuildCtx(context.Background(), fmt.Sprintf("a%d", i), trs, base,
 				&service.EstimateRange{Lo: 5, Hi: 60}, nil); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchItems partitions the shared 4800-track scaling input once, so the
+// dendrogram benchmarks measure cutting and estimating, not partitioning.
+var benchItems = func() []segclust.Item {
+	base := core.DefaultConfig()
+	base.Eps, base.MinLns = 30, 6
+	base.Partition.CostAdvantage, base.Partition.MinLength = 15, 40
+	return core.PartitionAll(scalingTracks, base)
+}()
+
+// BenchmarkDendroCut: reconstructing the clustering at an ε via a
+// dendrogram cut (binary searches + union-find replay, zero distance
+// calls) against re-running the grouping at that ε over the shared index
+// (the only way to change ε before the merge structure existed). The cut
+// path's one-off build cost is excluded — it is paid once per dataset and
+// amortises across every ε served; BenchmarkEstimateViaDendro measures the
+// inclusive trade.
+func BenchmarkDendroCut(b *testing.B) {
+	opt := lsdist.Options{Weights: lsdist.DefaultWeights()}
+	epsGrid := []float64{10, 20, 30, 40, 50, 60}
+	b.Run("mode=cut", func(b *testing.B) {
+		d, err := dendro.Build(context.Background(), benchItems, opt, spindex.Grid(), 60, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.CutAt(epsGrid[i%len(epsGrid)], 6, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=regroup", func(b *testing.B) {
+		shared := segclust.NewSharedIndexFor(benchItems, opt, spindex.Grid())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := segclust.Config{Eps: epsGrid[i%len(epsGrid)], MinLns: 6, Options: opt}
+			if _, err := segclust.RunSharedCtx(context.Background(), shared, cfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEstimateViaDendro: the full §4.4 ε search, inclusive of the
+// dendrogram build, against the pre-dendro cost of the same search — 61
+// per-ε neighborhood sweeps (DefaultIterations+1 evaluations) against the
+// shared index, which is exactly what the annealer used to pay.
+func BenchmarkEstimateViaDendro(b *testing.B) {
+	opt := lsdist.Options{Weights: lsdist.DefaultWeights()}
+	lo, hi := 5.0, 60.0
+	b.Run("mode=dendro", func(b *testing.B) {
+		shared := segclust.NewSharedIndexFor(benchItems, opt, spindex.Grid())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := params.EstimateEpsSharedCtx(context.Background(), shared, lo, hi, params.AnnealOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=pereps", func(b *testing.B) {
+		shared := segclust.NewSharedIndexFor(benchItems, opt, spindex.Grid())
+		rng := rand.New(rand.NewSource(0))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k <= params.DefaultIterations; k++ {
+				eps := lo + rng.Float64()*(hi-lo)
+				if _, err := shared.NeighborhoodWeightsCtx(context.Background(), eps, 0); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

@@ -14,6 +14,8 @@ package main
 //	too_large         413  body, point, or trajectory cap exceeded
 //	invalid_snapshot  422  corrupt/truncated/semantically invalid snapshot
 //	unsupported_snapshot_version 422  snapshot from a future format version
+//	no_dendrogram     422  sweep query on a model without a merge structure
+//	                       (loaded from a format v1 snapshot)
 //	too_many_builds   429  build concurrency cap reached
 //	peer_unreachable  502  the owning replica could not be reached
 //	timeout           504  classification deadline expired with no results
@@ -40,6 +42,7 @@ const (
 	codeTooLarge        = "too_large"
 	codeInvalidSnapshot = "invalid_snapshot"
 	codeSnapshotVersion = "unsupported_snapshot_version"
+	codeNoDendrogram    = "no_dendrogram"
 	codeTooManyBuilds   = "too_many_builds"
 	codePeerUnreachable = "peer_unreachable"
 	codeTimeout         = "timeout"
@@ -120,6 +123,8 @@ func writeTypedError(w http.ResponseWriter, err error) {
 		writeErrorCode(w, http.StatusUnprocessableEntity, codeInvalidSnapshot, err.Error(), map[string]any{
 			"field": invalidErr.Field, "reason": invalidErr.Reason,
 		})
+	case errors.Is(err, service.ErrNoDendrogram):
+		writeErrorCode(w, http.StatusUnprocessableEntity, codeNoDendrogram, err.Error(), nil)
 	case errors.Is(err, service.ErrBuildInFlight):
 		writeErrorCode(w, http.StatusConflict, codeConflict, err.Error(), nil)
 	default:

@@ -21,6 +21,12 @@
 //	POST /v1/models/{name}/classify   body: CSV (traj_id,x,y)
 //	GET  /v1/models/{name}/snapshot   → binary snapshot (export)
 //	PUT  /v1/models/{name}/snapshot   body: binary snapshot (import)
+//	GET  /v1/models/{name}/sweep?lo=&hi=&steps=   → per-ε quality curve
+//	                           (clusters, noise fraction, SSE) cut from the
+//	                           model's dendrogram; defaults lo=ε/2, hi=2ε,
+//	                           steps=16
+//	GET  /v1/models/{name}/clusters?eps=X   → exact clustering at ε
+//	                           (members, trajectories, representatives)
 //	DELETE /v1/models/{name}   → evict + cancel in-flight builds
 //	GET  /v1/jobs/{id}         → job state + live phase/progress
 //	GET  /v1/healthz           → liveness + model/job counts

@@ -32,6 +32,8 @@ func (s *server) routes() []route {
 		{method: http.MethodDelete, path: "/v1/models/{name}", handler: s.handleModelDelete, legacy: "/models/{name}"},
 		{method: http.MethodPost, path: "/v1/models/{name}/classify", handler: s.handleClassify, legacy: "/models/{name}/classify"},
 		{method: http.MethodGet, path: "/v1/models/{name}/snapshot", handler: s.handleSnapshotGet},
+		{method: http.MethodGet, path: "/v1/models/{name}/sweep", handler: s.handleSweep},
+		{method: http.MethodGet, path: "/v1/models/{name}/clusters", handler: s.handleClustersAt},
 		{method: http.MethodPut, path: "/v1/models/{name}/snapshot", handler: s.handleSnapshotPut},
 		{method: http.MethodGet, path: "/v1/jobs/{id}", handler: s.handleJobGet, legacy: "/jobs/{id}"},
 	}

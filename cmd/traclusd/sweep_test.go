@@ -1,0 +1,206 @@
+package main
+
+// Endpoint tests for the multi-ε queries: the sweep curve's shape and
+// defaults, the clusters-at-ε reconstruction agreeing with the model's own
+// build, the table of 400 paths behind the invalid_config envelope, and
+// the 422 for models that carry no merge structure (v1 snapshots).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func buildSweepModel(t *testing.T, ts string) service.Summary {
+	t.Helper()
+	_, csv := trainingCSV(t)
+	cfg := buildCfg()
+	v1Build(t, ts, BuildRequest{
+		Name: "sweepable", Data: csv,
+		Config: BuildConfig{
+			Eps: &cfg.Eps, MinLns: &cfg.MinLns,
+			CostAdvantage: &cfg.CostAdvantage, MinSegmentLength: &cfg.MinSegmentLength,
+		},
+	})
+	var sum service.Summary
+	if code := doJSON(t, http.MethodGet, ts+"/v1/models/sweepable", "", &sum); code != http.StatusOK {
+		t.Fatalf("GET model = %d", code)
+	}
+	return sum
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := testServer(t, serverConfig{workers: 2})
+	sum := buildSweepModel(t, ts.URL)
+
+	var resp sweepResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/models/sweepable/sweep", "", &resp); code != http.StatusOK {
+		t.Fatalf("GET sweep = %d", code)
+	}
+	if resp.Steps != defaultSweepSteps || len(resp.Points) != defaultSweepSteps {
+		t.Fatalf("default sweep returned %d/%d points", resp.Steps, len(resp.Points))
+	}
+	if resp.Lo != sum.Eps/2 || resp.Hi != 2*sum.Eps {
+		t.Fatalf("default range [%g, %g], want [%g, %g]", resp.Lo, resp.Hi, sum.Eps/2, 2*sum.Eps)
+	}
+	if got := resp.Points[0].Eps; got != resp.Lo {
+		t.Errorf("first point at %g, want lo %g", got, resp.Lo)
+	}
+	if got := resp.Points[len(resp.Points)-1].Eps; got != resp.Hi {
+		t.Errorf("last point at %g, want hi %g", got, resp.Hi)
+	}
+	for _, p := range resp.Points {
+		if p.QMeasure != p.TotalSSE+p.NoisePenalty {
+			t.Errorf("eps=%g: q_measure %g ≠ sse %g + penalty %g", p.Eps, p.QMeasure, p.TotalSSE, p.NoisePenalty)
+		}
+		if p.NoiseFraction < 0 || p.NoiseFraction > 1 {
+			t.Errorf("eps=%g: noise fraction %g", p.Eps, p.NoiseFraction)
+		}
+	}
+
+	// An explicit range lands exactly on its bounds and step count.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/models/sweepable/sweep?lo=10&hi=50&steps=5", "", &resp); code != http.StatusOK {
+		t.Fatalf("GET sweep explicit = %d", code)
+	}
+	if len(resp.Points) != 5 || resp.Points[0].Eps != 10 || resp.Points[4].Eps != 50 {
+		t.Fatalf("explicit sweep = %+v", resp.Points)
+	}
+}
+
+// TestClustersAtMatchesBuild cuts the (lazily built) dendrogram at the
+// model's own ε and must land exactly on the clustering the build
+// produced: same cluster count, noise, and removed count as the summary.
+func TestClustersAtMatchesBuild(t *testing.T) {
+	_, ts := testServer(t, serverConfig{workers: 2})
+	sum := buildSweepModel(t, ts.URL)
+
+	var cut service.CutResult
+	url := fmt.Sprintf("%s/v1/models/sweepable/clusters?eps=%g", ts.URL, sum.Eps)
+	if code := doJSON(t, http.MethodGet, url, "", &cut); code != http.StatusOK {
+		t.Fatalf("GET clusters = %d", code)
+	}
+	if len(cut.Clusters) != sum.Clusters {
+		t.Errorf("cut found %d clusters, build found %d", len(cut.Clusters), sum.Clusters)
+	}
+	if cut.NoiseSegments != sum.NoiseSegments {
+		t.Errorf("cut noise %d, build noise %d", cut.NoiseSegments, sum.NoiseSegments)
+	}
+	if cut.RemovedClusters != sum.RemovedClusters {
+		t.Errorf("cut removed %d, build removed %d", cut.RemovedClusters, sum.RemovedClusters)
+	}
+	if cut.TotalSegments != sum.TotalSegments {
+		t.Errorf("cut segments %d, build segments %d", cut.TotalSegments, sum.TotalSegments)
+	}
+	for _, c := range cut.Clusters {
+		if c.Segments == 0 || len(c.Trajectories) == 0 {
+			t.Errorf("cluster %d empty: %+v", c.Cluster, c)
+		}
+	}
+
+	// Omitting eps defaults to the model's own ε — same cut.
+	var def service.CutResult
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/models/sweepable/clusters", "", &def); code != http.StatusOK {
+		t.Fatalf("GET clusters default = %d", code)
+	}
+	if def.Eps != sum.Eps || len(def.Clusters) != len(cut.Clusters) {
+		t.Errorf("default-eps cut differs: eps %g, %d clusters", def.Eps, len(def.Clusters))
+	}
+}
+
+// TestSweepValidation is the table of 400 paths: every malformed or
+// out-of-range parameter answers the /v1 error envelope with the right
+// machine code and never a 500.
+func TestSweepValidation(t *testing.T) {
+	_, ts := testServer(t, serverConfig{workers: 2})
+	buildSweepModel(t, ts.URL)
+
+	cases := []struct {
+		name  string
+		query string
+		code  string
+	}{
+		{"lo equals hi", "/sweep?lo=10&hi=10", codeInvalidConfig},
+		{"lo above hi", "/sweep?lo=50&hi=10", codeInvalidConfig},
+		{"zero lo", "/sweep?lo=0&hi=10", codeInvalidConfig},
+		{"negative lo", "/sweep?lo=-4&hi=10", codeInvalidConfig},
+		{"NaN lo", "/sweep?lo=NaN&hi=10", codeInvalidConfig},
+		{"infinite hi", "/sweep?lo=5&hi=Inf", codeInvalidConfig},
+		{"negative hi", "/sweep?lo=5&hi=-10", codeInvalidConfig},
+		{"steps below floor", "/sweep?lo=5&hi=50&steps=1", codeInvalidConfig},
+		{"steps above cap", "/sweep?lo=5&hi=50&steps=4097", codeInvalidConfig},
+		{"unparsable lo", "/sweep?lo=abc&hi=10", codeInvalidRequest},
+		{"unparsable hi", "/sweep?lo=5&hi=xyz", codeInvalidRequest},
+		{"unparsable steps", "/sweep?lo=5&hi=50&steps=many", codeInvalidRequest},
+		{"zero eps cut", "/clusters?eps=0", codeInvalidConfig},
+		{"negative eps cut", "/clusters?eps=-3", codeInvalidConfig},
+		{"NaN eps cut", "/clusters?eps=NaN", codeInvalidConfig},
+		{"infinite eps cut", "/clusters?eps=Inf", codeInvalidConfig},
+		{"unparsable eps cut", "/clusters?eps=wide", codeInvalidRequest},
+	}
+	for _, tc := range cases {
+		var env envelope
+		code := doJSON(t, http.MethodGet, ts.URL+"/v1/models/sweepable"+tc.query, "", &env)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+			continue
+		}
+		if env.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, env.Code, tc.code)
+		}
+		if env.Message == "" || env.Legacy != env.Message {
+			t.Errorf("%s: envelope %+v missing message/legacy mirror", tc.name, env)
+		}
+	}
+}
+
+func TestSweepUnknownModel(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	var env envelope
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/models/ghost/sweep", "", &env); code != http.StatusNotFound {
+		t.Fatalf("sweep on unknown model = %d", code)
+	}
+	if env.Code != codeNotFound {
+		t.Fatalf("code %q, want %q", env.Code, codeNotFound)
+	}
+}
+
+// TestSweepV1SnapshotNoDendrogram imports the frozen format-v1 golden
+// snapshot — which carries no merge structure and no training geometry to
+// rebuild one from — and pins the sweep answer: 422 no_dendrogram, not a
+// crash and not a silent empty curve.
+func TestSweepV1SnapshotNoDendrogram(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "internal", "snapshot", "testdata", "golden", "v1.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, serverConfig{})
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/legacy/snapshot", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("importing v1 snapshot = %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/models/legacy/sweep", "/v1/models/legacy/clusters?eps=20"} {
+		var env envelope
+		if code := doJSON(t, http.MethodGet, ts.URL+path, "", &env); code != http.StatusUnprocessableEntity {
+			t.Errorf("%s = %d, want 422", path, code)
+			continue
+		}
+		if env.Code != codeNoDendrogram {
+			t.Errorf("%s: code %q, want %q", path, env.Code, codeNoDendrogram)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package params
+
+// The estimation-rewire identity: evaluating ε-candidates through the
+// dendrogram must return the exact Estimate the per-ε neighborhood path
+// returns — the annealer's seeded walk visits the same candidates and sees
+// the same entropies, so the argmin, entropy, evals, and MinLns band are
+// all equal — while performing zero distance calls beyond the one build.
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dendro"
+	"repro/internal/lsdist"
+	"repro/internal/segclust"
+	"repro/internal/spindex"
+	"repro/internal/synth"
+)
+
+func estItems(t *testing.T) []segclust.Item {
+	t.Helper()
+	trs := synth.CorridorScene(3, 10, 20, 5, 13)
+	cfg := core.DefaultConfig()
+	cfg.Partition.CostAdvantage, cfg.Partition.MinLength = 15, 40
+	items := core.PartitionAll(trs, cfg)
+	if len(items) < 30 {
+		t.Fatalf("scene too small: %d items", len(items))
+	}
+	return items
+}
+
+func TestEstimateDendroIdentity(t *testing.T) {
+	items := estItems(t)
+	opt := lsdist.Options{Weights: lsdist.DefaultWeights()}
+	lo, hi := 5.0, 60.0
+
+	for _, seed := range []int64{0, 1, 42} {
+		an := AnnealOptions{Seed: seed}
+
+		// Legacy path: per-ε neighborhood sweeps against the shared index.
+		shared := segclust.NewSharedIndexFor(items, opt, spindex.Grid())
+		legacy, err := anneal(context.Background(), lo, hi, an, func(eps float64) ([]float64, error) {
+			return shared.NeighborhoodWeightsCtx(context.Background(), eps, an.Workers)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Dendrogram path: one build, every candidate answered from it.
+		d, err := dendro.FromShared(context.Background(),
+			segclust.NewSharedIndexFor(items, opt, spindex.Grid()), hi, an.Workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls := d.DistCalls()
+		viaDendro, err := EstimateEpsDendroCtx(context.Background(), d, lo, hi, an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, viaDendro) {
+			t.Errorf("seed %d: estimates differ:\n legacy %+v\n dendro %+v", seed, legacy, viaDendro)
+		}
+		if d.DistCalls() != calls {
+			t.Errorf("seed %d: annealing over the dendrogram performed %d extra distance calls",
+				seed, d.DistCalls()-calls)
+		}
+
+		// The public entry point dispatches to the dendrogram path for a
+		// finite hi and must land on the same estimate.
+		public, err := EstimateEpsSharedCtx(context.Background(),
+			segclust.NewSharedIndexFor(items, opt, spindex.Grid()), lo, hi, an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, public) {
+			t.Errorf("seed %d: EstimateEpsSharedCtx diverged from the legacy annealer", seed)
+		}
+	}
+}
+
+// TestEstimateUnboundedHiFallback pins the legacy per-ε path for the one
+// range a dendrogram cannot cover: an unbounded hi must behave exactly as
+// it always has (the direct annealer over per-ε neighborhood sweeps),
+// neither erroring nor attempting an infinite-radius precompute.
+func TestEstimateUnboundedHiFallback(t *testing.T) {
+	items := estItems(t)
+	opt := lsdist.Options{Weights: lsdist.DefaultWeights()}
+	an := AnnealOptions{Iterations: 10}
+	shared := segclust.NewSharedIndexFor(items, opt, spindex.Grid())
+	got, err := EstimateEpsSharedCtx(context.Background(), shared, 5, math.Inf(1), an)
+	if err != nil {
+		t.Fatalf("unbounded hi: %v", err)
+	}
+	want, err := anneal(context.Background(), 5, math.Inf(1), an, func(eps float64) ([]float64, error) {
+		return shared.NeighborhoodWeightsCtx(context.Background(), eps, an.Workers)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("unbounded hi diverged from the legacy annealer:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSweepDendroMatchesShared(t *testing.T) {
+	items := estItems(t)
+	opt := lsdist.Options{Weights: lsdist.DefaultWeights()}
+	shared := segclust.NewSharedIndexFor(items, opt, spindex.Grid())
+	eps := []float64{4, 9, 16, 25, 36, 49}
+	want := SweepShared(shared, eps, 0)
+	d, err := dendro.FromShared(context.Background(), shared, 49, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SweepDendro(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("sweep curves differ:\n shared %+v\n dendro %+v", want, got)
+	}
+}

@@ -7,12 +7,21 @@
 // uniform (entropy maximal — ε far too small or far too large), while a
 // good clustering makes |Nε(L)| skewed (entropy smaller).
 //
-// Every ε evaluation rides segclust's shared parallel neighborhood pass
-// (one immutable spindex-backed SharedIndex, per-worker query views, each
-// query at its own exact candidate radius), so the heuristic scales with
-// the same Workers knob as the clustering phase itself — and callers that
-// already indexed the items (the public Pipeline) share that single index
-// via the *Shared entry points instead of building a second one.
+// ε evaluations no longer re-run a neighborhood pass per candidate: when
+// the search range is bounded, the package precomputes the multi-ε merge
+// structure (internal/dendro) from one shared-index candidate pass at the
+// range maximum, and every subsequent ε evaluation — the whole annealing
+// walk, the whole grid sweep — is binary searches over sorted per-item
+// neighbor lists, issuing zero further distance calls. The per-item
+// weights a dendrogram reports are exactly the weights a fresh pass
+// reports for order-independent sums (unit/integer weights, the universal
+// case in this repo), so the seeded annealing walk and its Estimate are
+// unchanged. An unbounded (hi = +Inf) range falls back to the per-ε
+// shared-index pass, which remains bit-identical to the historical path.
+// Callers that already indexed the items (the public Pipeline) share that
+// single index via the *Shared entry points instead of building a second
+// one; callers that already built a dendrogram hand it to the *Dendro
+// entry points.
 package params
 
 import (
@@ -21,6 +30,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/dendro"
 	"repro/internal/lsdist"
 	"repro/internal/segclust"
 )
@@ -90,14 +100,47 @@ func Sweep(items []segclust.Item, epsValues []float64, opt lsdist.Options, index
 }
 
 // SweepShared is Sweep over a prebuilt shared index — the entry point for
-// callers that already indexed the items for other phases.
+// callers that already indexed the items for other phases. When the sweep
+// has a finite positive maximum ε it builds the merge structure once at
+// that maximum and answers every point from it (one candidate pass total
+// instead of one per ε); degenerate value sets keep the per-ε pass.
 func SweepShared(shared *segclust.SharedIndex, epsValues []float64, workers int) []EntropyPoint {
+	maxEps := math.Inf(-1)
+	for _, eps := range epsValues {
+		if eps > maxEps {
+			maxEps = eps
+		}
+	}
+	if maxEps > 0 && !math.IsInf(maxEps, 1) {
+		if d, err := dendro.FromShared(context.Background(), shared, maxEps, workers); err == nil {
+			if pts, err := SweepDendro(d, epsValues); err == nil {
+				return pts
+			}
+		}
+	}
 	out := make([]EntropyPoint, len(epsValues))
 	for i, eps := range epsValues {
 		n := shared.NeighborhoodWeights(eps, workers)
 		out[i] = EntropyPoint{Eps: eps, Entropy: Entropy(n), AvgNeighbors: Average(n)}
 	}
 	return out
+}
+
+// SweepDendro evaluates the entropy curve from a prebuilt merge structure:
+// every point is answered by binary searches over the precomputed neighbor
+// lists, with zero distance evaluations. Every eps must be ≤ d.MaxEps().
+func SweepDendro(d *dendro.Dendrogram, epsValues []float64) ([]EntropyPoint, error) {
+	out := make([]EntropyPoint, len(epsValues))
+	var buf []float64
+	for i, eps := range epsValues {
+		n, err := d.NeighborhoodWeights(eps, buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = n
+		out[i] = EntropyPoint{Eps: eps, Entropy: Entropy(n), AvgNeighbors: Average(n)}
+	}
+	return out, nil
 }
 
 // Estimate holds the outcome of the ε search.
@@ -172,9 +215,12 @@ func checkRange(lo, hi float64) error {
 
 // EstimateEpsSharedCtx is EstimateEpsCtx over a prebuilt shared index: the
 // pipeline builds the dataset's index once and hands it here, so the
-// annealing search costs no second index construction and every ε
-// evaluation queries at its own exact candidate radius. The search is
-// bit-identical to EstimateEpsCtx over a fresh index of the same backend.
+// annealing search costs no second index construction. A bounded range
+// precomputes the merge structure at hi and anneals over dendrogram
+// weight queries — one candidate pass for the whole search instead of one
+// per evaluation; an unbounded hi anneals over per-ε index queries. Either
+// way the search is bit-identical to EstimateEpsCtx over a fresh index of
+// the same backend: same seeded walk, same evaluations, same Estimate.
 func EstimateEpsSharedCtx(ctx context.Context, shared *segclust.SharedIndex, lo, hi float64, an AnnealOptions) (Estimate, error) {
 	if err := checkRange(lo, hi); err != nil {
 		return Estimate{}, err
@@ -182,13 +228,55 @@ func EstimateEpsSharedCtx(ctx context.Context, shared *segclust.SharedIndex, lo,
 	if shared.Len() == 0 {
 		return Estimate{}, errors.New("params: no segments")
 	}
+	if !math.IsInf(hi, 1) {
+		d, err := dendro.FromShared(ctx, shared, hi, an.Workers)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return EstimateEpsDendroCtx(ctx, d, lo, hi, an)
+	}
+	return anneal(ctx, lo, hi, an, func(eps float64) ([]float64, error) {
+		return shared.NeighborhoodWeightsCtx(ctx, eps, an.Workers)
+	})
+}
+
+// EstimateEpsDendroCtx runs the annealing ε search entirely against a
+// prebuilt merge structure: after the dendrogram build, the search issues
+// zero distance evaluations (structurally — a Dendrogram holds no searcher
+// to evaluate with). hi must not exceed d.MaxEps().
+func EstimateEpsDendroCtx(ctx context.Context, d *dendro.Dendrogram, lo, hi float64, an AnnealOptions) (Estimate, error) {
+	if err := checkRange(lo, hi); err != nil {
+		return Estimate{}, err
+	}
+	if hi > d.MaxEps() {
+		return Estimate{}, errors.New("params: hi exceeds the dendrogram's maximum ε")
+	}
+	if d.Len() == 0 {
+		return Estimate{}, errors.New("params: no segments")
+	}
+	var buf []float64 // evaluations are serial; one buffer serves them all
+	return anneal(ctx, lo, hi, an, func(eps float64) ([]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n, err := d.NeighborhoodWeights(eps, buf)
+		buf = n
+		return n, err
+	})
+}
+
+// anneal is the shared simulated-annealing loop (reference [14] of the
+// paper): deterministic for a fixed seed, identical regardless of how
+// weightsAt computes the ε-neighborhood cardinalities — that is what makes
+// the dendrogram-backed search return the same Estimate as the per-ε one.
+func anneal(ctx context.Context, lo, hi float64, an AnnealOptions, weightsAt func(eps float64) ([]float64, error)) (Estimate, error) {
 	an = an.withDefaults()
 	rng := rand.New(rand.NewSource(an.Seed))
 
 	evals := 0
 	energy := func(eps float64) (float64, float64, error) {
 		evals++
-		n, err := shared.NeighborhoodWeightsCtx(ctx, eps, an.Workers)
+		n, err := weightsAt(eps)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -822,6 +822,18 @@ func NewSharedIndexFor(items []Item, opt lsdist.Options, backend spindex.Backend
 // Len returns the number of indexed items.
 func (s *SharedIndex) Len() int { return len(s.items) }
 
+// Items returns the indexed item set. The slice is the index's own backing
+// store — callers must not mutate it.
+func (s *SharedIndex) Items() []Item { return s.items }
+
+// Options returns the distance options the index was built with.
+func (s *SharedIndex) Options() lsdist.Options { return s.opt }
+
+// Searcher exposes the underlying spindex searcher so sibling subsystems
+// (internal/dendro's merge-structure build) can run their own candidate +
+// refine passes against the same single index build.
+func (s *SharedIndex) Searcher() *spindex.Searcher { return s.search }
+
 // view returns a neighborSource for ε-queries at eps, backed by the shared
 // structures but with private scratch space. Distance blocks are scored by
 // the searcher's batch kernel.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	traclus "repro"
+	"repro/internal/dendro"
 	"repro/internal/lsdist"
 	"repro/internal/snapshot"
 )
@@ -87,6 +88,13 @@ func (m *Model) buildSnapshot() (*snapshot.Model, error) {
 			BuildDurationNS: int64(m.summary.BuildDuration),
 		},
 	}
+	// The merge structure present at first export rides along as the format
+	// v2 section. Lazily-grown dendrograms appearing after the memoized
+	// snapshot is computed stay local — the export is a stable artifact, and
+	// the importer can always rebuild a dendrogram from its own geometry.
+	if d := m.Dendrogram(); d != nil {
+		sm.Dendro = d.Snapshot()
+	}
 	if m.cls != nil {
 		cs, err := m.cls.Snapshot()
 		if err != nil {
@@ -152,6 +160,17 @@ func FromSnapshot(sm *snapshot.Model) (*Model, error) {
 	// Pre-seed the memoized snapshot so a later export returns the retained
 	// one without running buildSnapshot (which needs the absent Result).
 	m.snapOnce.Do(func() {})
+
+	// Format v2 carries the multi-ε merge structure; v1 snapshots leave it
+	// nil and sweep queries report ErrNoDendrogram (the stored reference
+	// geometry alone cannot reproduce the training segment set).
+	if sm.Dendro != nil {
+		den, err := dendro.FromSnapshot(sm.Dendro)
+		if err != nil {
+			return nil, err
+		}
+		m.den = den
+	}
 
 	if len(sm.Clusters) > 0 {
 		cs := traclus.ClassifierSnapshot{

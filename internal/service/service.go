@@ -21,6 +21,7 @@ import (
 	"time"
 
 	traclus "repro"
+	"repro/internal/dendro"
 	"repro/internal/par"
 	"repro/internal/snapshot"
 )
@@ -76,6 +77,14 @@ type Model struct {
 	snapOnce sync.Once
 	snap     *snapshot.Model
 	snapErr  error
+
+	// Multi-ε merge structure (internal/dendro) behind the sweep/clusters
+	// queries — the one deliberate exception to the write-once rule: auto
+	// builds and v2 snapshots set it before publication, fixed-ε models
+	// grow it lazily on the first sweep request, and dmu serialises that
+	// growth. See sweep.go.
+	dmu sync.Mutex
+	den *dendro.Dendrogram
 }
 
 // EstimateRange requests §4.4 parameter estimation inside a build: Eps and
@@ -143,6 +152,7 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 	}
 	m := &Model{
 		res: res,
+		den: res.Dendrogram(), // non-nil on auto builds; persisted as format v2
 		cfg: cfg,
 		summary: Summary{
 			Name:            name,

@@ -1,0 +1,220 @@
+package service
+
+// Multi-ε queries over a served model: the dendrogram (internal/dendro)
+// lets the daemon answer "what would this clustering look like at ε?" for
+// any ε without re-running the distance kernels. SweepQuality walks a grid
+// of ε values and reports the Section 5.1 quality terms at each; ClustersAt
+// materialises the full clustering — members, trajectories, representatives
+// — at one ε. Both reconstruct exactly what a fresh build at that ε would
+// produce (the dendro equivalence suite pins this).
+
+import (
+	"context"
+	"errors"
+
+	traclus "repro"
+	"repro/internal/core"
+	"repro/internal/dendro"
+	"repro/internal/lsdist"
+	"repro/internal/quality"
+	"repro/internal/segclust"
+)
+
+// ErrNoDendrogram reports a sweep query against a model that has no merge
+// structure and no geometry to build one from — a model loaded from a
+// format v1 snapshot, which stores only the classifier's reference
+// segments, not the training segment set.
+var ErrNoDendrogram = errors.New("service: model carries no dendrogram (format v1 snapshot); rebuild the model to enable sweep queries")
+
+// maxSweepSteps bounds the ε-grid resolution of one sweep request: each
+// step costs an O(n²)-per-cluster quality pass, so the cap keeps a single
+// request from monopolising the daemon.
+const maxSweepSteps = 4096
+
+// SweepPoint is the quality curve sample at one ε.
+type SweepPoint struct {
+	Eps             float64 `json:"eps"`
+	Clusters        int     `json:"clusters"`
+	NoiseSegments   int     `json:"noise_segments"`
+	NoiseFraction   float64 `json:"noise_fraction"`
+	RemovedClusters int     `json:"removed_clusters"`
+	TotalSSE        float64 `json:"total_sse"`
+	NoisePenalty    float64 `json:"noise_penalty"`
+	QMeasure        float64 `json:"q_measure"`
+}
+
+// CutCluster is one cluster of a ClustersAt reconstruction.
+type CutCluster struct {
+	Cluster        int             `json:"cluster"`
+	Segments       int             `json:"segments"`
+	Trajectories   []int           `json:"trajectories"`
+	Representative []traclus.Point `json:"representative,omitempty"`
+}
+
+// CutResult is the clustering reconstructed at one ε.
+type CutResult struct {
+	Eps             float64      `json:"eps"`
+	MinLns          float64      `json:"min_lns"`
+	TotalSegments   int          `json:"total_segments"`
+	NoiseSegments   int          `json:"noise_segments"`
+	NoiseFraction   float64      `json:"noise_fraction"`
+	RemovedClusters int          `json:"removed_clusters"`
+	Clusters        []CutCluster `json:"clusters"`
+}
+
+// Dendrogram returns the model's current merge structure, or nil if none
+// has been built yet.
+func (m *Model) Dendrogram() *dendro.Dendrogram {
+	m.dmu.Lock()
+	defer m.dmu.Unlock()
+	return m.den
+}
+
+// distOptions resolves the distance the model was built with — the same
+// resolution the pipeline and the snapshot layer apply.
+func (m *Model) distOptions() lsdist.Options {
+	w := m.cfg.Weights
+	if (w == traclus.Weights{}) {
+		w = lsdist.DefaultWeights()
+	}
+	return lsdist.Options{Weights: w, Undirected: m.cfg.Undirected}
+}
+
+// DendrogramAt returns a dendrogram covering ε ≤ maxEps, building or
+// growing the model's retained one when its range is too small. Growth
+// replaces the structure wholesale (a dendrogram is immutable once built)
+// under dmu, so concurrent sweeps serialise their builds and later reads
+// reuse the widest range seen. The segment set comes from the model's own
+// clustering — or, for a model restored from a v2 snapshot, from the
+// restored dendrogram — so ErrNoDendrogram only fires for v1-loaded models
+// with no training geometry at all.
+func (m *Model) DendrogramAt(ctx context.Context, maxEps float64) (*dendro.Dendrogram, error) {
+	if err := segclust.CheckPositive("Eps", maxEps); err != nil {
+		return nil, err
+	}
+	m.dmu.Lock()
+	defer m.dmu.Unlock()
+	if m.den != nil && m.den.MaxEps() >= maxEps {
+		return m.den, nil
+	}
+	var items []traclus.Item
+	switch {
+	case m.res != nil:
+		items = m.res.Items()
+	case m.den != nil:
+		items = m.den.Items()
+	default:
+		return nil, ErrNoDendrogram
+	}
+	d, err := dendro.Build(ctx, items, m.distOptions(), segclust.BackendFor(m.cfg.Index), maxEps, m.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	m.den = d
+	return d, nil
+}
+
+// SweepQuality samples the quality curve at steps evenly-spaced ε values
+// across [lo, hi] (inclusive on both ends): cluster count, noise fraction,
+// and the Formula 11 terms at every ε, all served from one merge structure.
+// Invalid ranges return a *traclus.ConfigError, which the daemon maps to
+// the /v1 invalid_config envelope.
+func (m *Model) SweepQuality(ctx context.Context, lo, hi float64, steps int) ([]SweepPoint, error) {
+	if err := segclust.CheckPositive("Sweep.Lo", lo); err != nil {
+		return nil, err
+	}
+	if err := segclust.CheckPositive("Sweep.Hi", hi); err != nil {
+		return nil, err
+	}
+	if lo >= hi {
+		return nil, &traclus.ConfigError{Field: "Sweep", Value: [2]float64{lo, hi}, Reason: "lo must be less than hi"}
+	}
+	if steps < 2 || steps > maxSweepSteps {
+		return nil, &traclus.ConfigError{Field: "Sweep.Steps", Value: steps, Reason: "must be in [2, 4096]"}
+	}
+	d, err := m.DendrogramAt(ctx, hi)
+	if err != nil {
+		return nil, err
+	}
+	items := d.Items()
+	opt := m.distOptions()
+	pts := make([]SweepPoint, steps)
+	for k := range pts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		eps := lo + (hi-lo)*float64(k)/float64(steps-1)
+		res, err := d.CutAt(eps, m.cfg.MinLns, m.cfg.MinTrajs)
+		if err != nil {
+			return nil, err
+		}
+		b := quality.Measure(items, res, opt, m.cfg.Workers)
+		noise := res.NoiseCount()
+		pts[k] = SweepPoint{
+			Eps:             eps,
+			Clusters:        len(res.Clusters),
+			NoiseSegments:   noise,
+			NoiseFraction:   noiseFraction(noise, len(items)),
+			RemovedClusters: res.Removed,
+			TotalSSE:        b.TotalSSE,
+			NoisePenalty:    b.NoisePenalty,
+			QMeasure:        b.QMeasure(),
+		}
+	}
+	return pts, nil
+}
+
+// ClustersAt reconstructs the full clustering at ε: the dendrogram cut
+// supplies membership, then the Section 4.3 sweep builds each cluster's
+// representative under the model's MinLns and γ — with γ defaulting to ε/4
+// at the requested ε, exactly as a fresh run at that ε would resolve it.
+func (m *Model) ClustersAt(ctx context.Context, eps float64) (*CutResult, error) {
+	d, err := m.DendrogramAt(ctx, eps)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.CutAt(eps, m.cfg.MinLns, m.cfg.MinTrajs)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := core.Config{
+		Eps:      eps,
+		MinLns:   m.cfg.MinLns,
+		MinTrajs: m.cfg.MinTrajs,
+		Distance: m.distOptions(),
+		Gamma:    m.cfg.Gamma,
+		Workers:  m.cfg.Workers,
+	}
+	out, err := core.AssembleCtx(ctx, d.Items(), res, ccfg, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	noise := res.NoiseCount()
+	cr := &CutResult{
+		Eps:             eps,
+		MinLns:          m.cfg.MinLns,
+		TotalSegments:   len(out.Items),
+		NoiseSegments:   noise,
+		NoiseFraction:   noiseFraction(noise, len(out.Items)),
+		RemovedClusters: res.Removed,
+		Clusters:        make([]CutCluster, len(out.Clusters)),
+	}
+	for ci, c := range out.Clusters {
+		cr.Clusters[ci] = CutCluster{
+			Cluster:        ci,
+			Segments:       len(c.Members),
+			Trajectories:   c.Trajectories,
+			Representative: c.Representative,
+		}
+	}
+	return cr, nil
+}
+
+// noiseFraction guards the empty-model case: 0/0 would be NaN, which
+// encoding/json cannot represent.
+func noiseFraction(noise, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(noise) / float64(total)
+}

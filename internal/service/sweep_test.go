@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	traclus "repro"
+)
+
+// TestClustersAtMatchesBuild pins the serving identity: cutting the model
+// at its own ε reproduces the build's clustering exactly — including the
+// representative trajectories — even though the dendrogram is built
+// lazily, after the fact, from the model's retained items.
+func TestClustersAtMatchesBuild(t *testing.T) {
+	m, err := Build("fixed", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dendrogram() != nil {
+		t.Fatal("fixed-parameter build carries a dendrogram before any sweep")
+	}
+	cut, err := m.ClustersAt(context.Background(), m.Summary().Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Result()
+	if len(cut.Clusters) != len(res.Clusters) {
+		t.Fatalf("cut found %d clusters, build found %d", len(cut.Clusters), len(res.Clusters))
+	}
+	for ci, c := range cut.Clusters {
+		want := res.Clusters[ci]
+		if !reflect.DeepEqual(c.Representative, want.Representative) {
+			t.Errorf("cluster %d: representative differs", ci)
+		}
+		if !reflect.DeepEqual(c.Trajectories, want.Trajectories) {
+			t.Errorf("cluster %d: trajectory set differs", ci)
+		}
+		if c.Segments != len(want.Segments) {
+			t.Errorf("cluster %d: %d segments, want %d", ci, c.Segments, len(want.Segments))
+		}
+	}
+	if cut.NoiseSegments != m.Summary().NoiseSegments || cut.RemovedClusters != m.Summary().RemovedClusters {
+		t.Errorf("cut noise/removed = %d/%d, summary %d/%d",
+			cut.NoiseSegments, cut.RemovedClusters, m.Summary().NoiseSegments, m.Summary().RemovedClusters)
+	}
+}
+
+// TestDendrogramLazyGrowth: sweeps beyond the current range rebuild wider;
+// narrower queries reuse the existing structure.
+func TestDendrogramLazyGrowth(t *testing.T) {
+	m, err := Build("growing", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ClustersAt(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	d1 := m.Dendrogram()
+	if d1 == nil || d1.MaxEps() < 10 {
+		t.Fatalf("after eps=10 cut: dendrogram %v", d1)
+	}
+	if _, err := m.ClustersAt(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Dendrogram() != d1 {
+		t.Error("narrower query rebuilt the dendrogram")
+	}
+	if _, err := m.ClustersAt(context.Background(), d1.MaxEps()*2); err != nil {
+		t.Fatal(err)
+	}
+	if d2 := m.Dendrogram(); d2 == d1 || d2.MaxEps() < d1.MaxEps()*2 {
+		t.Error("wider query did not grow the dendrogram")
+	}
+}
+
+// TestSnapshotCarriesDendro: an estimated build holds the dendrogram its
+// estimation phase produced, exports it in the v2 snapshot, and the
+// restored model answers the identical sweep without any rebuild — even
+// though its Result() is nil.
+func TestSnapshotCarriesDendro(t *testing.T) {
+	m, err := BuildCtx(context.Background(), "auto", trainingSet(), buildConfig(),
+		&EstimateRange{Lo: 5, Hi: 60}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dendrogram() == nil {
+		t.Fatal("estimated build carries no dendrogram")
+	}
+	data, err := m.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Result() != nil {
+		t.Fatal("restored model has a Result")
+	}
+	d2 := m2.Dendrogram()
+	if d2 == nil {
+		t.Fatal("restored model carries no dendrogram")
+	}
+	lo, hi := 5.0, d2.MaxEps()
+	want, err := m.SweepQuality(context.Background(), lo, hi, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.SweepQuality(context.Background(), lo, hi, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("restored sweep differs:\n built %+v\nrestored %+v", want, got)
+	}
+	a, err := m.ClustersAt(context.Background(), hi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m2.ClustersAt(context.Background(), hi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("restored cut differs from the built model's")
+	}
+}
+
+// TestSweepNoDendrogram: a model restored from a dendrogram-less snapshot
+// (the v1 situation: classifier geometry only, no training segments)
+// answers sweep queries with ErrNoDendrogram.
+func TestSweepNoDendrogram(t *testing.T) {
+	m, err := Build("plain", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Export before any sweep: the memoized snapshot has no dendro section,
+	// like a v1 file.
+	data, err := m.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Dendrogram() != nil {
+		t.Fatal("dendrogram-less snapshot restored with a dendrogram")
+	}
+	if _, err := m2.SweepQuality(context.Background(), 5, 50, 4); !errors.Is(err, ErrNoDendrogram) {
+		t.Errorf("SweepQuality error %v, want ErrNoDendrogram", err)
+	}
+	if _, err := m2.ClustersAt(context.Background(), 20); !errors.Is(err, ErrNoDendrogram) {
+		t.Errorf("ClustersAt error %v, want ErrNoDendrogram", err)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	m, err := Build("validated", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name        string
+		lo, hi      float64
+		steps       int
+		wantCfgFail bool
+	}{
+		{"lo equals hi", 10, 10, 4, true},
+		{"zero lo", 0, 10, 4, true},
+		{"negative hi", 5, -1, 4, true},
+		{"one step", 5, 50, 1, true},
+		{"steps above cap", 5, 50, 4097, true},
+		{"valid", 5, 50, 4, false},
+	} {
+		_, err := m.SweepQuality(ctx, tc.lo, tc.hi, tc.steps)
+		if tc.wantCfgFail {
+			var ce *traclus.ConfigError
+			if !errors.As(err, &ce) {
+				t.Errorf("%s: error %v, want *traclus.ConfigError", tc.name, err)
+			}
+		} else if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+}

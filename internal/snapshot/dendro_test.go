@@ -1,0 +1,131 @@
+package snapshot
+
+// Format v2 tests: round-trip of the dendrogram section, strictness over
+// its bytes, validation of its invariants, and the compatibility pin that
+// a frozen v1 snapshot still decodes — to a model with a nil Dendro, never
+// an error.
+
+import (
+	"errors"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// dendroModel is sampleModel plus a valid merge structure.
+func dendroModel() *Model {
+	m := sampleModel()
+	m.Dendro = &Dendro{
+		MaxEps: 60,
+		Items: []DendroItem{
+			{Seg: geom.Segment{Start: geom.Point{X: 100, Y: 200}, End: geom.Point{X: 500, Y: 201.5}}, TrajID: 1, Weight: 1},
+			{Seg: geom.Segment{Start: geom.Point{X: 300, Y: 80}, End: geom.Point{X: 300.25, Y: 240}}, TrajID: 2, Weight: 1},
+			{Seg: geom.Segment{Start: geom.Point{X: 299.5, Y: 240}, End: geom.Point{X: 301, Y: 520}}, TrajID: 2, Weight: 0.5},
+		},
+		Neighbors: [][]DendroNeighbor{
+			{{ID: 0, Dist: 0}, {ID: 2, Dist: 59.5}},
+			{{ID: 1, Dist: 0}, {ID: 2, Dist: 12.25}},
+			{{ID: 2, Dist: 0}, {ID: 1, Dist: 12.25}, {ID: 0, Dist: 59.5}},
+		},
+	}
+	return m
+}
+
+func TestDendroRoundTrip(t *testing.T) {
+	want := dendroModel()
+	got, err := Decode(mustEncode(t, want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if want.Clusters[1].Representative == nil {
+		want.Clusters[1].Representative = []geom.Point{}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDendroTruncationAtEveryByte extends the strictness core over the v2
+// section's bytes: every proper prefix of a dendrogram-bearing snapshot
+// must fail with a typed *CorruptError.
+func TestDendroTruncationAtEveryByte(t *testing.T) {
+	data := mustEncode(t, dendroModel())
+	for n := 0; n < len(data); n++ {
+		m, err := Decode(data[:n])
+		if err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded: %+v", n, len(data), m)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("prefix %d: error %T (%v), want *CorruptError", n, err, err)
+		}
+	}
+}
+
+// TestV1DecodesNilDendro pins backward compatibility: the frozen v1 golden
+// snapshot decodes to a model whose Dendro is nil — the serving layer
+// rebuilds the merge structure lazily — rather than failing or inventing
+// an empty section.
+func TestV1DecodesNilDendro(t *testing.T) {
+	data, err := os.ReadFile(goldenPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(data)
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer decodes: %v", err)
+	}
+	if m.Dendro != nil {
+		t.Fatalf("v1 snapshot decoded with a dendrogram: %+v", m.Dendro)
+	}
+	// A v1-decoded model re-encodes as current-version bytes (with an
+	// absent dendrogram section) that decode back unchanged.
+	re, err := Encode(m)
+	if err != nil {
+		t.Fatalf("re-encoding v1 model: %v", err)
+	}
+	m2, err := Decode(re)
+	if err != nil {
+		t.Fatalf("re-decoding upgraded bytes: %v", err)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatal("v1 → v2 upgrade round trip changed the model")
+	}
+}
+
+func TestDendroValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Dendro)
+	}{
+		{"NaN max eps", func(d *Dendro) { d.MaxEps = math.NaN() }},
+		{"zero max eps", func(d *Dendro) { d.MaxEps = 0 }},
+		{"length mismatch", func(d *Dendro) { d.Neighbors = d.Neighbors[:2] }},
+		{"non-finite coordinate", func(d *Dendro) { d.Items[0].Seg.End.X = math.Inf(1) }},
+		{"negative weight", func(d *Dendro) { d.Items[1].Weight = -1 }},
+		{"NaN weight", func(d *Dendro) { d.Items[1].Weight = math.NaN() }},
+		{"neighbor id out of range", func(d *Dendro) { d.Neighbors[0][1].ID = 3 }},
+		{"negative neighbor id", func(d *Dendro) { d.Neighbors[0][1].ID = -1 }},
+		{"negative distance", func(d *Dendro) { d.Neighbors[0][0].Dist = -0.5 }},
+		{"NaN distance", func(d *Dendro) { d.Neighbors[0][1].Dist = math.NaN() }},
+		{"distance above max eps", func(d *Dendro) { d.Neighbors[0][1].Dist = 60.5 }},
+		// Raising entry [1] to 59.5 ties entry [2] with a larger ID first:
+		// (59.5,1) then (59.5,0) breaks the strict (Dist, ID) order.
+		{"unsorted list", func(d *Dendro) { d.Neighbors[2][1].Dist = 59.5 }},
+		{"duplicate id", func(d *Dendro) { d.Neighbors[2][2].ID = 1 }},
+	}
+	for _, tc := range cases {
+		m := dendroModel()
+		tc.mutate(m.Dendro)
+		var ie *InvalidError
+		if err := m.Dendro.Validate(); !errors.As(err, &ie) {
+			t.Errorf("%s: Validate error %v, want *InvalidError", tc.name, err)
+		}
+		if _, err := Encode(m); !errors.As(err, &ie) {
+			t.Errorf("%s: Encode error %v, want *InvalidError", tc.name, err)
+		}
+	}
+}

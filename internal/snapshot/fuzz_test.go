@@ -24,6 +24,12 @@ func FuzzSnapshotDecode(f *testing.F) {
 	if b, err := Encode(empty); err == nil {
 		f.Add(b)
 	}
+	// A v2 dendrogram-bearing snapshot seeds the fuzzer into the merge-
+	// structure section of the format.
+	if b, err := Encode(dendroModel()); err == nil {
+		f.Add(b)
+		f.Add(b[:len(b)-len(b)/4])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)

@@ -27,8 +27,10 @@ var update = flag.Bool("update", false, "rewrite the current-version golden snap
 
 // goldenModel is a hand-built model exercising every field of the format:
 // multiple clusters, a collapsed representative (fewer points than
-// reference segments would imply), negative coordinates, and exact
-// float64 values that do not round-trip through text.
+// reference segments would imply), negative coordinates, exact float64
+// values that do not round-trip through text, and (since v2) a dendrogram
+// section with a self-neighbor, a negative trajectory id, and a distance
+// one ulp under MaxEps.
 func goldenModel() *Model {
 	return &Model{
 		Name: "golden-v1",
@@ -78,6 +80,19 @@ func goldenModel() *Model {
 				Reference: []geom.Segment{
 					{Start: geom.Point{X: 1e-9, Y: 2e9}, End: geom.Point{X: 3.5, Y: 4.5}},
 				},
+			},
+		},
+		Dendro: &Dendro{
+			MaxEps: 50,
+			Items: []DendroItem{
+				{Seg: geom.Segment{Start: geom.Point{X: -12.5, Y: 3.25}, End: geom.Point{X: 0, Y: 0}}, TrajID: 1, Weight: 1},
+				{Seg: geom.Segment{Start: geom.Point{X: 0, Y: 0}, End: geom.Point{X: 100.125, Y: -7.5}}, TrajID: 2, Weight: 1},
+				{Seg: geom.Segment{Start: geom.Point{X: 1e-9, Y: 2e9}, End: geom.Point{X: 3.5, Y: 4.5}}, TrajID: -3, Weight: 2.5},
+			},
+			Neighbors: [][]DendroNeighbor{
+				{{ID: 0, Dist: 0}, {ID: 1, Dist: 10.0625}, {ID: 2, Dist: 49.999999999999993}},
+				{{ID: 1, Dist: 0}, {ID: 0, Dist: 10.0625}},
+				{{ID: 2, Dist: 0}},
 			},
 		},
 	}

@@ -42,7 +42,16 @@ import (
 // it can read. Older versions remain readable forever: the committed golden
 // corpus under testdata/golden replays one file per historical version on
 // every CI run.
-const Version = 1
+//
+// Version history:
+//
+//	1: name + config + stats + clusters (geometry-only classifier state).
+//	2: v1 walk followed by an optional dendrogram section — the multi-ε
+//	   merge structure (internal/dendro): item set and per-item sorted
+//	   neighbor lists. Prefix sums and the edge replay log are derived
+//	   deterministically on load, not stored. v1 snapshots decode to a
+//	   model with a nil Dendro (rebuilt lazily by the serving layer).
+const Version = 2
 
 // magic identifies a snapshot file; it is the first eight bytes.
 const magic = "TRACSNAP"
@@ -141,12 +150,48 @@ type Cluster struct {
 	Reference      []geom.Segment
 }
 
+// DendroItem is one partitioned segment of the persisted merge structure:
+// the geometry plus the trajectory id and weight the clustering semantics
+// need (Definition 10 counts distinct trajectories; weights feed the core
+// predicate).
+type DendroItem struct {
+	Seg    geom.Segment
+	TrajID int
+	Weight float64
+}
+
+// DendroNeighbor is one entry of an item's sorted neighbor list.
+type DendroNeighbor struct {
+	ID   int     // index into Dendro.Items
+	Dist float64 // exact TRACLUS distance, ≤ MaxEps
+}
+
+// Dendro is the persisted multi-ε merge structure (format v2+): the item
+// set and, per item, every neighbor within MaxEps sorted by (Dist, ID).
+// Only the neighbor lists are stored — the per-item weight prefix sums and
+// the (dist, a, b)-sorted union-find replay log are recomputed on load,
+// which is exact: the additions replay in the identical stored order and
+// the edge sort key is unique per pair.
+//
+// Validate checks structural soundness (finite values, ids in range,
+// sortedness, no duplicate ids), not cross-list symmetry: a hand-crafted
+// asymmetric snapshot yields well-formed but meaningless cuts, never a
+// crash.
+type Dendro struct {
+	MaxEps    float64
+	Items     []DendroItem
+	Neighbors [][]DendroNeighbor // len == len(Items)
+}
+
 // Model is the decoded form of one snapshot.
 type Model struct {
 	Name     string
 	Config   Config
 	Stats    Stats
 	Clusters []Cluster
+	// Dendro is the optional multi-ε merge structure; nil when the
+	// snapshot predates format v2 or the model was built without one.
+	Dendro *Dendro
 }
 
 // maxNameLen bounds the model name, mirroring the daemon's name rule.
@@ -224,6 +269,59 @@ func (m *Model) Validate() error {
 			}
 		}
 	}
+	if m.Dendro != nil {
+		if err := m.Dendro.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks the merge structure's own invariants; see the Dendro doc
+// for what is (and deliberately is not) enforced.
+func (dd *Dendro) Validate() error {
+	if !finitePos(dd.MaxEps) {
+		return &InvalidError{Field: "Dendro.MaxEps", Reason: "must be positive and finite"}
+	}
+	if len(dd.Neighbors) != len(dd.Items) {
+		return &InvalidError{Field: "Dendro.Neighbors",
+			Reason: fmt.Sprintf("must hold one list per item (%d lists, %d items)", len(dd.Neighbors), len(dd.Items))}
+	}
+	for i, it := range dd.Items {
+		if !it.Seg.Start.IsFinite() || !it.Seg.End.IsFinite() {
+			return &InvalidError{Field: fmt.Sprintf("Dendro.Items[%d].Seg", i), Reason: "coordinates must be finite"}
+		}
+		if !finiteNonNeg(it.Weight) {
+			return &InvalidError{Field: fmt.Sprintf("Dendro.Items[%d].Weight", i), Reason: "must be non-negative and finite"}
+		}
+	}
+	// seen stamps detect a duplicate neighbor id within one list in O(n+E)
+	// without a per-list allocation.
+	seen := make([]int, len(dd.Items))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for i, list := range dd.Neighbors {
+		for k, nb := range list {
+			field := fmt.Sprintf("Dendro.Neighbors[%d][%d]", i, k)
+			if nb.ID < 0 || nb.ID >= len(dd.Items) {
+				return &InvalidError{Field: field, Reason: fmt.Sprintf("id %d out of range [0, %d)", nb.ID, len(dd.Items))}
+			}
+			if math.IsNaN(nb.Dist) || nb.Dist < 0 || nb.Dist > dd.MaxEps {
+				return &InvalidError{Field: field, Reason: "distance must be in [0, MaxEps]"}
+			}
+			if k > 0 {
+				prev := list[k-1]
+				if nb.Dist < prev.Dist || (nb.Dist == prev.Dist && nb.ID <= prev.ID) {
+					return &InvalidError{Field: field, Reason: "list must be strictly sorted by (dist, id)"}
+				}
+			}
+			if seen[nb.ID] == i {
+				return &InvalidError{Field: field, Reason: fmt.Sprintf("duplicate neighbor id %d", nb.ID)}
+			}
+			seen[nb.ID] = i
+		}
+	}
 	return nil
 }
 
@@ -287,6 +385,30 @@ func encodePayload(m *Model) []byte {
 			e.f64(sg.End.Y)
 		}
 	}
+	// v2: optional dendrogram section after the v1 walk.
+	if m.Dendro == nil {
+		e.bool(false)
+		return e.buf
+	}
+	e.bool(true)
+	dd := m.Dendro
+	e.f64(dd.MaxEps)
+	e.uvarint(uint64(len(dd.Items)))
+	for _, it := range dd.Items {
+		e.f64(it.Seg.Start.X)
+		e.f64(it.Seg.Start.Y)
+		e.f64(it.Seg.End.X)
+		e.f64(it.Seg.End.Y)
+		e.varint(int64(it.TrajID))
+		e.f64(it.Weight)
+	}
+	for _, list := range dd.Neighbors { // one list per item, same order
+		e.uvarint(uint64(len(list)))
+		for _, nb := range list {
+			e.uvarint(uint64(nb.ID))
+			e.f64(nb.Dist)
+		}
+	}
 	return e.buf
 }
 
@@ -340,10 +462,13 @@ func Decode(data []byte) (*Model, error) {
 		return nil, &CorruptError{Offset: len(magic) + 10, Reason: fmt.Sprintf(
 			"checksum mismatch: header %08x, payload %08x", sum, got)}
 	}
-	// All known versions share the v1 field walk; a future v2 dispatches
-	// here on `version`.
+	// Every version starts with the v1 field walk; v2 appends the optional
+	// dendrogram section.
 	d := &decoder{buf: payload, base: headerSize}
 	m, err := decodePayloadV1(d)
+	if err == nil && version >= 2 {
+		err = decodeDendroV2(d, m)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -433,6 +558,68 @@ func decodePayloadV1(d *decoder) (*Model, error) {
 		m.Clusters = append(m.Clusters, cl)
 	}
 	return m, err
+}
+
+// decodeDendroV2 reads the dendrogram section that follows the v1 walk in
+// format v2.
+func decodeDendroV2(d *decoder, m *Model) error {
+	var present bool
+	if err := d.bool(&present); err != nil {
+		return err
+	}
+	if !present {
+		return nil
+	}
+	dd := &Dendro{}
+	if err := d.f64(&dd.MaxEps); err != nil {
+		return err
+	}
+	// Minimum encoded item: four coordinate float64s + a one-byte trajectory
+	// id + the weight.
+	nitems, err := d.count(4*8 + 1 + 8)
+	if err != nil {
+		return err
+	}
+	dd.Items = make([]DendroItem, nitems)
+	for i := range dd.Items {
+		it := &dd.Items[i]
+		for _, v := range [...]*float64{&it.Seg.Start.X, &it.Seg.Start.Y, &it.Seg.End.X, &it.Seg.End.Y} {
+			if err := d.f64(v); err != nil {
+				return err
+			}
+		}
+		if err := d.vint(&it.TrajID); err != nil {
+			return err
+		}
+		if err := d.f64(&it.Weight); err != nil {
+			return err
+		}
+	}
+	dd.Neighbors = make([][]DendroNeighbor, nitems)
+	for i := range dd.Neighbors {
+		// Minimum encoded neighbor: a one-byte id + the distance.
+		cnt, err := d.count(1 + 8)
+		if err != nil {
+			return err
+		}
+		list := make([]DendroNeighbor, cnt)
+		for k := range list {
+			var id uint64
+			if err := d.uvarint(&id); err != nil {
+				return err
+			}
+			if id > math.MaxInt32 {
+				return d.corrupt(fmt.Sprintf("neighbor id %d out of range", id))
+			}
+			list[k].ID = int(id)
+			if err := d.f64(&list[k].Dist); err != nil {
+				return err
+			}
+		}
+		dd.Neighbors[i] = list
+	}
+	m.Dendro = dd
+	return nil
 }
 
 // decoder walks the payload with strict bounds checking; every primitive

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dendro"
 	"repro/internal/lsdist"
 	"repro/internal/optics"
 	"repro/internal/params"
@@ -264,10 +265,24 @@ func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 	}
 
 	var estimated *Estimate
+	var den *dendro.Dendrogram
 	if p.est != nil {
 		rep.begin(PhaseEstimate, params.DefaultIterations+1)
-		est, err := params.EstimateEpsSharedCtx(ctx, shared, p.est.lo, p.est.hi,
-			params.AnnealOptions{Workers: cfg.Workers, OnEval: rep.tick})
+		an := params.AnnealOptions{Workers: cfg.Workers, OnEval: rep.tick}
+		var est params.Estimate
+		if !math.IsInf(p.est.hi, 1) {
+			// Build the multi-ε merge structure once at the range maximum:
+			// the whole annealing walk cuts into it with zero further
+			// distance calls, and the structure rides the Result so the
+			// serving layer can persist it and answer sweep queries without
+			// rebuilding.
+			den, err = dendro.FromShared(ctx, shared, p.est.hi, cfg.Workers)
+			if err == nil {
+				est, err = params.EstimateEpsDendroCtx(ctx, den, p.est.lo, p.est.hi, an)
+			}
+		} else {
+			est, err = params.EstimateEpsSharedCtx(ctx, shared, p.est.lo, p.est.hi, an)
+		}
 		if err != nil {
 			return nil, stageError(ctx, PhaseEstimate, err)
 		}
@@ -307,6 +322,7 @@ func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 	rep.finish()
 	res := newResult(out, ccfg)
 	res.Estimated = estimated
+	res.dendro = den
 	return res, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dendro"
 	"repro/internal/geom"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
@@ -244,11 +245,26 @@ type Result struct {
 	out *core.Output
 	cfg core.Config
 
+	// dendro is the multi-ε merge structure built by estimation runs (the
+	// annealer's by-product); nil on fixed-parameter runs.
+	dendro *dendro.Dendrogram
+
 	// Lazily-built classifier behind Result.Classify; see classify.go.
 	clsOnce sync.Once
 	cls     *Classifier
 	clsErr  error
 }
+
+// Items returns the pooled partitioned segments the grouping ran over, in
+// their canonical order (the order ClusterOf and dendrogram cuts index
+// into). The slice is the result's own backing store — do not mutate.
+func (r *Result) Items() []Item { return r.out.Items }
+
+// Dendrogram returns the multi-ε merge structure when this run built one
+// (auto-estimation runs precompute it for the annealing search), or nil.
+// Non-nil, it answers exact clusterings at any ε up to the estimation
+// range's hi via CutAt, with zero further distance computations.
+func (r *Result) Dendrogram() *dendro.Dendrogram { return r.dendro }
 
 // Run executes the complete TRACLUS algorithm: partition every trajectory,
 // group the pooled segments, and generate a representative trajectory per

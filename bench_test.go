@@ -616,3 +616,88 @@ func BenchmarkEstimateViaDendro(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkGeometry measures what each geometry costs over the identical
+// workload shape: explicit planar must price like the default (the layer
+// is a no-op), wT=0 spatiotemporal isolates the interval plumbing, wT>0
+// adds the per-candidate gap term, and geodesic adds only the one-off
+// equirectangular projection on top of the planar path it runs on.
+func BenchmarkGeometry(b *testing.B) {
+	hcfg := synth.DefaultHurricaneConfig()
+	hcfg.NumTracks = 600
+	spatial := synth.Hurricanes(hcfg)
+	timed := make([]traclus.TimedTrajectory, len(spatial))
+	for i, tr := range spatial {
+		times := make([]float64, len(tr.Points))
+		for s := range times {
+			times[s] = float64(i)*1000 + float64(s)*6
+		}
+		timed[i] = traclus.TimedTrajectory{ID: tr.ID, Weight: tr.Weight, Points: tr.Points, Times: times}
+	}
+	// A geodesic twin: the same tracks affine-mapped into a ~1° window
+	// around 47.5°N (lon pre-stretched by 1/cos so the projected meter
+	// shape matches), with eps rescaled to the same fraction of the extent.
+	bounds := geom.RectOf(spatial[0].Points...)
+	for _, tr := range spatial {
+		bounds = bounds.Union(geom.RectOf(tr.Points...))
+	}
+	const lat0, lon0 = 47.5, -122.0
+	extent := math.Max(bounds.Width(), bounds.Height())
+	degPerUnit := 1.0 / extent
+	lonStretch := 1 / math.Cos(lat0*math.Pi/180)
+	geodesic := make([]traclus.Trajectory, len(spatial))
+	for i, tr := range spatial {
+		pts := make([]geom.Point, len(tr.Points))
+		for s, p := range tr.Points {
+			pts[s] = geom.Pt(
+				lon0+(p.X-bounds.Center().X)*degPerUnit*lonStretch,
+				lat0+(p.Y-bounds.Center().Y)*degPerUnit)
+		}
+		geodesic[i] = traclus.Trajectory{ID: tr.ID, Weight: tr.Weight, Points: pts}
+	}
+	const metersPerDeg = 111194.9
+	unitToMeter := degPerUnit * metersPerDeg
+
+	cfg := traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+	geoCfg := cfg
+	geoCfg.Eps *= unitToMeter
+	geoCfg.MinSegmentLength *= unitToMeter
+	ctx := context.Background()
+
+	runSpatial := func(b *testing.B, trs []traclus.Trajectory, c traclus.Config, opts ...traclus.Option) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var clusters int
+		for i := 0; i < b.N; i++ {
+			res, err := traclus.New(append([]traclus.Option{traclus.WithConfig(c)}, opts...)...).Run(ctx, trs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clusters = len(res.Clusters)
+		}
+		b.ReportMetric(float64(clusters), "clusters")
+	}
+	b.Run("geometry=planar", func(b *testing.B) { runSpatial(b, spatial, cfg) })
+	b.Run("geometry=planar-explicit", func(b *testing.B) {
+		runSpatial(b, spatial, cfg, traclus.WithGeometry(traclus.PlanarGeometry()))
+	})
+	for _, wt := range []float64{0, 0.002} {
+		b.Run(fmt.Sprintf("geometry=spatiotemporal/wt=%v", wt), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var clusters int
+			for i := 0; i < b.N; i++ {
+				res, err := traclus.New(traclus.WithConfig(cfg), traclus.WithTemporalWeight(wt)).RunTimed(ctx, timed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clusters = len(res.Clusters)
+			}
+			b.ReportMetric(float64(clusters), "clusters")
+		})
+	}
+	b.Run("geometry=geodesic", func(b *testing.B) {
+		runSpatial(b, geodesic, geoCfg, traclus.WithGeometry(traclus.GeodesicGeometry()))
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/geometry"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
 	"repro/internal/quality"
@@ -31,6 +32,11 @@ import (
 // ErrNoClusters is returned when a Result holds no clusters (or no usable
 // reference segments) to classify against.
 var ErrNoClusters = errors.New("traclus: result has no clusters to classify against")
+
+// ErrTimedModel is returned when a spatial Classify runs against a
+// spatiotemporal model: the model's distance needs the query's timestamps,
+// so the assignment must go through ClassifyTimed.
+var ErrTimedModel = errors.New("traclus: model is spatiotemporal; classify timed trajectories with ClassifyTimed")
 
 // Classifier assigns unseen trajectories to the nearest cluster of a built
 // Result. It is immutable after construction and safe for concurrent use:
@@ -50,6 +56,14 @@ type Classifier struct {
 	opts   lsdist.Options
 	kind   IndexKind
 	custom bool
+
+	// geo is the model's geometry. A spatiotemporal model additionally
+	// carries windows — each cluster's time window, index-aligned with
+	// cluster ids — so ClassifyTimed can add wT·gap(query, window) to every
+	// candidate distance; a geodesic model carries the projection frame in
+	// geo.Frame so queries project exactly as the training data did.
+	geo     Geometry
+	windows []Interval
 
 	// Pooled reference segments: search.Segment(i) belongs to cluster
 	// owner[i]; search indexes them with the model's backend and answers
@@ -83,6 +97,8 @@ func NewClassifier(res *Result) (*Classifier, error) {
 		opts:        res.cfg.Distance,
 		kind:        res.cfg.Index,
 		custom:      res.cfg.Backend != nil,
+		geo:         res.cfg.Geometry,
+		windows:     res.windows,
 	}
 	var segs []geom.Segment
 	for ci, cl := range res.Clusters {
@@ -121,23 +137,6 @@ func referenceSegments(cl Cluster) []geom.Segment {
 // NumClusters returns the number of clusters the classifier assigns into.
 func (c *Classifier) NumClusters() int { return c.numClusters }
 
-// nearest returns the cluster owning the reference segment closest to q and
-// that distance. The expanding-radius search and its exactness argument
-// live in spindex; ties on the exact distance break toward the lower
-// cluster id, keeping the assignment deterministic regardless of candidate
-// enumeration order. A cluster of -1 means no segment compared below +Inf —
-// possible when extreme (finite) coordinates overflow the distance
-// computation — and callers must skip the segment.
-func (c *Classifier) nearest(q geom.Segment, sq *spindex.SearchQuery) (cluster int, d float64) {
-	id, d := sq.Nearest(q, c.eps, func(cand, incumbent int) bool {
-		return c.owner[cand] < c.owner[incumbent]
-	})
-	if id < 0 {
-		return -1, d
-	}
-	return c.owner[id], d
-}
-
 // Classify assigns one trajectory to its nearest cluster. The trajectory is
 // partitioned with the model's MDL configuration; each partition votes for
 // the cluster owning its nearest reference segment, weighted by partition
@@ -145,22 +144,88 @@ func (c *Classifier) nearest(q geom.Segment, sq *spindex.SearchQuery) (cluster i
 // winning cluster's votes — small when the trajectory hugs the cluster's
 // representative, growing as it strays.
 func (c *Classifier) Classify(tr Trajectory) (clusterID int, distance float64, err error) {
+	if c.geo.Timed() {
+		return -1, 0, ErrTimedModel
+	}
 	if err := tr.Validate(); err != nil {
 		return -1, 0, fmt.Errorf("traclus: %w", err)
 	}
+	if c.geo.Kind == geometry.Geodesic && c.geo.Frame != nil {
+		// Queries arrive in the model's raw frame (lon/lat degrees) and are
+		// projected through the exact frame the model was built in.
+		tr.Points = c.geo.Frame.ProjectTrajectory(tr.Points)
+	}
 	qsegs := mdl.Partition(tr, c.part)
+	return c.vote(tr.ID, qsegs, nil)
+}
+
+// ClassifyTimed assigns one timed trajectory to its nearest cluster under a
+// spatiotemporal model: each query partition inherits its time span, and
+// every candidate's distance gains wT·gap(query span, cluster window) —
+// added through the exact nearest search, whose pruning stays sound because
+// the addend is non-negative (see spindex.SearchQuery.NearestAdjusted).
+// Under a planar model (or wT = 0) the assignment is identical to Classify
+// on the spatial projection.
+func (c *Classifier) ClassifyTimed(tr TimedTrajectory) (clusterID int, distance float64, err error) {
+	if c.geo.Kind == geometry.Geodesic {
+		return -1, 0, fmt.Errorf("traclus: model is geodesic; classify lat/lon trajectories with Classify")
+	}
+	if err := tr.Validate(); err != nil {
+		return -1, 0, fmt.Errorf("traclus: %w", err)
+	}
+	qsegs, spans := mdl.NewPartitioner(c.part).PartitionTimed(tr.Points, tr.Times)
+	ivs := make([]Interval, len(spans))
+	for i, sp := range spans {
+		ivs[i] = Interval{Start: sp[0], End: sp[1]}
+	}
+	return c.vote(tr.ID, qsegs, ivs)
+}
+
+// nearest resolves one query partition's vote: the owning cluster of the
+// nearest reference segment and the (possibly temporally-adjusted) exact
+// distance. A nil interval means the plain spatial search.
+func (c *Classifier) nearest(s geom.Segment, iv *Interval, sq *spindex.SearchQuery) (cluster int, d float64) {
+	prefer := func(cand, incumbent int) bool {
+		return c.owner[cand] < c.owner[incumbent]
+	}
+	var id int
+	if iv != nil && c.geo.WT > 0 && c.windows != nil {
+		qiv := *iv
+		id, d = sq.NearestAdjusted(s, c.eps, func(ref int) float64 {
+			return c.geo.WT * qiv.Gap(c.windows[c.owner[ref]])
+		}, prefer)
+	} else {
+		id, d = sq.Nearest(s, c.eps, prefer)
+	}
+	if id < 0 {
+		return -1, d
+	}
+	return c.owner[id], d
+}
+
+// vote runs the length-weighted voting loop shared by Classify and
+// ClassifyTimed: each query partition votes for the cluster owning its
+// nearest reference segment (ties on the exact distance break toward the
+// lower cluster id, keeping the assignment deterministic regardless of
+// candidate enumeration order), weighted by partition length. ivs, when
+// non-nil, is index-aligned with qsegs.
+func (c *Classifier) vote(trID int, qsegs []geom.Segment, ivs []Interval) (int, float64, error) {
 	if len(qsegs) == 0 {
-		return -1, 0, fmt.Errorf("traclus: trajectory %d yields no partitions to classify", tr.ID)
+		return -1, 0, fmt.Errorf("traclus: trajectory %d yields no partitions to classify", trID)
 	}
 	sq := c.queryPool.Get().(*spindex.SearchQuery)
 	defer c.queryPool.Put(sq)
 	votes := make([]float64, c.numClusters)
 	dsum := make([]float64, c.numClusters)
-	for _, s := range qsegs {
+	for k, s := range qsegs {
 		if s.IsDegenerate() {
 			continue
 		}
-		cl, d := c.nearest(s, sq)
+		var iv *Interval
+		if ivs != nil {
+			iv = &ivs[k]
+		}
+		cl, d := c.nearest(s, iv, sq)
 		if cl < 0 {
 			continue // every distance overflowed; this partition can't vote
 		}
@@ -179,7 +244,7 @@ func (c *Classifier) Classify(tr Trajectory) (clusterID int, distance float64, e
 		}
 	}
 	if best == -1 {
-		return -1, 0, fmt.Errorf("traclus: trajectory %d has no classifiable partitions (degenerate or out of numeric range)", tr.ID)
+		return -1, 0, fmt.Errorf("traclus: trajectory %d has no classifiable partitions (degenerate or out of numeric range)", trID)
 	}
 	return best, dsum[best] / votes[best], nil
 }
@@ -201,6 +266,16 @@ func (r *Result) Classify(tr Trajectory) (clusterID int, distance float64, err e
 		return -1, 0, err
 	}
 	return cls.Classify(tr)
+}
+
+// ClassifyTimed assigns an unseen timed trajectory to its nearest cluster
+// using the memoized Result.Classifier. Safe for concurrent use.
+func (r *Result) ClassifyTimed(tr TimedTrajectory) (clusterID int, distance float64, err error) {
+	cls, err := r.Classifier()
+	if err != nil {
+		return -1, 0, err
+	}
+	return cls.ClassifyTimed(tr)
 }
 
 // ClassifierSnapshot is the geometry-only, backend-agnostic description of
@@ -227,6 +302,17 @@ type ClassifierSnapshot struct {
 	// cluster id; concatenated in order they are exactly the segments the
 	// original classifier indexed.
 	Reference [][]Segment
+	// Geometry names the model's geometry kind ("" and "planar" both mean
+	// planar Euclidean).
+	Geometry string
+	// TemporalWeight is wT (spatiotemporal models only).
+	TemporalWeight float64
+	// Frame is the resolved equirectangular projection (geodesic models
+	// only): queries project through it exactly as the training data did.
+	Frame *GeoFrame
+	// Windows are the per-cluster time windows, index-aligned with
+	// Reference (spatiotemporal models only).
+	Windows []Interval
 }
 
 // ErrUnsnapshotable is returned by Classifier.Snapshot when the classifier
@@ -251,6 +337,15 @@ func (c *Classifier) Snapshot() (ClassifierSnapshot, error) {
 		Undirected:       c.opts.Undirected,
 		Index:            c.kind,
 		Reference:        make([][]Segment, c.numClusters),
+		Geometry:         c.geo.Kind.String(),
+		TemporalWeight:   c.geo.WT,
+	}
+	if c.geo.Frame != nil {
+		f := *c.geo.Frame
+		s.Frame = &f
+	}
+	if c.windows != nil {
+		s.Windows = append([]Interval(nil), c.windows...)
 	}
 	// owner is non-decreasing (segments were appended cluster by cluster),
 	// so per-cluster append reproduces the original within-cluster order.
@@ -269,12 +364,32 @@ func NewClassifierFromSnapshot(s ClassifierSnapshot) (*Classifier, error) {
 	if len(s.Reference) == 0 {
 		return nil, ErrNoClusters
 	}
+	kind, ok := geometry.ParseKind(s.Geometry)
+	if !ok {
+		return nil, fmt.Errorf("traclus: classifier snapshot has unknown geometry %q", s.Geometry)
+	}
 	c := &Classifier{
 		part:        mdl.Config{CostAdvantage: s.CostAdvantage, MinLength: s.MinSegmentLength},
 		eps:         s.Eps,
 		numClusters: len(s.Reference),
 		opts:        lsdist.Options{Weights: s.Weights, Undirected: s.Undirected},
 		kind:        s.Index,
+		geo:         Geometry{Kind: kind, WT: s.TemporalWeight},
+	}
+	if s.Frame != nil {
+		f := *s.Frame
+		c.geo.Frame = &f
+	}
+	if field, reason := c.geo.Validate(); field != "" {
+		return nil, fmt.Errorf("traclus: classifier snapshot geometry: %s %s", field, reason)
+	}
+	if kind == geometry.Spatiotemporal {
+		if len(s.Windows) != len(s.Reference) {
+			return nil, fmt.Errorf("traclus: classifier snapshot has %d cluster windows for %d clusters", len(s.Windows), len(s.Reference))
+		}
+		c.windows = append([]Interval(nil), s.Windows...)
+	} else if len(s.Windows) != 0 {
+		return nil, fmt.Errorf("traclus: classifier snapshot carries cluster windows under the %s geometry", kind)
 	}
 	var segs []geom.Segment
 	for ci, ref := range s.Reference {

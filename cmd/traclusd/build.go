@@ -46,7 +46,7 @@ type BuildRequest struct {
 
 // BuildConfig consolidates the legacy query parameters (eps, minlns,
 // mintrajs, undirected, cost_advantage, min_seg_len, gamma, index,
-// workers, auto, auto_lo, auto_hi) into one JSON object.
+// workers, auto, auto_lo, auto_hi, geometry, wt) into one JSON object.
 type BuildConfig struct {
 	Eps              *float64   `json:"eps,omitempty"`
 	MinLns           *float64   `json:"min_lns,omitempty"`
@@ -58,6 +58,13 @@ type BuildConfig struct {
 	Index            string     `json:"index,omitempty"`
 	Workers          *int       `json:"workers,omitempty"`
 	Auto             *AutoRange `json:"auto,omitempty"`
+	// Geometry selects the segment geometry: planar (default),
+	// spatiotemporal (data must carry the CSV timestamp column), or
+	// geodesic (x=longitude, y=latitude in degrees).
+	Geometry string `json:"geometry,omitempty"`
+	// TemporalWeight is the spatiotemporal wT; setting it requires
+	// geometry "spatiotemporal".
+	TemporalWeight *float64 `json:"wt,omitempty"`
 }
 
 // AutoRange requests §4.4 entropy estimation of eps/min_lns over [Lo, Hi].
@@ -157,7 +164,33 @@ func (s *server) handleBuildV1(w http.ResponseWriter, r *http.Request) {
 		}
 		spec.cfg.Index = kind
 	}
+	geo, err := parseGeometryParams(c.Geometry, c.TemporalWeight)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	spec.cfg.Geometry = geo
 	s.startBuild(w, r, spec)
+}
+
+// parseGeometryParams resolves the geometry/wt pair shared by both build
+// interfaces. Unknown geometry names and a wt on a non-spatiotemporal
+// geometry surface as typed *ConfigError (the invalid_config envelope).
+func parseGeometryParams(name string, wt *float64) (traclus.Geometry, error) {
+	geo, err := traclus.ParseGeometry(name)
+	if err != nil {
+		return traclus.Geometry{}, err
+	}
+	if wt != nil {
+		if !geo.Timed() {
+			return traclus.Geometry{}, &traclus.ConfigError{
+				Field: "Geometry", Value: name,
+				Reason: `wt is the spatiotemporal weight; set geometry to "spatiotemporal"`,
+			}
+		}
+		geo.WT = *wt
+	}
+	return geo, nil
 }
 
 // handleBuildLegacy is POST /models, the deprecated interface: parameters
@@ -227,8 +260,37 @@ func (s *server) startBuild(w http.ResponseWriter, r *http.Request, spec buildSp
 		writeTypedError(w, err)
 		return
 	}
-	trs, err := s.parseTrajectories(spec.data, spec.format, spec.species)
-	if err != nil {
+	// A spatiotemporal geometry switches the whole ingestion path: the
+	// upload must be CSV with the timestamp column, and the build runs
+	// through the timed pipeline. Every other geometry takes the spatial
+	// path (geodesic projection happens inside the pipeline).
+	timed := spec.cfg.Geometry.Timed()
+	var trs []traclus.Trajectory
+	var ttrs []traclus.TimedTrajectory
+	var err error
+	if timed {
+		if spec.format != trackio.FormatCSV {
+			writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Sprintf("format %q has no timestamp column; spatiotemporal builds take csv with traj_id,x,y,t rows", spec.format), nil)
+			return
+		}
+		if ttrs, err = s.parseTimedTrajectories(spec.data); err != nil {
+			writeBodyError(w, err)
+			return
+		}
+		// Structural problems (non-monotone timestamps) must answer 400
+		// synchronously, not fail the async job.
+		for _, tr := range ttrs {
+			if err := tr.Validate(); err != nil {
+				writeBodyError(w, err)
+				return
+			}
+		}
+		trs = make([]traclus.Trajectory, len(ttrs))
+		for i, tr := range ttrs {
+			trs[i] = tr.Spatial() // estimation extent + emptiness check below
+		}
+	} else if trs, err = s.parseTrajectories(spec.data, spec.format, spec.species); err != nil {
 		writeBodyError(w, err)
 		return
 	}
@@ -265,6 +327,12 @@ func (s *server) startBuild(w http.ResponseWriter, r *http.Request, spec buildSp
 	// land a join on a build that just failed, which reports a retryable
 	// job failure.
 	name, cfg, est := spec.name, spec.cfg, spec.est
+	build := func(ctx context.Context, update func(phase string, fraction float64)) (*service.Model, error) {
+		if timed {
+			return s.cfg.buildTimedModel(ctx, name, ttrs, cfg, est, update)
+		}
+		return s.cfg.buildModel(ctx, name, trs, cfg, est, update)
+	}
 	joins := s.store.Pending(name)
 	var startJob func(ctx context.Context, update func(phase string, fraction float64)) (string, error)
 	if joins {
@@ -293,7 +361,7 @@ func (s *server) startBuild(w http.ResponseWriter, r *http.Request, spec buildSp
 		startJob = func(ctx context.Context, update func(phase string, fraction float64)) (string, error) {
 			defer func() { <-s.buildSem }()
 			_, built, _, err := s.store.GetOrBuild(name, func() (*service.Model, error) {
-				return s.cfg.buildModel(ctx, name, trs, cfg, est, update)
+				return build(ctx, update)
 			})
 			if err == nil && !built {
 				return "deduplicated into a concurrent build of this model; this request's upload was not used", nil
@@ -341,6 +409,20 @@ func (s *server) parseTrajectories(data []byte, format trackio.Format, species s
 		return nil, err
 	}
 	return trs, nil
+}
+
+// parseTimedTrajectories decodes "traj_id,x,y,t" CSV under the same
+// per-upload caps as the spatial path — the LimitError/413 contract is
+// column-count independent.
+func (s *server) parseTimedTrajectories(data []byte) ([]traclus.TimedTrajectory, error) {
+	d := trackio.NewCSVDecoder(bytes.NewReader(data))
+	d.MaxPoints = s.cfg.maxPoints
+	d.MaxTrajectories = s.cfg.maxTrajectories
+	trs, err := d.DecodeAllTimedCSV()
+	if err != nil {
+		return nil, err
+	}
+	return trackio.MergeTimedByID(trs), nil
 }
 
 // checkUploadLimits applies the points/trajectories caps to an already
@@ -423,6 +505,19 @@ func buildConfigFromQuery(r *http.Request) (cfg traclus.Config, est *service.Est
 		}
 		cfg.Index = kind
 	}
+	var wt *float64
+	if v := q.Get("wt"); v != "" {
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil {
+			return cfg, nil, false, false, fmt.Errorf("bad wt %q", v)
+		}
+		wt = &f
+	}
+	geo, perr := parseGeometryParams(q.Get("geometry"), wt)
+	if perr != nil {
+		return cfg, nil, false, false, perr
+	}
+	cfg.Geometry = geo
 	return cfg, est, loSet, hiSet, nil
 }
 
@@ -444,18 +539,33 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeBodyError(w, err)
 		return
 	}
-	trs, err := s.parseTrajectories(raw, trackio.FormatCSV, "")
+	// A spatiotemporal model classifies timed queries: the upload must
+	// carry the timestamp column so the temporal distance component has a
+	// query interval to gap against the cluster windows.
+	timed := m.Summary().Geometry == "spatiotemporal"
+	var trs []traclus.Trajectory
+	var ttrs []traclus.TimedTrajectory
+	if timed {
+		ttrs, err = s.parseTimedTrajectories(raw)
+	} else {
+		trs, err = s.parseTrajectories(raw, trackio.FormatCSV, "")
+	}
 	if err != nil {
 		writeBodyError(w, err)
 		return
 	}
-	if len(trs) == 0 {
+	if len(trs) == 0 && len(ttrs) == 0 {
 		writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest, "no trajectories in request body", nil)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.classifyTimeout)
 	defer cancel()
-	results := m.ClassifyBatch(ctx, trs, s.cfg.workers)
+	var results []service.Assignment
+	if timed {
+		results = m.ClassifyTimedBatch(ctx, ttrs, s.cfg.workers)
+	} else {
+		results = m.ClassifyBatch(ctx, trs, s.cfg.workers)
+	}
 	if err := r.Context().Err(); err != nil {
 		// Cancellation and deadline map differently: a vanished client is a
 		// 499-style abandonment (no response can reach anyone — log it so

@@ -14,11 +14,16 @@
 //
 // Versioned API (v1):
 //
-//	POST /v1/models            body: JSON BuildRequest (see api.go)
+//	POST /v1/models            body: JSON BuildRequest (see api.go);
+//	                           config.geometry selects planar (default),
+//	                           spatiotemporal (+config.wt, data must be CSV
+//	                           with a traj_id,x,y,t timestamp column), or
+//	                           geodesic (x=lon, y=lat degrees)
 //	                           → 202 job to poll, or 200 {"cached":true}
 //	GET  /v1/models            → {"models":[...]} resident model names
 //	GET  /v1/models/{name}     → model summary + per-cluster stats
-//	POST /v1/models/{name}/classify   body: CSV (traj_id,x,y)
+//	POST /v1/models/{name}/classify   body: CSV (traj_id,x,y; a
+//	                           spatiotemporal model takes traj_id,x,y,t)
 //	GET  /v1/models/{name}/snapshot   → binary snapshot (export)
 //	PUT  /v1/models/{name}/snapshot   body: binary snapshot (import)
 //	GET  /v1/models/{name}/sweep?lo=&hi=&steps=   → per-ε quality curve
@@ -170,6 +175,10 @@ type serverConfig struct {
 	// wrappers to verify single-flight dedup and cancellation. nil means
 	// service.BuildCtx.
 	buildModel func(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, est *service.EstimateRange, progress func(phase string, fraction float64)) (*service.Model, error)
+
+	// buildTimedModel builds spatiotemporal models from timed trajectories.
+	// nil means service.BuildTimedCtx.
+	buildTimedModel func(ctx context.Context, name string, trs []traclus.TimedTrajectory, cfg traclus.Config, est *service.EstimateRange, progress func(phase string, fraction float64)) (*service.Model, error)
 }
 
 type server struct {
@@ -191,6 +200,9 @@ type server struct {
 func newServer(cfg serverConfig) (*server, error) {
 	if cfg.buildModel == nil {
 		cfg.buildModel = service.BuildCtx
+	}
+	if cfg.buildTimedModel == nil {
+		cfg.buildTimedModel = service.BuildTimedCtx
 	}
 	if cfg.baseCtx == nil {
 		cfg.baseCtx = context.Background()

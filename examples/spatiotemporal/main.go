@@ -2,67 +2,62 @@
 // "We will extend our algorithm to take account of temporal information
 // during clustering." Two groups of commuters traverse the same road, one
 // in the morning and one in the evening. Plain TRACLUS sees one corridor;
-// the spatiotemporal variant separates the morning and evening flows and
+// the spatiotemporal geometry separates the morning and evening flows and
 // reports each cluster's time window.
+//
+// Since the geometry layer landed this runs through the public Pipeline —
+// the same indexed, parallel engine as planar runs — rather than the
+// reference full-scan implementation: build with WithTemporalWeight and
+// feed timed trajectories to RunTimed.
 //
 // Run with: go run ./examples/spatiotemporal
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	traclus "repro"
+	"repro/internal/synth"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(5))
-	var trs []traclus.TimedTrajectory
-	// Morning flow: 08:00, evening flow: 18:00 (seconds of day).
-	for _, flow := range []struct {
-		name  string
-		start float64
-		base  int
-	}{
-		{"morning", 8 * 3600, 0},
-		{"evening", 18 * 3600, 10},
-	} {
-		for i := 0; i < 10; i++ {
-			tr := traclus.TimedTrajectory{ID: flow.base + i, Weight: 1, Label: flow.name}
-			t := flow.start + rng.Float64()*600
-			for s := 0; s <= 30; s++ {
-				x := 50 + 28*float64(s)
-				tr.Points = append(tr.Points, traclus.Pt(
-					x+rng.NormFloat64()*2, 200+rng.NormFloat64()*4))
-				tr.Times = append(tr.Times, t)
-				t += 45 + rng.Float64()*20 // ~1 min per hop
-			}
-			trs = append(trs, tr)
-		}
-	}
+	// One road, two temporally disjoint waves 10 h apart (seconds).
+	trs := synth.RushHours(10, 20, 3, 5, 60, 45, 10*3600)
 
 	cfg := traclus.Config{Eps: 25, MinLns: 5}
+	ctx := context.Background()
 
-	plain, err := traclus.RunTimed(trs, cfg, 0)
+	// wT = 0: the temporal component vanishes and the run reduces exactly
+	// to planar TRACLUS — one cluster, the road itself.
+	plain, err := traclus.New(
+		traclus.WithConfig(cfg),
+		traclus.WithTemporalWeight(0),
+	).RunTimed(ctx, trs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("temporal weight 0 (plain TRACLUS): %d cluster(s) — the road\n", len(plain.Clusters))
 
-	timed, err := traclus.RunTimed(trs, cfg, 0.01)
+	// wT > 0 adds wT·gap(interval_i, interval_j) to every segment pair;
+	// the 10 h gap between waves dwarfs eps, so the flows separate.
+	timed, err := traclus.New(
+		traclus.WithConfig(cfg),
+		traclus.WithTemporalWeight(0.01),
+	).RunTimed(ctx, trs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("temporal weight 0.01:              %d cluster(s) — the flows\n", len(timed.Clusters))
 	for i, c := range timed.Clusters {
-		fmt.Printf("  cluster %d: %d trajectories, window %02.0f:%02.0f–%02.0f:%02.0f\n",
-			i, len(c.Trajectories),
-			c.Window.Start/3600, mod60(c.Window.Start),
-			c.Window.End/3600, mod60(c.Window.End))
+		w := timed.ClusterWindows()[i]
+		fmt.Printf("  cluster %d: %d trajectories, window %s–%s\n",
+			i, len(c.Trajectories), clock(w.Start), clock(w.End))
 	}
 }
 
-func mod60(sec float64) float64 {
-	return float64(int(sec)%3600) / 60
+func clock(sec float64) string {
+	s := int(sec)
+	return fmt.Sprintf("%02d:%02d", s/3600, s%3600/60)
 }

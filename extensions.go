@@ -1,11 +1,11 @@
 package traclus
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/embed"
 	"repro/internal/lsdist"
-	"repro/internal/mdl"
 	"repro/internal/temporal"
 )
 
@@ -39,31 +39,27 @@ type TimedResult struct {
 // RunTimed executes spatiotemporal TRACLUS: the clustering distance gains a
 // temporal component wT·gap(interval_i, interval_j), so segments traversed
 // at disjoint times separate even when they coincide spatially.
-// temporalWeight = 0 reduces to plain TRACLUS (over a full scan).
+// temporalWeight = 0 reduces exactly to plain TRACLUS.
+//
+// Since the geometry layer landed this is a thin facade over the indexed,
+// parallel Pipeline — New(WithConfig(cfg), WithTemporalWeight(w)).RunTimed —
+// rather than the reference full-scan in internal/temporal (which survives
+// as that path's cross-check). New code should use the Pipeline directly:
+// it additionally exposes cancellation, progress, estimation, and the full
+// Result surface (dendrograms, classification, snapshots).
 func RunTimed(trs []TimedTrajectory, cfg Config, temporalWeight float64) (*TimedResult, error) {
-	w := cfg.Weights
-	if (w == Weights{}) {
-		w = lsdist.DefaultWeights()
-	}
-	res, err := temporal.Run(trs, temporal.Config{
-		Eps:            cfg.Eps,
-		MinLns:         cfg.MinLns,
-		MinTrajs:       cfg.MinTrajs,
-		Spatial:        lsdist.Options{Weights: w, Undirected: cfg.Undirected},
-		TemporalWeight: temporalWeight,
-		Partition:      mdl.Config{CostAdvantage: cfg.CostAdvantage, MinLength: cfg.MinSegmentLength},
-		Gamma:          cfg.Gamma,
-	})
+	res, err := New(WithConfig(cfg), WithTemporalWeight(temporalWeight)).
+		RunTimed(context.Background(), trs)
 	if err != nil {
-		return nil, fmt.Errorf("traclus: %w", err)
+		return nil, err
 	}
-	out := &TimedResult{NoiseSegments: res.Noise, TotalSegments: len(res.Items)}
-	for _, c := range res.Clusters {
+	out := &TimedResult{NoiseSegments: res.NoiseSegments, TotalSegments: res.TotalSegments}
+	for i, c := range res.Clusters {
 		out.Clusters = append(out.Clusters, TimedCluster{
 			Segments:       c.Segments,
 			Trajectories:   c.Trajectories,
 			Representative: c.Representative,
-			Window:         c.Window,
+			Window:         res.ClusterWindows()[i],
 		})
 	}
 	return out, nil

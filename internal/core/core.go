@@ -15,12 +15,14 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/geometry"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
 	"repro/internal/par"
 	"repro/internal/segclust"
 	"repro/internal/spindex"
 	"repro/internal/sweep"
+	"repro/internal/temporal"
 )
 
 // Config carries the parameters of all three phases.
@@ -44,6 +46,9 @@ type Config struct {
 	Backend spindex.Backend
 	// Gamma is the sweep smoothing parameter γ; 0 defaults to Eps/4.
 	Gamma float64
+	// Geometry selects the distance mode (planar Euclidean, spatiotemporal,
+	// geodesic). The zero value is planar — the exact pre-geometry path.
+	Geometry geometry.Geometry
 	// Workers bounds the parallelism of every phase — MDL partitioning,
 	// ε-neighborhood precomputation, and per-cluster representative sweeps
 	// (≤ 0 = all CPUs). Results are bit-identical for every worker count.
@@ -150,9 +155,60 @@ func PartitionAllCtx(ctx context.Context, trs []geom.Trajectory, cfg Config, onT
 	return items, nil
 }
 
+// PartitionAllTimedCtx is PartitionAllCtx for timed trajectories: the MDL
+// partitioning runs over the identical deduplicated point stream (so the
+// segment geometry is bit-identical to the untimed path on the same
+// points), and each pooled item carries the time interval its partition
+// spans, index-aligned with the returned items. Trajectory weights default
+// to 1 when unset, exactly as the untimed path.
+func PartitionAllTimedCtx(ctx context.Context, trs []temporal.TimedTrajectory, cfg Config, onTrajectory func()) ([]segclust.Item, []geometry.Interval, error) {
+	type slot struct {
+		segs  []geom.Segment
+		spans [][2]float64
+	}
+	out := make([]slot, len(trs))
+	scratch := make([]*mdl.Partitioner, par.Workers(cfg.Workers, len(trs)))
+	for w := range scratch {
+		scratch[w] = mdl.NewPartitioner(cfg.Partition)
+	}
+	err := par.ForEachCtx(ctx, cfg.Workers, len(trs), func(w, i int) {
+		out[i].segs, out[i].spans = scratch[w].PartitionTimed(trs[i].Points, trs[i].Times)
+		if onTrajectory != nil {
+			onTrajectory()
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var items []segclust.Item
+	var ivs []geometry.Interval
+	for i, sl := range out {
+		w := trs[i].Weight
+		if w == 0 {
+			w = 1
+		}
+		for k, s := range sl.segs {
+			items = append(items, segclust.Item{Seg: s, TrajID: trs[i].ID, Weight: w})
+			ivs = append(ivs, geometry.Interval{Start: sl.spans[k][0], End: sl.spans[k][1]})
+		}
+	}
+	return items, ivs, nil
+}
+
 // ValidateTrajectories reports the first invalid input trajectory, wrapped
 // the way Run has always wrapped it.
 func ValidateTrajectories(trs []geom.Trajectory) error {
+	for i := range trs {
+		if err := trs[i].Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// ValidateTimedTrajectories reports the first invalid timed input
+// trajectory (length mismatch, too few points, or non-monotone times).
+func ValidateTimedTrajectories(trs []temporal.TimedTrajectory) error {
 	for i := range trs {
 		if err := trs[i].Validate(); err != nil {
 			return fmt.Errorf("core: %w", err)

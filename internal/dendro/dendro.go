@@ -104,12 +104,19 @@ func FromShared(ctx context.Context, shared *segclust.SharedIndex, maxEps float6
 	}
 	lists := make([][]nb, n)
 	w := par.Workers(workers, n)
-	queries := make([]*spindex.SearchQuery, w)
+	// Per-worker geometry-aware cursors: on a planar index these are thin
+	// wrappers over the spindex query (same candidates, same kernel blocks,
+	// bit-identical lists); on a spatiotemporal index they fold the wT·gap
+	// term into every scored distance, so the merge structure — neighbor
+	// lists, core distances, and the replay log — is built under the model's
+	// actual distance. The candidate pass stays sound because the temporal
+	// term only grows distances (no false negatives at radius maxEps/c).
+	queries := make([]*segclust.Cursor, w)
 	cand := make([][]int, w)
 	dists := make([][]float64, w)
 	calls := make([]int, w)
 	for k := range queries {
-		queries[k] = shared.Searcher().Query()
+		queries[k] = shared.Cursor()
 	}
 	err := par.ForEachCtx(ctx, workers, n, func(wk, i int) {
 		sq := queries[wk]

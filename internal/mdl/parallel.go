@@ -22,6 +22,7 @@ type Partitioner struct {
 	cfg Config
 	cps []int        // characteristic-point scratch
 	pts []geom.Point // deduplicated-point scratch
+	tms []float64    // deduplicated-timestamp scratch (timed path only)
 }
 
 // NewPartitioner returns a Partitioner for the given configuration.
@@ -57,6 +58,49 @@ func appendDedup(dst, pts []geom.Point) []geom.Point {
 		}
 	}
 	return dst
+}
+
+// PartitionTimed is Partition for a trajectory carrying per-point
+// timestamps (times index-aligned with pts). The point stream dedups on
+// point equality exactly as the untimed path — a repeated point keeps its
+// FIRST occurrence's timestamp — so the MDL partitioning sees the identical
+// point sequence and the returned segments are bit-identical to
+// Partition over the same points. Each surviving segment additionally
+// carries the [t_start, t_end] span of its two characteristic points,
+// index-aligned in spans; the filter that drops degenerate or too-short
+// segments drops their spans with them.
+func (p *Partitioner) PartitionTimed(pts []geom.Point, times []float64) ([]geom.Segment, [][2]float64) {
+	p.pts, p.tms = appendDedupTimed(p.pts[:0], p.tms[:0], pts, times)
+	dpts, dtms := p.pts, p.tms
+	if len(dpts) < 2 {
+		return nil, nil
+	}
+	p.cps = appendApproximatePartition(p.cps[:0], dpts, p.cfg)
+	cps := p.cps
+	segs := make([]geom.Segment, 0, len(cps)-1)
+	spans := make([][2]float64, 0, len(cps)-1)
+	for i := 1; i < len(cps); i++ {
+		s := geom.Segment{Start: dpts[cps[i-1]], End: dpts[cps[i]]}
+		if s.IsDegenerate() || s.Length() < p.cfg.MinLength {
+			continue
+		}
+		segs = append(segs, s)
+		spans = append(spans, [2]float64{dtms[cps[i-1]], dtms[cps[i]]})
+	}
+	return segs, spans
+}
+
+// appendDedupTimed is appendDedup over a (point, timestamp) pair stream:
+// dedup decides on point equality alone, and the first occurrence's
+// timestamp is the one kept.
+func appendDedupTimed(dstP []geom.Point, dstT []float64, pts []geom.Point, times []float64) ([]geom.Point, []float64) {
+	for i, q := range pts {
+		if len(dstP) == 0 || !q.Eq(dstP[len(dstP)-1]) {
+			dstP = append(dstP, q)
+			dstT = append(dstT, times[i])
+		}
+	}
+	return dstP, dstT
 }
 
 // PartitionAll partitions every trajectory concurrently (Figure 4 lines

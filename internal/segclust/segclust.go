@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/geometry"
 	"repro/internal/lsdist"
 	"repro/internal/par"
 	"repro/internal/spindex"
@@ -280,6 +281,29 @@ func (v epsView) candidates(i int, dst []int) []int {
 
 func (v epsView) distBlock(i int, cand []int, out []float64) []float64 {
 	return v.sq.DistBlock(i, cand, out)
+}
+
+// temporalView adds the spatiotemporal geometry's wT·gap term on top of an
+// epsView: candidates are generated by the planar prefilter unchanged — the
+// temporal term is non-negative, so dist_st ≥ dist_planar ≥ c·mindist and
+// the planar candidate radius ε/c stays complete (no false negatives; see
+// internal/geometry's pruning-bound invariant) — and the gap is added per
+// candidate after the spatial kernel block. Candidate sets, and therefore
+// DistCalls, are identical to the planar path; with wT = 0 the added term
+// is exactly +0 and every scored distance is bit-identical to planar.
+type temporalView struct {
+	epsView
+	ivs []geometry.Interval
+	wt  float64
+}
+
+func (v temporalView) distBlock(i int, cand []int, out []float64) []float64 {
+	out = v.epsView.distBlock(i, cand, out)
+	qi := v.ivs[i]
+	for k, j := range cand {
+		out[k] += v.wt * qi.Gap(v.ivs[j])
+	}
+	return out
 }
 
 // customDistView carries an arbitrary caller-supplied distance function
@@ -774,6 +798,12 @@ type SharedIndex struct {
 	items  []Item
 	opt    lsdist.Options
 	search *spindex.Searcher
+	// ivs/wt carry the spatiotemporal geometry when set: one time interval
+	// per item, index-aligned with items, and the temporal weight wT. Every
+	// view and cursor then adds wT·gap after the spatial kernel block; nil
+	// ivs is the planar path, untouched.
+	ivs []geometry.Interval
+	wt  float64
 	// scr recycles per-worker neighborhood scratch across passes. The
 	// parameter-estimation sweep runs one pass per candidate ε — a hundred
 	// passes against one index is normal — and without recycling every pass
@@ -819,6 +849,24 @@ func NewSharedIndexFor(items []Item, opt lsdist.Options, backend spindex.Backend
 	}
 }
 
+// NewSharedIndexTimed is NewSharedIndexFor for the spatiotemporal geometry:
+// ivs holds one time interval per item (index-aligned) and wt is the
+// temporal weight wT ≥ 0. The spatial index structure is exactly the planar
+// one — candidate generation keeps the conservative planar radius, which
+// stays complete because the temporal addend is non-negative — and every
+// distance served by the index's views and cursors is
+// dist_planar + wT·gap. A nil ivs degrades to the planar NewSharedIndexFor.
+func NewSharedIndexTimed(items []Item, ivs []geometry.Interval, wt float64, opt lsdist.Options, backend spindex.Backend) *SharedIndex {
+	s := NewSharedIndexFor(items, opt, backend)
+	if ivs != nil {
+		if len(ivs) != len(items) {
+			panic(fmt.Sprintf("segclust: %d intervals for %d items", len(ivs), len(items)))
+		}
+		s.ivs, s.wt = ivs, wt
+	}
+	return s
+}
+
 // Len returns the number of indexed items.
 func (s *SharedIndex) Len() int { return len(s.items) }
 
@@ -830,15 +878,62 @@ func (s *SharedIndex) Items() []Item { return s.items }
 func (s *SharedIndex) Options() lsdist.Options { return s.opt }
 
 // Searcher exposes the underlying spindex searcher so sibling subsystems
-// (internal/dendro's merge-structure build) can run their own candidate +
-// refine passes against the same single index build.
+// can run their own candidate + refine passes against the same single index
+// build. The searcher serves the raw spatial distance only; geometry-aware
+// consumers (internal/dendro's merge-structure build) go through Cursor,
+// which applies the index's temporal term.
 func (s *SharedIndex) Searcher() *spindex.Searcher { return s.search }
+
+// Temporal returns the index's spatiotemporal payload: the per-item time
+// intervals and the weight wT (nil, 0 for a planar index).
+func (s *SharedIndex) Temporal() ([]geometry.Interval, float64) { return s.ivs, s.wt }
+
+// Cursor is a per-goroutine query handle over the shared index that serves
+// the index's full geometry: candidates from the conservative spatial
+// prefilter, distances from the batch kernel plus the temporal wT·gap term
+// when the index is spatiotemporal. A Cursor owns its scratch and is not
+// safe for concurrent use; give each goroutine its own.
+type Cursor struct {
+	sq  *spindex.SearchQuery
+	ivs []geometry.Interval
+	wt  float64
+}
+
+// Cursor returns a new query cursor over the shared index.
+func (s *SharedIndex) Cursor() *Cursor {
+	return &Cursor{sq: s.search.Query(), ivs: s.ivs, wt: s.wt}
+}
+
+// CandidatesOf appends to dst the candidate ids whose distance to item i
+// may be ≤ eps (false positives allowed, false negatives never — the
+// temporal term only grows distances, so the planar radius stays complete).
+func (c *Cursor) CandidatesOf(i int, eps float64, dst []int) []int {
+	return c.sq.CandidatesOf(i, eps, dst)
+}
+
+// DistBlock scores item i against every id in ids under the index's
+// geometry, index-aligned with ids.
+func (c *Cursor) DistBlock(i int, ids []int, out []float64) []float64 {
+	out = c.sq.DistBlock(i, ids, out)
+	if c.ivs != nil {
+		qi := c.ivs[i]
+		for k, j := range ids {
+			out[k] += c.wt * qi.Gap(c.ivs[j])
+		}
+	}
+	return out
+}
 
 // view returns a neighborSource for ε-queries at eps, backed by the shared
 // structures but with private scratch space. Distance blocks are scored by
-// the searcher's batch kernel.
+// the searcher's batch kernel, plus the temporal term on a spatiotemporal
+// index.
 func (s *SharedIndex) view(eps float64) neighborSource {
-	return epsView{sq: s.search.Query(), eps: eps}
+	ev := epsView{sq: s.search.Query(), eps: eps}
+	if s.ivs != nil {
+		return temporalView{epsView: ev, ivs: s.ivs, wt: s.wt}
+	}
+	return ev
 }
 
 // viewFor is view with an optional custom distance: non-nil custom wraps

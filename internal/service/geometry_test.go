@@ -1,0 +1,136 @@
+package service
+
+// Snapshot round-trips under the non-planar geometries: a spatiotemporal
+// model (geometry kind, wT, and per-cluster windows) and a geodesic model
+// (the resolved projection frame) must restore from their snapshots and
+// classify bit-identically to the in-memory originals — the same identity
+// contract persist_test.go pins for planar models.
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	traclus "repro"
+	"repro/internal/synth"
+)
+
+func timedTrainingSet() []traclus.TimedTrajectory {
+	// Spatial twin of trainingSet(); 60 s headway keeps the windows
+	// overlapping enough that the corridors still cluster at Eps=30.
+	return synth.TimedCorridorScene(2, 10, 24, 4, 11, 60, 10)
+}
+
+func timedProbeSet() []traclus.TimedTrajectory {
+	return synth.TimedCorridorScene(2, 6, 20, 4, 17, 60, 10)
+}
+
+func sameAssignments(t *testing.T, label string, want, got []Assignment) {
+	t.Helper()
+	for i := range want {
+		if got[i].Cluster != want[i].Cluster ||
+			math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) ||
+			got[i].Err != want[i].Err {
+			t.Fatalf("%s probe %d: loaded model classified (%d, %x, %q), original (%d, %x, %q)",
+				label, i,
+				got[i].Cluster, math.Float64bits(got[i].Distance), got[i].Err,
+				want[i].Cluster, math.Float64bits(want[i].Distance), want[i].Err)
+		}
+	}
+}
+
+// TestTimedSnapshotClassifyIdentity: BuildTimed → snapshot → restore →
+// ClassifyTimedBatch is bit-identical across backends and worker counts,
+// and the restored summary still says spatiotemporal.
+func TestTimedSnapshotClassifyIdentity(t *testing.T) {
+	probes := timedProbeSet()
+	for _, kind := range []traclus.IndexKind{traclus.IndexGrid, traclus.IndexRTree, traclus.IndexNone} {
+		cfg := buildConfig()
+		cfg.Index = kind
+		cfg.Geometry = traclus.SpatiotemporalGeometry(0.02)
+		m, err := BuildTimed("st-identity-"+kind.String(), timedTrainingSet(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := m.Summary(); s.Geometry != "spatiotemporal" || s.TemporalWeight != 0.02 {
+			t.Fatalf("%v: built summary geometry %q wt %v", kind, s.Geometry, s.TemporalWeight)
+		}
+		data, err := m.EncodeSnapshot()
+		if err != nil {
+			t.Fatalf("%v: encode: %v", kind, err)
+		}
+		loaded, err := DecodeModel(data)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", kind, err)
+		}
+		if s := loaded.Summary(); s.Geometry != "spatiotemporal" || s.TemporalWeight != 0.02 {
+			t.Fatalf("%v: loaded summary geometry %q wt %v", kind, s.Geometry, s.TemporalWeight)
+		}
+		// Spatial classification against a timed model stays a typed error
+		// after the round trip.
+		if _, _, err := loaded.Classify(probes[0].Spatial()); err != traclus.ErrTimedModel {
+			t.Fatalf("%v: Classify on restored timed model: %v, want ErrTimedModel", kind, err)
+		}
+		for _, workers := range []int{1, 2, 4, 0} {
+			want := m.ClassifyTimedBatch(context.Background(), probes, workers)
+			got := loaded.ClassifyTimedBatch(context.Background(), probes, workers)
+			sameAssignments(t, kind.String(), want, got)
+		}
+		// Re-export returns the retained bytes, same as the planar contract.
+		re, err := loaded.EncodeSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("%v: re-export differs: %d vs %d bytes", kind, len(re), len(data))
+		}
+	}
+}
+
+// TestGeodesicSnapshotClassifyIdentity: a geodesic model snapshots its
+// resolved frame, and the restored model projects lat/lon probes through
+// that exact frame — classification is bit-identical.
+func TestGeodesicSnapshotClassifyIdentity(t *testing.T) {
+	cfg := traclus.Config{Eps: 150, MinLns: 5, MinSegmentLength: 100}
+	cfg.Geometry = traclus.GeodesicGeometry()
+	m, err := Build("gps-identity", synth.GPSTracks(3, 8, 25, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Summary().Geometry != "geodesic" {
+		t.Fatalf("summary geometry %q", m.Summary().Geometry)
+	}
+	if m.Config().Geometry.Frame == nil {
+		t.Fatal("built geodesic model carries no resolved frame")
+	}
+	data, err := m.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, lf := m.Config().Geometry.Frame, loaded.Config().Geometry.Frame
+	if lf == nil || *lf != *gf {
+		t.Fatalf("frame not persisted: built %+v, loaded %+v", gf, lf)
+	}
+	// Probes in raw lat/lon degrees — a different seed than training.
+	probes := synth.GPSTracks(3, 4, 18, 23)
+	for _, workers := range []int{1, 2, 4, 0} {
+		want := m.ClassifyBatch(context.Background(), probes, workers)
+		got := loaded.ClassifyBatch(context.Background(), probes, workers)
+		sameAssignments(t, "geodesic", want, got)
+		for i := range want {
+			if want[i].Err == "" && want[i].Cluster < 0 {
+				t.Fatalf("probe %d fell to noise; scene no longer exercises classification", i)
+			}
+		}
+	}
+	// Timed classification against a geodesic model is a clear error.
+	if _, _, err := loaded.ClassifyTimed(timedProbeSet()[0]); err == nil ||
+		!strings.Contains(err.Error(), "geodesic") {
+		t.Fatalf("ClassifyTimed on geodesic model: %v", err)
+	}
+}

@@ -95,6 +95,19 @@ func (m *Model) buildSnapshot() (*snapshot.Model, error) {
 	if d := m.Dendrogram(); d != nil {
 		sm.Dendro = d.Snapshot()
 	}
+	// Format v3 geometry section: the resolved geometry (finishBuild folded
+	// a geodesic run's frame into cfg) plus a spatiotemporal model's
+	// per-cluster windows.
+	g := cfg.Geometry
+	sm.Geometry = g.Kind.String()
+	sm.TemporalWeight = g.WT
+	if g.Frame != nil {
+		f := *g.Frame
+		sm.Frame = &f
+	}
+	if g.Timed() && m.res != nil {
+		sm.Windows = append([]traclus.Interval(nil), m.res.ClusterWindows()...)
+	}
 	if m.cls != nil {
 		cs, err := m.cls.Snapshot()
 		if err != nil {
@@ -126,6 +139,15 @@ func FromSnapshot(sm *snapshot.Model) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	geo, err := traclus.ParseGeometry(sm.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	geo.WT = sm.TemporalWeight
+	if sm.Frame != nil {
+		f := *sm.Frame
+		geo.Frame = &f
+	}
 	c := sm.Config
 	cfg := traclus.Config{
 		Eps:              c.Eps,
@@ -136,6 +158,7 @@ func FromSnapshot(sm *snapshot.Model) (*Model, error) {
 		CostAdvantage:    c.CostAdvantage,
 		MinSegmentLength: c.MinSegmentLength,
 		Gamma:            c.Gamma,
+		Geometry:         geo,
 		Index:            kind,
 	}
 	m := &Model{
@@ -152,6 +175,8 @@ func FromSnapshot(sm *snapshot.Model) (*Model, error) {
 			Eps:             c.Eps,
 			MinLns:          c.MinLns,
 			QMeasure:        sm.Stats.QMeasure,
+			Geometry:        geo.Kind.String(),
+			TemporalWeight:  geo.WT,
 			BuiltAt:         time.Unix(0, sm.Stats.BuiltAtUnixNano).UTC(),
 			BuildDuration:   time.Duration(sm.Stats.BuildDurationNS),
 			ClusterStats:    make([]traclus.ClusterStat, len(sm.Clusters)),
@@ -181,6 +206,10 @@ func FromSnapshot(sm *snapshot.Model) (*Model, error) {
 			Undirected:       c.Undirected,
 			Index:            kind,
 			Reference:        make([][]traclus.Segment, len(sm.Clusters)),
+			Geometry:         geo.Kind.String(),
+			TemporalWeight:   geo.WT,
+			Frame:            geo.Frame,
+			Windows:          sm.Windows,
 		}
 		for ci, cl := range sm.Clusters {
 			cs.Reference[ci] = cl.Reference

@@ -52,6 +52,8 @@ type Summary struct {
 	Eps             float64               `json:"eps"`
 	MinLns          float64               `json:"min_lns"`
 	QMeasure        float64               `json:"q_measure"`
+	Geometry        string                `json:"geometry,omitempty"`
+	TemporalWeight  float64               `json:"wt,omitempty"`
 	BuiltAt         time.Time             `json:"built_at"`
 	BuildDuration   time.Duration         `json:"build_duration_ns"`
 	ClusterStats    []traclus.ClusterStat `json:"cluster_stats"`
@@ -122,6 +124,44 @@ func Build(name string, trs []traclus.Trajectory, cfg traclus.Config) (*Model, e
 // The build-count test pins this.
 func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, est *EstimateRange, progress func(phase string, fraction float64)) (*Model, error) {
 	start := time.Now()
+	res, err := traclus.New(buildOptions(cfg, est, progress)...).Run(ctx, trs)
+	if err != nil {
+		return nil, err
+	}
+	points := 0
+	for _, tr := range trs {
+		points += len(tr.Points)
+	}
+	return finishBuild(name, res, cfg, len(trs), points, start)
+}
+
+// BuildTimed is BuildTimedCtx with a background context.
+func BuildTimed(name string, trs []traclus.TimedTrajectory, cfg traclus.Config) (*Model, error) {
+	return BuildTimedCtx(context.Background(), name, trs, cfg, nil, nil)
+}
+
+// BuildTimedCtx is BuildCtx over timed trajectories: the pipeline runs
+// through RunTimed, so a spatiotemporal cfg.Geometry clusters under the
+// four-component distance and the model's classifier answers ClassifyTimed
+// with the per-cluster time windows baked in (and persisted in the
+// snapshot). A planar geometry (or wT = 0) builds the exact model BuildCtx
+// would over the spatial projections of trs.
+func BuildTimedCtx(ctx context.Context, name string, trs []traclus.TimedTrajectory, cfg traclus.Config, est *EstimateRange, progress func(phase string, fraction float64)) (*Model, error) {
+	start := time.Now()
+	res, err := traclus.New(buildOptions(cfg, est, progress)...).RunTimed(ctx, trs)
+	if err != nil {
+		return nil, err
+	}
+	points := 0
+	for _, tr := range trs {
+		points += len(tr.Points)
+	}
+	return finishBuild(name, res, cfg, len(trs), points, start)
+}
+
+// buildOptions assembles the pipeline options shared by the spatial and
+// timed build paths.
+func buildOptions(cfg traclus.Config, est *EstimateRange, progress func(phase string, fraction float64)) []traclus.Option {
 	opts := []traclus.Option{traclus.WithConfig(cfg)}
 	if est != nil {
 		opts = append(opts, traclus.WithEstimation(est.Lo, est.Hi))
@@ -131,18 +171,19 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 			progress(ev.Phase.String(), ev.Fraction)
 		}))
 	}
-	res, err := traclus.New(opts...).Run(ctx, trs)
-	if err != nil {
-		return nil, err
-	}
+	return opts
+}
+
+// finishBuild wraps a completed pipeline run as a servable model: estimated
+// parameters and the resolved geometry (a geodesic run's projection frame)
+// fold into the persisted config, and the summary statistics precompute so
+// serving reads never trigger O(n²) work.
+func finishBuild(name string, res *traclus.Result, cfg traclus.Config, trajectories, points int, start time.Time) (*Model, error) {
 	if res.Estimated != nil {
 		cfg.Eps = res.Estimated.Eps
 		cfg.MinLns = float64(res.Estimated.MinLnsLo+res.Estimated.MinLnsHi) / 2
 	}
-	points := 0
-	for _, tr := range trs {
-		points += len(tr.Points)
-	}
+	cfg.Geometry = res.Geometry()
 	// QMeasure = Σ per-cluster SSE + noise penalty; assembling it from the
 	// ClusterStats pass avoids running the O(n²) pairwise SSE twice.
 	stats := res.ClusterStats()
@@ -160,11 +201,13 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 			TotalSegments:   res.TotalSegments,
 			NoiseSegments:   res.NoiseSegments,
 			RemovedClusters: res.RemovedClusters,
-			Trajectories:    len(trs),
+			Trajectories:    trajectories,
 			Points:          points,
 			Eps:             cfg.Eps,
 			MinLns:          cfg.MinLns,
 			QMeasure:        qmeasure,
+			Geometry:        cfg.Geometry.Kind.String(),
+			TemporalWeight:  cfg.Geometry.WT,
 			ClusterStats:    stats,
 		},
 	}
@@ -172,6 +215,7 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 		// The memoized accessor shares one classifier (and one
 		// reference-segment index) between the model and any direct
 		// Result.Classify callers — never two builds over the same dataset.
+		var err error
 		if m.cls, err = res.Classifier(); err != nil {
 			return nil, fmt.Errorf("service: building classifier for %q: %w", name, err)
 		}
@@ -205,6 +249,17 @@ func (m *Model) Classify(tr traclus.Trajectory) (clusterID int, distance float64
 	return m.cls.Classify(tr)
 }
 
+// ClassifyTimed assigns one timed trajectory to its nearest cluster under
+// the model's geometry (the spatiotemporal distance against the persisted
+// cluster windows; identical to Classify on the spatial projection under a
+// planar model).
+func (m *Model) ClassifyTimed(tr traclus.TimedTrajectory) (clusterID int, distance float64, err error) {
+	if m.cls == nil {
+		return -1, 0, traclus.ErrNoClusters
+	}
+	return m.cls.ClassifyTimed(tr)
+}
+
 // ClassifyBatch classifies many trajectories, fanned out across workers
 // (≤ 0 = all CPUs) via the repo-wide par pool. Per-trajectory failures are
 // reported in the corresponding Assignment rather than aborting the batch;
@@ -219,6 +274,26 @@ func (m *Model) ClassifyBatch(ctx context.Context, trs []traclus.Trajectory, wor
 			return
 		}
 		cl, d, err := m.Classify(trs[i])
+		if err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		out[i].Cluster, out[i].Distance = cl, d
+	})
+	return out
+}
+
+// ClassifyTimedBatch is ClassifyBatch over timed trajectories, classifying
+// through ClassifyTimed with the same fan-out and per-item error semantics.
+func (m *Model) ClassifyTimedBatch(ctx context.Context, trs []traclus.TimedTrajectory, workers int) []Assignment {
+	out := make([]Assignment, len(trs))
+	par.ForEach(workers, len(trs), func(_, i int) {
+		out[i] = Assignment{TrajID: trs[i].ID, Cluster: -1}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		cl, d, err := m.ClassifyTimed(trs[i])
 		if err != nil {
 			out[i].Err = err.Error()
 			return

@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/geometry"
 )
 
 var update = flag.Bool("update", false, "rewrite the current-version golden snapshot")
@@ -28,9 +29,11 @@ var update = flag.Bool("update", false, "rewrite the current-version golden snap
 // goldenModel is a hand-built model exercising every field of the format:
 // multiple clusters, a collapsed representative (fewer points than
 // reference segments would imply), negative coordinates, exact float64
-// values that do not round-trip through text, and (since v2) a dendrogram
+// values that do not round-trip through text, (since v2) a dendrogram
 // section with a self-neighbor, a negative trajectory id, and a distance
-// one ulp under MaxEps.
+// one ulp under MaxEps, and (since v3) a spatiotemporal geometry section
+// with a fractional temporal weight and per-cluster windows including a
+// zero-length one.
 func goldenModel() *Model {
 	return &Model{
 		Name: "golden-v1",
@@ -94,6 +97,12 @@ func goldenModel() *Model {
 				{{ID: 1, Dist: 0}, {ID: 0, Dist: 10.0625}},
 				{{ID: 2, Dist: 0}},
 			},
+		},
+		Geometry:       "spatiotemporal",
+		TemporalWeight: 0.125,
+		Windows: []geometry.Interval{
+			{Start: 1000.5, End: 2000.25},
+			{Start: 3000, End: 3000}, // a single-instant window is legal
 		},
 	}
 }

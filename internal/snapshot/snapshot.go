@@ -36,6 +36,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/geometry"
 )
 
 // Version is the newest format version this package writes and the highest
@@ -51,7 +52,12 @@ import (
 //	   neighbor lists. Prefix sums and the edge replay log are derived
 //	   deterministically on load, not stored. v1 snapshots decode to a
 //	   model with a nil Dendro (rebuilt lazily by the serving layer).
-const Version = 2
+//	3: v2 walk followed by a geometry section — the geometry kind name,
+//	   the temporal weight wT, the optional geodesic projection frame, and
+//	   the per-cluster time windows of a spatiotemporal model. v1/v2
+//	   snapshots decode with the zero geometry section, i.e. planar — the
+//	   exact semantics they were written under.
+const Version = 3
 
 // magic identifies a snapshot file; it is the first eight bytes.
 const magic = "TRACSNAP"
@@ -192,6 +198,20 @@ type Model struct {
 	// Dendro is the optional multi-ε merge structure; nil when the
 	// snapshot predates format v2 or the model was built without one.
 	Dendro *Dendro
+	// Geometry names the model's geometry kind — "planar",
+	// "spatiotemporal", or "geodesic" (format v3+). The empty string, which
+	// every v1/v2 snapshot decodes to, means planar.
+	Geometry string
+	// TemporalWeight is wT, the spatiotemporal distance weight; meaningful
+	// (and only valid non-zero) under the spatiotemporal geometry.
+	TemporalWeight float64
+	// Frame is the geodesic model's resolved equirectangular projection;
+	// nil for every other geometry. A geodesic snapshot must carry one —
+	// without it queries cannot project into the model's working frame.
+	Frame *geometry.Frame
+	// Windows are the per-cluster time windows of a spatiotemporal model,
+	// index-aligned with Clusters; empty for every other geometry.
+	Windows []geometry.Interval
 }
 
 // maxNameLen bounds the model name, mirroring the daemon's name rule.
@@ -273,6 +293,37 @@ func (m *Model) Validate() error {
 		if err := m.Dendro.Validate(); err != nil {
 			return err
 		}
+	}
+	return m.validateGeometry()
+}
+
+// validateGeometry checks the v3 geometry section: a known kind, the
+// kind-specific state present exactly when the kind needs it, and finite
+// values throughout.
+func (m *Model) validateGeometry() error {
+	kind, ok := geometry.ParseKind(m.Geometry)
+	if !ok {
+		return &InvalidError{Field: "Geometry", Reason: fmt.Sprintf("unknown geometry %q", m.Geometry)}
+	}
+	g := geometry.Geometry{Kind: kind, WT: m.TemporalWeight, Frame: m.Frame}
+	if field, reason := g.Validate(); field != "" {
+		return &InvalidError{Field: "Geometry." + field, Reason: reason}
+	}
+	if kind == geometry.Geodesic && m.Frame == nil {
+		return &InvalidError{Field: "Frame", Reason: "geodesic models must carry their projection frame"}
+	}
+	if kind == geometry.Spatiotemporal {
+		if len(m.Windows) != len(m.Clusters) {
+			return &InvalidError{Field: "Windows", Reason: fmt.Sprintf(
+				"spatiotemporal models need one window per cluster (%d windows, %d clusters)", len(m.Windows), len(m.Clusters))}
+		}
+		for i, w := range m.Windows {
+			if !w.Valid() {
+				return &InvalidError{Field: fmt.Sprintf("Windows[%d]", i), Reason: "must be finite with Start ≤ End"}
+			}
+		}
+	} else if len(m.Windows) != 0 {
+		return &InvalidError{Field: "Windows", Reason: "cluster windows only valid with the spatiotemporal geometry"}
 	}
 	return nil
 }
@@ -388,26 +439,41 @@ func encodePayload(m *Model) []byte {
 	// v2: optional dendrogram section after the v1 walk.
 	if m.Dendro == nil {
 		e.bool(false)
-		return e.buf
-	}
-	e.bool(true)
-	dd := m.Dendro
-	e.f64(dd.MaxEps)
-	e.uvarint(uint64(len(dd.Items)))
-	for _, it := range dd.Items {
-		e.f64(it.Seg.Start.X)
-		e.f64(it.Seg.Start.Y)
-		e.f64(it.Seg.End.X)
-		e.f64(it.Seg.End.Y)
-		e.varint(int64(it.TrajID))
-		e.f64(it.Weight)
-	}
-	for _, list := range dd.Neighbors { // one list per item, same order
-		e.uvarint(uint64(len(list)))
-		for _, nb := range list {
-			e.uvarint(uint64(nb.ID))
-			e.f64(nb.Dist)
+	} else {
+		e.bool(true)
+		dd := m.Dendro
+		e.f64(dd.MaxEps)
+		e.uvarint(uint64(len(dd.Items)))
+		for _, it := range dd.Items {
+			e.f64(it.Seg.Start.X)
+			e.f64(it.Seg.Start.Y)
+			e.f64(it.Seg.End.X)
+			e.f64(it.Seg.End.Y)
+			e.varint(int64(it.TrajID))
+			e.f64(it.Weight)
 		}
+		for _, list := range dd.Neighbors { // one list per item, same order
+			e.uvarint(uint64(len(list)))
+			for _, nb := range list {
+				e.uvarint(uint64(nb.ID))
+				e.f64(nb.Dist)
+			}
+		}
+	}
+	// v3: geometry section after the dendro section.
+	e.str(m.Geometry)
+	e.f64(m.TemporalWeight)
+	if m.Frame == nil {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		e.f64(m.Frame.Lat0)
+		e.f64(m.Frame.Lon0)
+	}
+	e.uvarint(uint64(len(m.Windows)))
+	for _, w := range m.Windows {
+		e.f64(w.Start)
+		e.f64(w.End)
 	}
 	return e.buf
 }
@@ -463,11 +529,14 @@ func Decode(data []byte) (*Model, error) {
 			"checksum mismatch: header %08x, payload %08x", sum, got)}
 	}
 	// Every version starts with the v1 field walk; v2 appends the optional
-	// dendrogram section.
+	// dendrogram section, v3 the geometry section.
 	d := &decoder{buf: payload, base: headerSize}
 	m, err := decodePayloadV1(d)
 	if err == nil && version >= 2 {
 		err = decodeDendroV2(d, m)
+	}
+	if err == nil && version >= 3 {
+		err = decodeGeometryV3(d, m)
 	}
 	if err != nil {
 		return nil, err
@@ -619,6 +688,47 @@ func decodeDendroV2(d *decoder, m *Model) error {
 		dd.Neighbors[i] = list
 	}
 	m.Dendro = dd
+	return nil
+}
+
+// decodeGeometryV3 reads the geometry section that follows the dendro
+// section in format v3.
+func decodeGeometryV3(d *decoder, m *Model) error {
+	if err := d.str(&m.Geometry, 32); err != nil {
+		return err
+	}
+	if err := d.f64(&m.TemporalWeight); err != nil {
+		return err
+	}
+	var hasFrame bool
+	if err := d.bool(&hasFrame); err != nil {
+		return err
+	}
+	if hasFrame {
+		f := &geometry.Frame{}
+		if err := d.f64(&f.Lat0); err != nil {
+			return err
+		}
+		if err := d.f64(&f.Lon0); err != nil {
+			return err
+		}
+		m.Frame = f
+	}
+	nwin, err := d.count(16) // a window is two float64s
+	if err != nil {
+		return err
+	}
+	if nwin > 0 {
+		m.Windows = make([]geometry.Interval, nwin)
+		for i := range m.Windows {
+			if err := d.f64(&m.Windows[i].Start); err != nil {
+				return err
+			}
+			if err := d.f64(&m.Windows[i].End); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

@@ -215,18 +215,40 @@ func (sq *SearchQuery) scalarBlock(q geom.Segment, ids []int, out []float64) []f
 // is -1 only when no distance evaluated below +Inf (extreme coordinates
 // overflowing the computation).
 func (sq *SearchQuery) Nearest(q geom.Segment, seed float64, prefer func(cand, incumbent int) bool) (id int, d float64) {
+	return sq.nearest(q, seed, nil, prefer)
+}
+
+// NearestAdjusted is Nearest under the distance dist(q, ·) + adjust(id),
+// where adjust is an arbitrary non-negative per-segment addend — the
+// geometry hook the spatiotemporal classifier uses to add wT·gap between
+// the query's time interval and each reference segment's cluster window.
+//
+// The expanding-radius termination stays exact: an unseen segment outside
+// Euclidean radius r has spatial distance ≥ c·mindist > c·r, and because
+// adjust ≥ 0 its adjusted distance is at least that; so once the best
+// adjusted distance among candidates within r is ≤ c·r, no unseen segment
+// can beat it. A negative addend would break this bound (and the search's
+// exactness), which is why the contract requires adjust(id) ≥ 0 for all
+// ids. nil adjust is exactly Nearest.
+func (sq *SearchQuery) NearestAdjusted(q geom.Segment, seed float64, adjust func(id int) float64, prefer func(cand, incumbent int) bool) (id int, d float64) {
+	return sq.nearest(q, seed, adjust, prefer)
+}
+
+// nearest is the shared expanding-radius implementation behind Nearest and
+// NearestAdjusted; adjust is nil on the planar path.
+func (sq *SearchQuery) nearest(q geom.Segment, seed float64, adjust func(id int) float64, prefer func(cand, incumbent int) bool) (id int, d float64) {
 	s := sq.s
 	if s.brute {
-		return sq.scanNearest(q, prefer)
+		return sq.scanNearest(q, adjust, prefer)
 	}
 	r := seed / s.factor
 	if !(r > 0) || math.IsInf(r, 0) {
-		return sq.scanNearest(q, prefer)
+		return sq.scanNearest(q, adjust, prefer)
 	}
 	bounds := q.Bounds()
 	for iter := 0; iter < maxExpandIters; iter++ {
 		sq.cand = sq.q.Within(bounds, r, sq.cand[:0])
-		best, bestD := sq.bestOf(q, sq.cand, prefer)
+		best, bestD := sq.bestOf(q, sq.cand, adjust, prefer)
 		if best >= 0 && bestD <= s.factor*r {
 			return best, bestD
 		}
@@ -235,12 +257,12 @@ func (sq *SearchQuery) Nearest(q geom.Segment, seed float64, prefer func(cand, i
 			break
 		}
 	}
-	return sq.scanNearest(q, prefer)
+	return sq.scanNearest(q, adjust, prefer)
 }
 
 // scanNearest is the unpruned exact search over every indexed segment,
 // kernel-scored in fixed-size blocks so the distance scratch stays small.
-func (sq *SearchQuery) scanNearest(q geom.Segment, prefer func(cand, incumbent int) bool) (int, float64) {
+func (sq *SearchQuery) scanNearest(q geom.Segment, adjust func(id int) float64, prefer func(cand, incumbent int) bool) (int, float64) {
 	s := sq.s
 	var qv segpool.Seg
 	batched := s.pool != nil
@@ -266,6 +288,9 @@ func (sq *SearchQuery) scanNearest(q geom.Segment, prefer func(cand, incumbent i
 			}
 		}
 		for t, d := range sq.out {
+			if adjust != nil {
+				d += adjust(lo + t)
+			}
 			b.offer(lo+t, d)
 		}
 	}
@@ -273,11 +298,15 @@ func (sq *SearchQuery) scanNearest(q geom.Segment, prefer func(cand, incumbent i
 }
 
 // bestOf selects the exact nearest among a candidate block, scoring the
-// block through the kernel in one call.
-func (sq *SearchQuery) bestOf(q geom.Segment, cand []int, prefer func(cand, incumbent int) bool) (int, float64) {
+// block through the kernel in one call and folding in the optional
+// non-negative adjustment.
+func (sq *SearchQuery) bestOf(q geom.Segment, cand []int, adjust func(id int) float64, prefer func(cand, incumbent int) bool) (int, float64) {
 	sq.out = sq.DistBlockSeg(q, cand, sq.out)
 	b := bestTracker{id: -1, d: math.Inf(1), prefer: prefer}
 	for t, d := range sq.out {
+		if adjust != nil {
+			d += adjust(cand[t])
+		}
 		b.offer(cand[t], d)
 	}
 	return b.id, b.d

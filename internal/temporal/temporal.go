@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/geometry"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
 	"repro/internal/segclust"
@@ -60,22 +61,10 @@ func (t TimedTrajectory) Spatial() geom.Trajectory {
 	return geom.Trajectory{ID: t.ID, Label: t.Label, Weight: w, Points: t.Points}
 }
 
-// Interval is a closed time interval.
-type Interval struct {
-	Start, End float64
-}
-
-// Gap returns the distance between two intervals: 0 when they overlap,
-// otherwise the gap between the nearer endpoints.
-func (iv Interval) Gap(other Interval) float64 {
-	if iv.Start > other.End {
-		return iv.Start - other.End
-	}
-	if other.Start > iv.End {
-		return other.Start - iv.End
-	}
-	return 0
-}
+// Interval is a closed time interval. Since the geometry layer refactor it
+// is the one canonical interval type (internal/geometry owns it and the gap
+// semantics); the alias keeps every existing temporal caller compiling.
+type Interval = geometry.Interval
 
 // Item is a timed trajectory partition.
 type Item struct {
@@ -143,9 +132,12 @@ func PartitionAll(trs []TimedTrajectory, cfg Config) ([]Item, error) {
 // Run executes spatiotemporal TRACLUS: partition, group under the
 // four-component distance, and generate representatives with time windows.
 //
-// The temporal component breaks the geometric index prefilter (a time gap
-// adds distance an MBR cannot see), so neighborhoods are computed by full
-// scan — O(n²), matching the paper's index-free bound.
+// Neighborhoods are computed by full scan — O(n²), the paper's index-free
+// bound. Note that the geometric prefilter would in fact remain sound (the
+// temporal term only ever ADDS distance, so the planar candidate radius
+// stays complete); the indexed spatiotemporal path lives in the pipeline's
+// geometry layer (internal/geometry + segclust.NewSharedIndexTimed), and
+// this reference implementation is kept as its cross-check.
 func Run(trs []TimedTrajectory, cfg Config) (*Result, error) {
 	if cfg.Eps <= 0 {
 		return nil, errors.New("temporal: Eps must be positive")

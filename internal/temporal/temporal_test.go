@@ -50,15 +50,15 @@ func TestValidate(t *testing.T) {
 }
 
 func TestIntervalGap(t *testing.T) {
-	a := Interval{0, 10}
+	a := Interval{Start: 0, End: 10}
 	cases := []struct {
 		b    Interval
 		want float64
 	}{
-		{Interval{5, 15}, 0},  // overlap
-		{Interval{10, 20}, 0}, // touching
-		{Interval{12, 20}, 2}, // after
-		{Interval{-8, -3}, 3}, // before
+		{Interval{Start: 5, End: 15}, 0},  // overlap
+		{Interval{Start: 10, End: 20}, 0}, // touching
+		{Interval{Start: 12, End: 20}, 2}, // after
+		{Interval{Start: -8, End: -3}, 3}, // before
 	}
 	for _, c := range cases {
 		if got := a.Gap(c.b); got != c.want {

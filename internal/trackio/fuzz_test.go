@@ -63,3 +63,33 @@ func FuzzReadTelemetry(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadTimedCSV drives the 4-column decode: whatever the input, a
+// successful timed read must re-serialise, with times index-aligned to
+// points — and the spatial reader must accept the same bytes (timestamps
+// validated, then dropped).
+func FuzzReadTimedCSV(f *testing.F) {
+	f.Add("traj_id,x,y,t\n1,2,3,4\n")
+	f.Add("1,2,3,4\n1,2,3,5\n2,0,0,0\n")
+	f.Add("1,2,3\n1,2,3,4\n") // mixed arity: must error, not panic
+	f.Add("1,1,1,nan\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		trs, err := ReadTimedCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, tr := range trs {
+			if len(tr.Times) != len(tr.Points) {
+				t.Fatalf("trajectory %d: %d times for %d points", tr.ID, len(tr.Times), len(tr.Points))
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTimedCSV(&buf, trs); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ReadCSV(strings.NewReader(in)); err != nil {
+			t.Fatalf("spatial read rejected timed-readable input: %v", err)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/geom"
+	"repro/internal/temporal"
 )
 
 // LimitError reports that a streaming decode exceeded a configured bound.
@@ -23,20 +24,26 @@ func (e *LimitError) Error() string {
 	return fmt.Sprintf("trackio: input exceeds %d %s", e.Limit, e.What)
 }
 
-// CSVDecoder streams "traj_id,x,y" rows (header optional) into trajectories
-// one at a time, without buffering the whole input — the request-body reader
-// behind cmd/traclusd. Unlike ReadCSV, which groups rows by id across the
-// whole file, the decoder treats each maximal contiguous run of one id as a
+// CSVDecoder streams "traj_id,x,y" rows — or "traj_id,x,y,t" rows carrying a
+// per-point timestamp — (header optional) into trajectories one at a time,
+// without buffering the whole input — the request-body reader behind
+// cmd/traclusd. Unlike ReadCSV, which groups rows by id across the whole
+// file, the decoder treats each maximal contiguous run of one id as a
 // trajectory (the order WriteCSV produces), so memory is bounded by the
-// longest single trajectory plus the configured limits.
+// longest single trajectory plus the configured limits. A trajectory's rows
+// must agree on whether the timestamp column is present; mixing within one
+// trajectory is a parse error.
 type CSVDecoder struct {
 	sc   *bufio.Scanner
 	line int
 	err  error
 
 	// cur is the trajectory being accumulated; curSet marks it live.
-	cur    geom.Trajectory
-	curSet bool
+	// curTimes is non-nil exactly when cur's rows carry the timestamp
+	// column.
+	cur      geom.Trajectory
+	curTimes []float64
+	curSet   bool
 
 	// MaxPoints and MaxTrajectories bound the total input when positive;
 	// exceeding either yields a *LimitError. Set them before the first Next.
@@ -54,10 +61,33 @@ func NewCSVDecoder(r io.Reader) *CSVDecoder {
 
 // Next returns the next trajectory, or io.EOF after the last one. Any other
 // error is a parse failure or limit violation; decoding cannot continue
-// after either.
+// after either. Rows carrying the optional timestamp column still parse (the
+// timestamp is validated, then dropped); use NextTimed to keep it.
 func (d *CSVDecoder) Next() (geom.Trajectory, error) {
+	tr, _, err := d.next()
+	return tr, err
+}
+
+// NextTimed is Next keeping the timestamp column: it returns the next
+// trajectory with its per-point timestamps, and fails if the trajectory's
+// rows do not carry one.
+func (d *CSVDecoder) NextTimed() (temporal.TimedTrajectory, error) {
+	tr, times, err := d.next()
+	if err != nil {
+		return temporal.TimedTrajectory{}, err
+	}
+	if times == nil {
+		return temporal.TimedTrajectory{}, d.fail(fmt.Errorf(
+			"trackio: trajectory %d has no timestamp column (timed decode needs traj_id,x,y,t rows)", tr.ID))
+	}
+	return temporal.TimedTrajectory{
+		ID: tr.ID, Label: tr.Label, Weight: tr.Weight, Points: tr.Points, Times: times,
+	}, nil
+}
+
+func (d *CSVDecoder) next() (geom.Trajectory, []float64, error) {
 	if d.err != nil {
-		return geom.Trajectory{}, d.err
+		return geom.Trajectory{}, nil, d.err
 	}
 	for d.sc.Scan() {
 		d.line++
@@ -66,53 +96,72 @@ func (d *CSVDecoder) Next() (geom.Trajectory, error) {
 			continue
 		}
 		f := splitCSV(text)
-		if len(f) != 3 {
-			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: expected 3 CSV fields, got %d", d.line, len(f)))
+		if len(f) != 3 && len(f) != 4 {
+			return geom.Trajectory{}, nil, d.fail(fmt.Errorf("trackio: line %d: expected 3 or 4 CSV fields, got %d", d.line, len(f)))
 		}
 		id, err := strconv.Atoi(f[0])
 		if err != nil {
 			if d.line == 1 {
 				continue // header
 			}
-			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: bad traj_id %q", d.line, f[0]))
+			return geom.Trajectory{}, nil, d.fail(fmt.Errorf("trackio: line %d: bad traj_id %q", d.line, f[0]))
 		}
 		x, err := strconv.ParseFloat(f[1], 64)
 		if err != nil {
-			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: bad x %q", d.line, f[1]))
+			return geom.Trajectory{}, nil, d.fail(fmt.Errorf("trackio: line %d: bad x %q", d.line, f[1]))
 		}
 		y, err := strconv.ParseFloat(f[2], 64)
 		if err != nil {
-			return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: line %d: bad y %q", d.line, f[2]))
+			return geom.Trajectory{}, nil, d.fail(fmt.Errorf("trackio: line %d: bad y %q", d.line, f[2]))
+		}
+		timed := len(f) == 4
+		var ts float64
+		if timed {
+			if ts, err = strconv.ParseFloat(f[3], 64); err != nil {
+				return geom.Trajectory{}, nil, d.fail(fmt.Errorf("trackio: line %d: bad t %q", d.line, f[3]))
+			}
 		}
 		if d.MaxPoints > 0 && d.points >= d.MaxPoints {
-			return geom.Trajectory{}, d.fail(&LimitError{What: "points", Limit: d.MaxPoints})
+			return geom.Trajectory{}, nil, d.fail(&LimitError{What: "points", Limit: d.MaxPoints})
 		}
 		d.points++
 		if d.curSet && id != d.cur.ID {
-			out := d.cur
+			out, outTimes := d.cur, d.curTimes
 			d.cur = geom.Trajectory{ID: id, Weight: 1, Points: []geom.Point{geom.Pt(x, y)}}
-			if err := d.countTrajectory(); err != nil {
-				return geom.Trajectory{}, err
+			d.curTimes = nil
+			if timed {
+				d.curTimes = []float64{ts}
 			}
-			return out, nil
+			if err := d.countTrajectory(); err != nil {
+				return geom.Trajectory{}, nil, err
+			}
+			return out, outTimes, nil
 		}
 		if !d.curSet {
 			d.curSet = true
 			d.cur = geom.Trajectory{ID: id, Weight: 1}
+			d.curTimes = nil
 			if err := d.countTrajectory(); err != nil {
-				return geom.Trajectory{}, err
+				return geom.Trajectory{}, nil, err
 			}
 		}
+		if timed != (d.curTimes != nil) && len(d.cur.Points) > 0 {
+			return geom.Trajectory{}, nil, d.fail(fmt.Errorf(
+				"trackio: line %d: trajectory %d mixes timed and untimed rows", d.line, id))
+		}
 		d.cur.Points = append(d.cur.Points, geom.Pt(x, y))
+		if timed {
+			d.curTimes = append(d.curTimes, ts)
+		}
 	}
 	if err := d.sc.Err(); err != nil {
-		return geom.Trajectory{}, d.fail(fmt.Errorf("trackio: %w", err))
+		return geom.Trajectory{}, nil, d.fail(fmt.Errorf("trackio: %w", err))
 	}
 	if d.curSet {
 		d.curSet = false
-		return d.cur, nil
+		return d.cur, d.curTimes, nil
 	}
-	return geom.Trajectory{}, d.fail(io.EOF)
+	return geom.Trajectory{}, nil, d.fail(io.EOF)
 }
 
 func (d *CSVDecoder) countTrajectory() error {
@@ -145,6 +194,22 @@ func (d *CSVDecoder) DecodeAllCSV() ([]geom.Trajectory, error) {
 	}
 }
 
+// DecodeAllTimedCSV drains the decoder as NextTimed trajectories. Every row
+// in the input must carry the timestamp column.
+func (d *CSVDecoder) DecodeAllTimedCSV() ([]temporal.TimedTrajectory, error) {
+	var trs []temporal.TimedTrajectory
+	for {
+		tr, err := d.NextTimed()
+		if err == io.EOF {
+			return trs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		trs = append(trs, tr)
+	}
+}
+
 // MergeByID merges trajectories sharing an ID by concatenating their points
 // in slice order, keeping first-appearance order — exactly ReadCSV's
 // grouping. Combined with DecodeAllCSV it makes the streaming path parse
@@ -158,6 +223,23 @@ func MergeByID(trs []geom.Trajectory) []geom.Trajectory {
 	for _, tr := range trs {
 		if i, ok := at[tr.ID]; ok {
 			out[i].Points = append(out[i].Points, tr.Points...)
+			continue
+		}
+		at[tr.ID] = len(out)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// MergeTimedByID is MergeByID for timed trajectories: points and times are
+// concatenated in lockstep.
+func MergeTimedByID(trs []temporal.TimedTrajectory) []temporal.TimedTrajectory {
+	out := make([]temporal.TimedTrajectory, 0, len(trs))
+	at := map[int]int{} // id → index in out
+	for _, tr := range trs {
+		if i, ok := at[tr.ID]; ok {
+			out[i].Points = append(out[i].Points, tr.Points...)
+			out[i].Times = append(out[i].Times, tr.Times...)
 			continue
 		}
 		at[tr.ID] = len(out)

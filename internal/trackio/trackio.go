@@ -6,7 +6,9 @@
 //     the paper uses (http://weather.unisys.com/hurricane/atlantic/).
 //   - Telemetry: a Starkey-project-style TSV of radio-telemetry fixes
 //     (species, animal id, sequence number, x, y).
-//   - CSV: a minimal trajectory interchange format (traj_id,x,y).
+//   - CSV: a minimal trajectory interchange format (traj_id,x,y), with an
+//     optional fourth per-point timestamp column (traj_id,x,y,t) for
+//     spatiotemporal runs.
 //
 // The synthetic generators in internal/synth write through these formats
 // and the loaders read them back, so the repository exercises the same
@@ -23,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/geom"
+	"repro/internal/temporal"
 )
 
 // WriteBestTrack serialises trajectories in the simplified Best Track
@@ -217,6 +220,35 @@ func ReadCSV(r io.Reader) ([]geom.Trajectory, error) {
 		return nil, err
 	}
 	return MergeByID(trs), nil
+}
+
+// WriteTimedCSV writes timed trajectories as "traj_id,x,y,t" rows with a
+// header — the four-column form ReadTimedCSV parses.
+func WriteTimedCSV(w io.Writer, trs []temporal.TimedTrajectory) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "traj_id,x,y,t"); err != nil {
+		return err
+	}
+	for _, tr := range trs {
+		for i, p := range tr.Points {
+			if _, err := fmt.Fprintf(bw, "%d,%.6f,%.6f,%.3f\n", tr.ID, p.X, p.Y, tr.Times[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTimedCSV parses "traj_id,x,y,t" rows (header optional) — ReadCSV with
+// the per-point timestamp column required on every row. Grouping matches
+// ReadCSV: points (and times, in lockstep) merge by id in first-appearance
+// order.
+func ReadTimedCSV(r io.Reader) ([]temporal.TimedTrajectory, error) {
+	trs, err := NewCSVDecoder(r).DecodeAllTimedCSV()
+	if err != nil {
+		return nil, err
+	}
+	return MergeTimedByID(trs), nil
 }
 
 func splitCSV(s string) []string {

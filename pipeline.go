@@ -33,6 +33,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dendro"
+	"repro/internal/geom"
+	"repro/internal/geometry"
 	"repro/internal/lsdist"
 	"repro/internal/optics"
 	"repro/internal/params"
@@ -177,6 +179,23 @@ func WithRepresentativeBuilder(b RepresentativeBuilder) Option {
 // WithProgress installs a progress hook.
 func WithProgress(fn ProgressFunc) Option { return func(p *Pipeline) { p.progress = fn } }
 
+// WithGeometry selects the run's geometry — coordinate frame and distance
+// semantics — overriding Config.Geometry alone. PlanarGeometry (the
+// default) is the paper's setting and is bit-identical to not setting a
+// geometry at all; SpatiotemporalGeometry(wt) adds the temporal distance
+// component and requires RunTimed; GeodesicGeometry clusters lat/lon input
+// in a dataset-derived meter frame.
+func WithGeometry(g Geometry) Option { return func(p *Pipeline) { p.cfg.Geometry = g } }
+
+// WithTemporalWeight is shorthand for
+// WithGeometry(SpatiotemporalGeometry(wt)): it switches the pipeline to the
+// spatiotemporal geometry with temporal weight wt. wt = 0 keeps the
+// spatiotemporal plumbing but reduces the distance bit-identically to
+// planar — the equivalence the tests pin down.
+func WithTemporalWeight(wt float64) Option {
+	return func(p *Pipeline) { p.cfg.Geometry = SpatiotemporalGeometry(wt) }
+}
+
 // WithIndexBackend plugs a custom spatial-index backend into every phase
 // that indexes segments — parameter estimation, ε-neighborhood grouping,
 // and the classifier built over the run's result — overriding the
@@ -242,6 +261,14 @@ func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if cfg.Geometry.Kind == geometry.Spatiotemporal {
+		return nil, fmt.Errorf("traclus: %w", &ConfigError{
+			Field: "Geometry", Value: cfg.Geometry.Kind.String(),
+			Reason: "spatiotemporal runs take timed trajectories; use Pipeline.RunTimed"})
+	}
+	if cfg.Geometry.Kind == geometry.Geodesic {
+		trs, cfg = projectGeodesic(trs, cfg)
 	}
 	ccfg := p.coreConfig(cfg)
 	rep := newProgressReporter(p.progress)
@@ -326,6 +353,157 @@ func (p *Pipeline) Run(ctx context.Context, trs []Trajectory) (*Result, error) {
 	return res, nil
 }
 
+// projectGeodesic resolves the equirectangular frame from the data bounds
+// (unless a frame was pre-resolved — a snapshot restore or an explicit
+// Config) and rewrites every trajectory into the working meter frame. The
+// resolved frame is recorded on cfg.Geometry so it rides the Result and its
+// snapshot, and later queries project identically.
+func projectGeodesic(trs []Trajectory, cfg Config) ([]Trajectory, Config) {
+	var f geometry.Frame
+	if cfg.Geometry.Frame != nil {
+		f = *cfg.Geometry.Frame
+	} else {
+		bounds, _ := geom.BoundsOf(trs)
+		f = geometry.FrameFor(bounds)
+	}
+	proj := make([]Trajectory, len(trs))
+	for i, tr := range trs {
+		tr.Points = f.ProjectTrajectory(tr.Points)
+		proj[i] = tr
+	}
+	cfg.Geometry.Frame = &f
+	return proj, cfg
+}
+
+// RunTimed executes the pipeline over timed trajectories: partition (each
+// segment inheriting the time interval it spans) → group under the
+// geometry's distance → represent, with per-cluster time windows on the
+// Result. It is the entrypoint for the spatiotemporal geometry
+// (WithTemporalWeight / WithGeometry(SpatiotemporalGeometry(wt))); under
+// the planar geometry — or wT = 0 — the clustering is bit-identical to Run
+// over the same points, timestamps riding along only as windows.
+//
+// The spatial index prefilter stays sound under the spatiotemporal
+// distance: the temporal term only ever adds distance, so the planar
+// candidate radius remains complete (see internal/geometry). Estimation
+// (WithEstimation) composes: the annealing search runs under the full
+// spatiotemporal distance through the same shared index.
+//
+// Custom Partitioner and Grouper stages have no timed form and are
+// rejected; custom RepresentativeBuilders work unchanged.
+func (p *Pipeline) RunTimed(ctx context.Context, trs []TimedTrajectory) (*Result, error) {
+	cfg := p.cfg
+	if p.est != nil {
+		if err := cfg.validateEstimation(); err != nil {
+			return nil, fmt.Errorf("traclus: %w", err)
+		}
+		if !(p.est.lo > 0) || !(p.est.hi > p.est.lo) {
+			return nil, fmt.Errorf("traclus: %w", &ConfigError{
+				Field: "Estimation", Value: [2]float64{p.est.lo, p.est.hi},
+				Reason: "must satisfy 0 < lo < hi"})
+		}
+	} else if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if cfg.Geometry.Kind == geometry.Geodesic {
+		return nil, fmt.Errorf("traclus: %w", &ConfigError{
+			Field: "Geometry", Value: cfg.Geometry.Kind.String(),
+			Reason: "geodesic runs take lat/lon trajectories via Pipeline.Run"})
+	}
+	if _, ok := p.partition.(mdlPartitioner); !ok {
+		return nil, fmt.Errorf("traclus: RunTimed requires the default MDL partition stage (a custom Partitioner has no timed form)")
+	}
+	sg, ok := p.group.(sharedGrouper)
+	if !ok {
+		return nil, fmt.Errorf("traclus: RunTimed requires the default DBSCAN grouping stage (a custom Grouper has no timed form)")
+	}
+	if err := core.ValidateTimedTrajectories(trs); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ccfg := p.coreConfig(cfg)
+	rep := newProgressReporter(p.progress)
+
+	rep.begin(PhasePartition, len(trs))
+	items, ivs, err := core.PartitionAllTimedCtx(ctx, trs, ccfg, rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhasePartition, err)
+	}
+	rep.finish()
+
+	// The one spatial index serves estimation and grouping exactly as in
+	// Run; the per-item intervals and wT ride the SharedIndex, so every
+	// consumer — estimation's neighborhoods, the dendrogram build, the
+	// ε-graph grouping — evaluates the same spatiotemporal distance.
+	shared := segclust.NewSharedIndexTimed(items, ivs, cfg.Geometry.WT, ccfg.Distance, ccfg.ResolvedBackend())
+
+	var estimated *Estimate
+	var den *dendro.Dendrogram
+	if p.est != nil {
+		rep.begin(PhaseEstimate, params.DefaultIterations+1)
+		an := params.AnnealOptions{Workers: cfg.Workers, OnEval: rep.tick}
+		var est params.Estimate
+		if !math.IsInf(p.est.hi, 1) {
+			den, err = dendro.FromShared(ctx, shared, p.est.hi, cfg.Workers)
+			if err == nil {
+				est, err = params.EstimateEpsDendroCtx(ctx, den, p.est.lo, p.est.hi, an)
+			}
+		} else {
+			est, err = params.EstimateEpsSharedCtx(ctx, shared, p.est.lo, p.est.hi, an)
+		}
+		if err != nil {
+			return nil, stageError(ctx, PhaseEstimate, err)
+		}
+		rep.finish()
+		cfg.Eps = est.Eps
+		cfg.MinLns = float64(est.MinLnsLo+est.MinLnsHi) / 2
+		ccfg = p.coreConfig(cfg)
+		estimated = &Estimate{
+			Eps:          est.Eps,
+			Entropy:      est.Entropy,
+			AvgNeighbors: est.AvgNeighbors,
+			MinLnsLo:     est.MinLnsLo,
+			MinLnsHi:     est.MinLnsHi,
+		}
+	}
+
+	rep.begin(PhaseGroup, len(items))
+	grouping, err := sg.groupSharedTicked(ctx, shared, cfg, rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhaseGroup, err)
+	}
+	rep.finish()
+
+	rep.begin(PhaseRepresent, len(grouping.Clusters))
+	out, err := core.AssembleCtx(ctx, items, grouping, ccfg, p.representFunc(cfg), rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhaseRepresent, err)
+	}
+	rep.finish()
+	res := newResult(out, ccfg)
+	res.Estimated = estimated
+	res.dendro = den
+	res.itemIvs = ivs
+	res.windows = clusterWindows(out, ivs)
+	return res, nil
+}
+
+// clusterWindows computes each cluster's time window — the smallest
+// interval covering every member segment's span.
+func clusterWindows(out *core.Output, ivs []geometry.Interval) []Interval {
+	ws := make([]Interval, len(out.Clusters))
+	for ci, c := range out.Clusters {
+		w := ivs[c.Members[0]]
+		for _, m := range c.Members[1:] {
+			w = w.Union(ivs[m])
+		}
+		ws[ci] = w
+	}
+	return ws
+}
+
 // coreConfig projects the public Config onto the engine configuration,
 // applying the pipeline-level backend override so one backend choice
 // reaches every indexing phase (estimation, grouping, classification).
@@ -394,6 +572,14 @@ func (p *Pipeline) Estimate(ctx context.Context, trs []Trajectory, lo, hi float6
 	if !(lo > 0) || !(hi > lo) {
 		// Rejected before partitioning or indexing anything.
 		return Estimate{}, fmt.Errorf("traclus: params: need 0 < lo < hi")
+	}
+	if cfg.Geometry.Kind == geometry.Spatiotemporal {
+		return Estimate{}, fmt.Errorf("traclus: %w", &ConfigError{
+			Field: "Geometry", Value: cfg.Geometry.Kind.String(),
+			Reason: "spatiotemporal estimation takes timed trajectories; build WithEstimation and call RunTimed"})
+	}
+	if cfg.Geometry.Kind == geometry.Geodesic {
+		trs, cfg = projectGeodesic(trs, cfg)
 	}
 	ccfg := p.coreConfig(cfg)
 	items, err := core.PartitionAllCtx(ctx, trs, ccfg, nil)

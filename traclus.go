@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dendro"
 	"repro/internal/geom"
+	"repro/internal/geometry"
 	"repro/internal/lsdist"
 	"repro/internal/mdl"
 	"repro/internal/quality"
@@ -112,6 +113,55 @@ func RTreeIndexBackend() IndexBackend { return spindex.RTree() }
 // implementation, the Lemma 3 O(n²) baseline).
 func BruteIndexBackend() IndexBackend { return spindex.Brute() }
 
+// Geometry selects the coordinate frame and distance semantics of a run:
+// planar Euclidean (the zero value, the paper's setting), spatiotemporal
+// (a fourth distance component wT·dT over per-point timestamps — Section
+// 7.1 item 5), or geodesic (lat/lon degrees projected through a
+// dataset-derived equirectangular frame into meters). See PlanarGeometry,
+// SpatiotemporalGeometry, GeodesicGeometry, and the "Geometry layer"
+// section of ARCHITECTURE.md.
+type Geometry = geometry.Geometry
+
+// GeoFrame is the equirectangular projection frame a geodesic run resolves
+// from its data bounds (and a snapshot persists), mapping lat/lon degrees
+// to meters in the model's working plane and back.
+type GeoFrame = geometry.Frame
+
+// PlanarGeometry returns the default geometry: planar Euclidean, exactly
+// the paper's setting. A Config with this geometry is bit-identical to one
+// with the zero Geometry value.
+func PlanarGeometry() Geometry { return geometry.NewPlanar() }
+
+// SpatiotemporalGeometry returns the spatiotemporal geometry with temporal
+// weight wT: the clustering distance gains wT·dT, where dT is the gap
+// between two segments' time intervals (zero when they overlap). wT = 0
+// reduces bit-identically to planar. Runs under this geometry take timed
+// trajectories via Pipeline.RunTimed.
+func SpatiotemporalGeometry(wt float64) Geometry { return geometry.NewSpatiotemporal(wt) }
+
+// GeodesicGeometry returns the geodesic geometry for lat/lon input
+// (X = longitude, Y = latitude, degrees): the run derives an
+// equirectangular frame from the data bounds, projects every point to
+// meters, and clusters in that working plane, so Eps and MinSegmentLength
+// are in meters. The resolved frame rides the Result (and its snapshot) so
+// queries project identically.
+func GeodesicGeometry() Geometry { return geometry.NewGeodesic() }
+
+// ParseGeometry maps a user-facing geometry name — "planar" (aliases
+// "euclidean", "xy", ""), "spatiotemporal" (aliases "st", "temporal"),
+// "geodesic" (aliases "latlon", "gps") — to its Geometry. The
+// spatiotemporal weight defaults to 0 (set it with Config.Geometry.WT or
+// SpatiotemporalGeometry). Unknown names return a *ConfigError, which
+// serving layers surface as HTTP 400.
+func ParseGeometry(s string) (Geometry, error) {
+	kind, ok := geometry.ParseKind(s)
+	if !ok {
+		return Geometry{}, &ConfigError{Field: "Geometry", Value: s,
+			Reason: `must be one of "planar", "spatiotemporal", "geodesic"`}
+	}
+	return Geometry{Kind: kind}, nil
+}
+
 // Config holds the user-facing TRACLUS parameters.
 type Config struct {
 	// Eps is the ε-neighborhood radius (same units as the coordinates).
@@ -137,6 +187,11 @@ type Config struct {
 	// Gamma is the representative-trajectory smoothing parameter γ;
 	// 0 defaults to Eps/4.
 	Gamma float64
+	// Geometry selects the coordinate frame and distance semantics; the
+	// zero value is planar Euclidean, bit-identical to every release before
+	// the geometry layer existed. See PlanarGeometry, SpatiotemporalGeometry,
+	// GeodesicGeometry.
+	Geometry Geometry
 	// Index selects the neighborhood strategy (default IndexGrid).
 	Index IndexKind
 	// Workers bounds the parallelism of the whole pipeline: MDL
@@ -195,6 +250,9 @@ func (c Config) validateEstimation() error {
 	if err := segclust.CheckNonNegative("MinSegmentLength", c.MinSegmentLength); err != nil {
 		return err
 	}
+	if field, reason := c.Geometry.Validate(); field != "" {
+		return &ConfigError{Field: "Geometry." + field, Value: c.Geometry, Reason: reason}
+	}
 	return segclust.CheckNonNegative("Gamma", c.Gamma)
 }
 
@@ -209,6 +267,7 @@ func (c Config) core() core.Config {
 		MinTrajs:  c.MinTrajs,
 		Partition: mdl.Config{CostAdvantage: c.CostAdvantage, MinLength: c.MinSegmentLength},
 		Distance:  lsdist.Options{Weights: w, Undirected: c.Undirected},
+		Geometry:  c.Geometry,
 		Index:     c.Index,
 		Gamma:     c.Gamma,
 		Workers:   c.Workers,
@@ -249,6 +308,13 @@ type Result struct {
 	// annealer's by-product); nil on fixed-parameter runs.
 	dendro *dendro.Dendrogram
 
+	// itemIvs are the per-item time intervals of a RunTimed run,
+	// index-aligned with Items(); nil on spatial runs.
+	itemIvs []geometry.Interval
+	// windows are the per-cluster time windows of a RunTimed run,
+	// index-aligned with Clusters; nil on spatial runs.
+	windows []Interval
+
 	// Lazily-built classifier behind Result.Classify; see classify.go.
 	clsOnce sync.Once
 	cls     *Classifier
@@ -265,6 +331,20 @@ func (r *Result) Items() []Item { return r.out.Items }
 // Non-nil, it answers exact clusterings at any ε up to the estimation
 // range's hi via CutAt, with zero further distance computations.
 func (r *Result) Dendrogram() *dendro.Dendrogram { return r.dendro }
+
+// Geometry returns the geometry the run resolved: the configured geometry,
+// with a geodesic run's projection frame filled in from the data bounds.
+func (r *Result) Geometry() Geometry { return r.cfg.Geometry }
+
+// ClusterWindows returns the per-cluster time windows of a RunTimed run,
+// index-aligned with Clusters (each window is the smallest interval
+// covering every member segment's span); nil on spatial runs.
+func (r *Result) ClusterWindows() []Interval { return r.windows }
+
+// ItemIntervals returns the per-item time intervals of a RunTimed run,
+// index-aligned with Items(); nil on spatial runs. The slice is the
+// result's own backing store — do not mutate.
+func (r *Result) ItemIntervals() []Interval { return r.itemIvs }
 
 // Run executes the complete TRACLUS algorithm: partition every trajectory,
 // group the pooled segments, and generate a representative trajectory per

@@ -1,0 +1,396 @@
+package traclus
+
+// Incremental appends: cluster under updates without rebuilding the model.
+// An Appender is a Pipeline run that keeps its working state — the grown
+// shared index and the incremental ε-graph of internal/segclust — so that
+// appending Δ trajectories costs O(Δ) ε-range queries plus two cheap O(n)
+// label passes, instead of the full partition+group+sweep rebuild.
+//
+// The contract is append-built ≡ batch-built: after any sequence of appends
+// the Result equals a from-scratch run over the concatenated trajectories —
+// same clusters, representatives, RemovedClusters, and cluster windows (the
+// one legitimate difference is DistCalls; see internal/segclust's
+// incremental package comment). Two pins make this hold across geometries:
+// a geodesic appender projects appended trajectories through the frame the
+// initial build resolved (a batch run over the concatenation may resolve a
+// different frame from the enlarged bounds — batch comparisons must pin the
+// frame via WithGeometry), and an estimation appender keeps the ε/MinLns
+// the initial build estimated (parameters are frozen at build time; they are
+// not re-estimated per append).
+//
+// The sweep phase re-runs only for dirtied clusters: a cluster whose member
+// set is unchanged from the previous epoch keeps its representative — the
+// sweep is a deterministic function of (member segments, weights, MinLns, γ),
+// all unchanged — so appends that touch k clusters sweep k clusters, not all
+// of them. The multi-ε dendrogram is NOT maintained incrementally: an
+// appended Result carries a nil Dendrogram, and serving layers rebuild it
+// lazily on the next sweep query (the pinned invalidate-and-rebuild choice;
+// see ARCHITECTURE.md "Incremental updates").
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dendro"
+	"repro/internal/geometry"
+	"repro/internal/par"
+	"repro/internal/params"
+	"repro/internal/segclust"
+	"repro/internal/sweep"
+)
+
+// Appender is a clustering that stays current under appended trajectories.
+// Build one with Pipeline.NewAppender (spatial or geodesic input) or
+// Pipeline.NewTimedAppender (spatiotemporal input); each Append folds new
+// trajectories in and returns the updated Result. An Appender is safe for
+// concurrent use — appends serialise on an internal lock — but each append
+// mutates the retained index, so Results are immutable snapshots while the
+// Appender itself is the single writer.
+type Appender struct {
+	mu    sync.Mutex
+	p     *Pipeline
+	cfg   Config // resolved: post-estimation ε/MinLns, geodesic frame filled in
+	ccfg  core.Config
+	inc   *segclust.Incremental
+	res   *Result
+	timed bool
+}
+
+// Result returns the clustering over everything appended so far. The value
+// is an immutable snapshot; later appends produce new Results.
+func (a *Appender) Result() *Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.res
+}
+
+// NewAppender runs the pipeline over trs exactly like Run — same phases,
+// same progress events, same Result, bit-identical at every worker count —
+// but retains the grouping state so Append can extend it. It requires the
+// default partition and grouping stages (the incremental update rule is the
+// ε-graph's; custom stages have no incremental form) and an index backend
+// that supports growth (all three built-ins do).
+func (p *Pipeline) NewAppender(ctx context.Context, trs []Trajectory) (*Appender, error) {
+	cfg := p.cfg
+	if p.est != nil {
+		if err := cfg.validateEstimation(); err != nil {
+			return nil, fmt.Errorf("traclus: %w", err)
+		}
+		if !(p.est.lo > 0) || !(p.est.hi > p.est.lo) {
+			return nil, fmt.Errorf("traclus: %w", &ConfigError{
+				Field: "Estimation", Value: [2]float64{p.est.lo, p.est.hi},
+				Reason: "must satisfy 0 < lo < hi"})
+		}
+	} else if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if err := p.appendableStages(); err != nil {
+		return nil, err
+	}
+	if err := core.ValidateTrajectories(trs); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Geometry.Kind == geometry.Spatiotemporal {
+		return nil, fmt.Errorf("traclus: %w", &ConfigError{
+			Field: "Geometry", Value: cfg.Geometry.Kind.String(),
+			Reason: "spatiotemporal appenders take timed trajectories; use Pipeline.NewTimedAppender"})
+	}
+	if cfg.Geometry.Kind == geometry.Geodesic {
+		trs, cfg = projectGeodesic(trs, cfg)
+	}
+	ccfg := p.coreConfig(cfg)
+	rep := newProgressReporter(p.progress)
+
+	rep.begin(PhasePartition, len(trs))
+	items, err := runPartition(ctx, p.partition, trs, cfg, rep)
+	if err != nil {
+		return nil, stageError(ctx, PhasePartition, err)
+	}
+	rep.finish()
+
+	shared := segclust.NewSharedIndexFor(items, ccfg.Distance, ccfg.ResolvedBackend())
+	return p.finishAppender(ctx, shared, cfg, rep, false)
+}
+
+// NewTimedAppender is NewAppender for timed trajectories: the
+// spatiotemporal entry point, mirroring RunTimed. Appends go through
+// Appender.AppendTimed and the Result carries per-cluster time windows.
+func (p *Pipeline) NewTimedAppender(ctx context.Context, trs []TimedTrajectory) (*Appender, error) {
+	cfg := p.cfg
+	if p.est != nil {
+		if err := cfg.validateEstimation(); err != nil {
+			return nil, fmt.Errorf("traclus: %w", err)
+		}
+		if !(p.est.lo > 0) || !(p.est.hi > p.est.lo) {
+			return nil, fmt.Errorf("traclus: %w", &ConfigError{
+				Field: "Estimation", Value: [2]float64{p.est.lo, p.est.hi},
+				Reason: "must satisfy 0 < lo < hi"})
+		}
+	} else if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if cfg.Geometry.Kind == geometry.Geodesic {
+		return nil, fmt.Errorf("traclus: %w", &ConfigError{
+			Field: "Geometry", Value: cfg.Geometry.Kind.String(),
+			Reason: "geodesic appenders take lat/lon trajectories via Pipeline.NewAppender"})
+	}
+	if err := p.appendableStages(); err != nil {
+		return nil, err
+	}
+	if err := core.ValidateTimedTrajectories(trs); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ccfg := p.coreConfig(cfg)
+	rep := newProgressReporter(p.progress)
+
+	rep.begin(PhasePartition, len(trs))
+	items, ivs, err := core.PartitionAllTimedCtx(ctx, trs, ccfg, rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhasePartition, err)
+	}
+	rep.finish()
+
+	shared := segclust.NewSharedIndexTimed(items, ivs, cfg.Geometry.WT, ccfg.Distance, ccfg.ResolvedBackend())
+	return p.finishAppender(ctx, shared, cfg, rep, true)
+}
+
+// appendableStages rejects pipeline configurations the incremental path
+// cannot honour: only the default MDL partition and DBSCAN grouping stages
+// have an incremental form (custom RepresentativeBuilders are fine — they
+// just disable per-cluster sweep reuse).
+func (p *Pipeline) appendableStages() error {
+	if _, ok := p.partition.(mdlPartitioner); !ok {
+		return fmt.Errorf("traclus: appenders require the default MDL partition stage (a custom Partitioner has no incremental form)")
+	}
+	if _, ok := p.group.(dbscanGrouper); !ok {
+		return fmt.Errorf("traclus: appenders require the default DBSCAN grouping stage (a custom Grouper has no incremental form)")
+	}
+	return nil
+}
+
+// finishAppender is the shared back half of NewAppender and
+// NewTimedAppender: optional estimation against the shared index, the
+// incremental grouping build, assembly, and the first Result.
+func (p *Pipeline) finishAppender(ctx context.Context, shared *segclust.SharedIndex, cfg Config, rep *progressReporter, timed bool) (*Appender, error) {
+	if !shared.Searcher().Growable() {
+		return nil, fmt.Errorf("traclus: appenders require a growable index backend (custom backend %q does not implement growth)", p.coreConfig(cfg).ResolvedBackend().Name())
+	}
+	var estimated *Estimate
+	var den *dendro.Dendrogram
+	var err error
+	if p.est != nil {
+		rep.begin(PhaseEstimate, params.DefaultIterations+1)
+		an := params.AnnealOptions{Workers: cfg.Workers, OnEval: rep.tick}
+		var est params.Estimate
+		if !math.IsInf(p.est.hi, 1) {
+			den, err = dendro.FromShared(ctx, shared, p.est.hi, cfg.Workers)
+			if err == nil {
+				est, err = params.EstimateEpsDendroCtx(ctx, den, p.est.lo, p.est.hi, an)
+			}
+		} else {
+			est, err = params.EstimateEpsSharedCtx(ctx, shared, p.est.lo, p.est.hi, an)
+		}
+		if err != nil {
+			return nil, stageError(ctx, PhaseEstimate, err)
+		}
+		rep.finish()
+		cfg.Eps = est.Eps
+		cfg.MinLns = float64(est.MinLnsLo+est.MinLnsHi) / 2
+		estimated = &Estimate{
+			Eps:          est.Eps,
+			Entropy:      est.Entropy,
+			AvgNeighbors: est.AvgNeighbors,
+			MinLnsLo:     est.MinLnsLo,
+			MinLnsHi:     est.MinLnsHi,
+		}
+	}
+	ccfg := p.coreConfig(cfg)
+	items := shared.Items()
+
+	rep.begin(PhaseGroup, len(items))
+	inc, err := segclust.NewIncrementalCtx(ctx, shared, ccfg.Segclust(), rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhaseGroup, err)
+	}
+	grouping := inc.Result()
+	rep.finish()
+
+	rep.begin(PhaseRepresent, len(grouping.Clusters))
+	out, err := core.AssembleCtx(ctx, items, grouping, ccfg, p.representFunc(cfg), rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhaseRepresent, err)
+	}
+	rep.finish()
+	res := newResult(out, ccfg)
+	res.Estimated = estimated
+	res.dendro = den
+	if timed {
+		ivs, _ := shared.Temporal()
+		res.itemIvs = ivs
+		res.windows = clusterWindows(out, ivs)
+	}
+	return &Appender{p: p, cfg: cfg, ccfg: ccfg, inc: inc, res: res, timed: timed}, nil
+}
+
+// Append folds trs into the clustering and returns the updated Result: the
+// new trajectories are MDL-partitioned, their segments run ε-range queries
+// against the grown index, the ε-graph absorbs the new edges, and only
+// dirtied clusters re-sweep. Empty trs returns the current Result.
+//
+// A failed or cancelled Append leaves the Appender unusable for further
+// appends (the grown index and the derived labels may disagree); the last
+// successful Result remains valid, and the caller rebuilds from scratch.
+func (a *Appender) Append(ctx context.Context, trs []Trajectory) (*Result, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.timed {
+		return nil, fmt.Errorf("traclus: this appender was built from timed trajectories; use AppendTimed")
+	}
+	if err := core.ValidateTrajectories(trs); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if len(trs) == 0 {
+		return a.res, nil
+	}
+	if a.cfg.Geometry.Kind == geometry.Geodesic {
+		// The frame was resolved at build time and rides a.cfg, so appended
+		// trajectories project into the identical working plane.
+		trs, _ = projectGeodesic(trs, a.cfg)
+	}
+	rep := newProgressReporter(a.p.progress)
+	rep.begin(PhasePartition, len(trs))
+	items, err := runPartition(ctx, a.p.partition, trs, a.cfg, rep)
+	if err != nil {
+		return nil, stageError(ctx, PhasePartition, err)
+	}
+	rep.finish()
+	return a.appendItems(ctx, items, nil, rep)
+}
+
+// AppendTimed is Append for a timed (spatiotemporal) appender.
+func (a *Appender) AppendTimed(ctx context.Context, trs []TimedTrajectory) (*Result, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.timed {
+		return nil, fmt.Errorf("traclus: this appender was built from spatial trajectories; use Append")
+	}
+	if err := core.ValidateTimedTrajectories(trs); err != nil {
+		return nil, fmt.Errorf("traclus: %w", err)
+	}
+	if len(trs) == 0 {
+		return a.res, nil
+	}
+	rep := newProgressReporter(a.p.progress)
+	rep.begin(PhasePartition, len(trs))
+	items, ivs, err := core.PartitionAllTimedCtx(ctx, trs, a.ccfg, rep.tick)
+	if err != nil {
+		return nil, stageError(ctx, PhasePartition, err)
+	}
+	rep.finish()
+	return a.appendItems(ctx, items, ivs, rep)
+}
+
+// appendItems is the shared core of Append and AppendTimed: incremental
+// grouping, dirtied-cluster assembly, and the new Result. Caller holds mu.
+func (a *Appender) appendItems(ctx context.Context, items []Item, ivs []Interval, rep *progressReporter) (*Result, error) {
+	rep.begin(PhaseGroup, len(items))
+	grouping, err := a.inc.AppendCtx(ctx, items, ivs)
+	if err != nil {
+		return nil, stageError(ctx, PhaseGroup, err)
+	}
+	rep.finish()
+
+	all := a.inc.Shared().Items()
+	rep.begin(PhaseRepresent, len(grouping.Clusters))
+	var out *core.Output
+	if repFn := a.p.representFunc(a.cfg); repFn != nil {
+		// Custom builders get no reuse (they may not be deterministic); the
+		// full assembly runs, exactly as a batch build would.
+		out, err = core.AssembleCtx(ctx, all, grouping, a.ccfg, repFn, rep.tick)
+	} else {
+		out, err = a.assembleReusing(ctx, all, grouping, rep.tick)
+	}
+	if err != nil {
+		return nil, stageError(ctx, PhaseRepresent, err)
+	}
+	rep.finish()
+
+	res := newResult(out, a.ccfg)
+	res.Estimated = a.res.Estimated
+	// The dendrogram is deliberately NOT carried over: it describes the
+	// pre-append items and every cut from it would be stale. Serving layers
+	// rebuild it lazily from the appended result's items.
+	if a.timed {
+		allIvs, _ := a.inc.Shared().Temporal()
+		res.itemIvs = allIvs
+		res.windows = clusterWindows(out, allIvs)
+	}
+	a.res = res
+	return res, nil
+}
+
+// assembleReusing is AssembleCtx with the dirtied-cluster sweep restriction:
+// a cluster whose member list is identical to one from the previous epoch
+// reuses that epoch's gathered segments and representative — the sweep is a
+// deterministic function of members, weights, MinLns, and γ, none of which
+// changed — so only clusters the append actually touched are re-swept.
+// Clusters are keyed by first member: member lists are ascending and epochs
+// share the item numbering, so equal first members + equal lists ⇔ the same
+// cluster.
+func (a *Appender) assembleReusing(ctx context.Context, items []Item, grouping *Grouping, onCluster func()) (*core.Output, error) {
+	old := a.res.out
+	oldByFirst := make(map[int]int, len(old.Clusters))
+	for oi, oc := range old.Clusters {
+		if len(oc.Members) > 0 {
+			oldByFirst[oc.Members[0]] = oi
+		}
+	}
+	swCfg := sweep.Config{MinLns: a.ccfg.MinLns, Gamma: a.ccfg.EffectiveGamma()}
+	out := &core.Output{Items: items, Result: grouping}
+	out.Clusters = make([]core.Cluster, len(grouping.Clusters))
+	err := par.ForEachCtx(ctx, a.ccfg.Workers, len(grouping.Clusters), func(_, ci int) {
+		c := grouping.Clusters[ci]
+		if oi, ok := oldByFirst[c.Members[0]]; ok && slices.Equal(old.Clusters[oi].Members, c.Members) {
+			oc := old.Clusters[oi]
+			out.Clusters[ci] = core.Cluster{
+				Segments:       oc.Segments,
+				Members:        c.Members,
+				Trajectories:   c.Trajectories,
+				Representative: oc.Representative,
+			}
+			if onCluster != nil {
+				onCluster()
+			}
+			return
+		}
+		segs := make([]Segment, len(c.Members))
+		weights := make([]float64, len(c.Members))
+		for i, m := range c.Members {
+			segs[i] = items[m].Seg
+			weights[i] = items[m].Weight
+		}
+		out.Clusters[ci] = core.Cluster{
+			Segments:       segs,
+			Members:        c.Members,
+			Trajectories:   c.Trajectories,
+			Representative: sweep.Representative(segs, weights, swCfg),
+		}
+		if onCluster != nil {
+			onCluster()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,334 @@
+package traclus_test
+
+// The tentpole contract of the incremental append path, pinned end to end:
+// append-built ≡ batch-built. After any sequence of appends the Appender's
+// Result must equal a from-scratch run over the concatenated trajectories —
+// same clusters (segments, trajectory sets, representatives bit-for-bit),
+// same noise/removed counters, same cluster windows — across every backend,
+// worker count, and geometry. DistCalls is deliberately excluded from the
+// digest: the base items were queried against the smaller pre-append index,
+// so the incremental path legitimately evaluates fewer candidates than a
+// batch run over the concatenation (see internal/segclust/incremental.go).
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/synth"
+
+	traclus "repro"
+)
+
+// appendFingerprint digests everything the append contract pins: the exact
+// bits of every geometric output, the counters, and the cluster windows —
+// but not DistCalls.
+func appendFingerprint(r *traclus.Result) string {
+	h := sha256.New()
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	putF := func(f float64) { put(math.Float64bits(f)) }
+	put(uint64(len(r.Clusters)))
+	for _, c := range r.Clusters {
+		put(uint64(len(c.Segments)))
+		for _, s := range c.Segments {
+			putF(s.Start.X)
+			putF(s.Start.Y)
+			putF(s.End.X)
+			putF(s.End.Y)
+		}
+		put(uint64(len(c.Trajectories)))
+		for _, id := range c.Trajectories {
+			put(uint64(id))
+		}
+		put(uint64(len(c.Representative)))
+		for _, p := range c.Representative {
+			putF(p.X)
+			putF(p.Y)
+		}
+	}
+	put(uint64(r.NoiseSegments))
+	put(uint64(r.TotalSegments))
+	put(uint64(r.RemovedClusters))
+	put(uint64(len(r.ClusterWindows())))
+	for _, w := range r.ClusterWindows() {
+		putF(w.Start)
+		putF(w.End)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+var appendBackends = []traclus.IndexKind{traclus.IndexGrid, traclus.IndexRTree, traclus.IndexNone}
+var appendWorkers = []int{1, 2, 4, 0}
+
+// appendChunks splits the tail of trs into the append schedule every
+// equivalence test drives: a single trajectory, a small batch, and the rest.
+func appendChunks(trs []traclus.Trajectory, base int) ([]traclus.Trajectory, [][]traclus.Trajectory) {
+	return trs[:base], [][]traclus.Trajectory{trs[base : base+1], trs[base+1 : base+6], trs[base+6:]}
+}
+
+// TestAppendEquivalencePlanar: the full matrix on the planar geometry. Each
+// append's Result is compared against a batch run over everything appended
+// so far, at every backend × worker count.
+func TestAppendEquivalencePlanar(t *testing.T) {
+	trs := equivalenceWorkload(t, 90)
+	ctx := context.Background()
+	for _, kind := range appendBackends {
+		for _, workers := range appendWorkers {
+			cfg := traclus.Config{
+				Eps: 30, MinLns: 6,
+				CostAdvantage:    15,
+				MinSegmentLength: 40,
+				Index:            kind,
+				Workers:          workers,
+			}
+			base, chunks := appendChunks(trs, 60)
+			ap, err := traclus.New(traclus.WithConfig(cfg)).NewAppender(ctx, base)
+			if err != nil {
+				t.Fatalf("index=%v workers=%d: NewAppender: %v", kind, workers, err)
+			}
+			batch0, err := traclus.Run(base, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := appendFingerprint(ap.Result()), appendFingerprint(batch0); a != b {
+				t.Fatalf("index=%v workers=%d: initial build fingerprint %s (appender) vs %s (Run)", kind, workers, a, b)
+			}
+			if a, b := ap.Result().DistCalls(), batch0.DistCalls(); a != b {
+				t.Fatalf("index=%v workers=%d: initial build DistCalls %d (appender) vs %d (Run)", kind, workers, a, b)
+			}
+			sofar := base
+			for ci, chunk := range chunks {
+				res, err := ap.Append(ctx, chunk)
+				if err != nil {
+					t.Fatalf("index=%v workers=%d append %d: %v", kind, workers, ci, err)
+				}
+				sofar = append(sofar[:len(sofar):len(sofar)], chunk...)
+				batch, err := traclus.Run(sofar, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a, b := appendFingerprint(res), appendFingerprint(batch); a != b {
+					t.Errorf("index=%v workers=%d after append %d (%d trajectories): fingerprint %s (append-built) vs %s (batch-built)",
+						kind, workers, ci, len(sofar), a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendEquivalenceTimed: the spatiotemporal geometry, wT > 0 so the
+// temporal term is live, cluster windows included in the digest.
+func TestAppendEquivalenceTimed(t *testing.T) {
+	timed := timedWorkload(t, 90)
+	ctx := context.Background()
+	for _, kind := range appendBackends {
+		for _, workers := range appendWorkers {
+			cfg := traclus.Config{
+				Eps: 30, MinLns: 6,
+				CostAdvantage:    15,
+				MinSegmentLength: 40,
+				Index:            kind,
+				Workers:          workers,
+			}
+			build := func() (*traclus.Pipeline, error) {
+				return traclus.New(traclus.WithConfig(cfg), traclus.WithTemporalWeight(0.002)), nil
+			}
+			p, _ := build()
+			base, chunks := timed[:60], [][]traclus.TimedTrajectory{timed[60:61], timed[61:66], timed[66:]}
+			ap, err := p.NewTimedAppender(ctx, base)
+			if err != nil {
+				t.Fatalf("index=%v workers=%d: NewTimedAppender: %v", kind, workers, err)
+			}
+			sofar := base
+			for ci, chunk := range chunks {
+				res, err := ap.AppendTimed(ctx, chunk)
+				if err != nil {
+					t.Fatalf("index=%v workers=%d append %d: %v", kind, workers, ci, err)
+				}
+				sofar = append(sofar[:len(sofar):len(sofar)], chunk...)
+				pb, _ := build()
+				batch, err := pb.RunTimed(ctx, sofar)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a, b := appendFingerprint(res), appendFingerprint(batch); a != b {
+					t.Errorf("index=%v workers=%d after append %d (%d trajectories): fingerprint %s (append-built) vs %s (batch-built)",
+						kind, workers, ci, len(sofar), a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendEquivalenceGeodesic: lat/lon input. The appender resolves its
+// projection frame from the INITIAL data bounds and keeps it for every
+// append; a batch run over the concatenation would derive a different frame
+// from the enlarged bounds, so the batch comparison pins the appender's
+// frame explicitly via WithGeometry — the same discipline snapshot restores
+// use.
+func TestAppendEquivalenceGeodesic(t *testing.T) {
+	trs := synth.GPSTracks(3, 10, 25, 7)
+	ctx := context.Background()
+	cfg := traclus.Config{Eps: 150, MinLns: 5, MinSegmentLength: 100}
+	for _, kind := range appendBackends {
+		for _, workers := range []int{1, 0} {
+			cfg.Index, cfg.Workers = kind, workers
+			base, chunks := appendChunks(trs, len(trs)-8)
+			ap, err := traclus.New(
+				traclus.WithConfig(cfg),
+				traclus.WithGeometry(traclus.GeodesicGeometry()),
+			).NewAppender(ctx, base)
+			if err != nil {
+				t.Fatalf("index=%v workers=%d: NewAppender: %v", kind, workers, err)
+			}
+			pinned := ap.Result().Geometry() // geodesic + the resolved frame
+			if pinned.Frame == nil {
+				t.Fatal("appender resolved no frame")
+			}
+			sofar := base
+			for ci, chunk := range chunks {
+				res, err := ap.Append(ctx, chunk)
+				if err != nil {
+					t.Fatalf("index=%v workers=%d append %d: %v", kind, workers, ci, err)
+				}
+				sofar = append(sofar[:len(sofar):len(sofar)], chunk...)
+				batch, err := traclus.New(
+					traclus.WithConfig(cfg),
+					traclus.WithGeometry(pinned),
+				).Run(ctx, sofar)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a, b := appendFingerprint(res), appendFingerprint(batch); a != b {
+					t.Errorf("index=%v workers=%d after append %d: fingerprint %s (append-built) vs %s (batch-built, pinned frame)",
+						kind, workers, ci, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendOrderInvariance: any way of slicing the same tail into appends
+// lands on the same canonical clustering (the fuzz target pins arbitrary
+// permutations; this is the deterministic core of it).
+func TestAppendOrderInvariance(t *testing.T) {
+	trs := equivalenceWorkload(t, 80)
+	ctx := context.Background()
+	cfg := traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+	schedules := [][]int{{20}, {1, 19}, {19, 1}, {7, 7, 6}, {1, 1, 1, 17}}
+	var want string
+	for si, sched := range schedules {
+		ap, err := traclus.New(traclus.WithConfig(cfg)).NewAppender(ctx, trs[:60])
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := 60
+		var res *traclus.Result
+		for _, n := range sched {
+			if res, err = ap.Append(ctx, trs[at:at+n]); err != nil {
+				t.Fatal(err)
+			}
+			at += n
+		}
+		fp := appendFingerprint(res)
+		if si == 0 {
+			want = fp
+			continue
+		}
+		if fp != want {
+			t.Errorf("schedule %v: fingerprint %s, want %s (schedule %v)", sched, fp, want, schedules[0])
+		}
+	}
+}
+
+// TestAppendGuards: the typed-error surface of the append path.
+func TestAppendGuards(t *testing.T) {
+	ctx := context.Background()
+	trs := equivalenceWorkload(t, 20)
+	cfg := traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+
+	// Custom grouping stages have no incremental form.
+	_, err := traclus.New(
+		traclus.WithConfig(cfg),
+		traclus.WithGrouper(traclus.GroupOPTICS()),
+	).NewAppender(ctx, trs)
+	if err == nil {
+		t.Fatal("NewAppender accepted a custom Grouper")
+	}
+
+	// A spatial appender rejects AppendTimed and vice versa.
+	ap, err := traclus.New(traclus.WithConfig(cfg)).NewAppender(ctx, trs[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.AppendTimed(ctx, timedWorkload(t, 4)); err == nil {
+		t.Fatal("spatial appender accepted AppendTimed")
+	}
+	tap, err := traclus.New(traclus.WithConfig(cfg), traclus.WithTemporalWeight(0)).
+		NewTimedAppender(ctx, timedWorkload(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tap.Append(ctx, trs[:2]); err == nil {
+		t.Fatal("timed appender accepted Append")
+	}
+
+	// Empty appends are free and return the current result unchanged.
+	before := appendFingerprint(ap.Result())
+	res, err := ap.Append(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appendFingerprint(res) != before {
+		t.Fatal("empty append changed the result")
+	}
+
+	// Spatiotemporal geometry demands the timed entry point.
+	var cfgErr *traclus.ConfigError
+	_, err = traclus.New(traclus.WithConfig(cfg), traclus.WithTemporalWeight(0.5)).NewAppender(ctx, trs)
+	if !errors.As(err, &cfgErr) {
+		t.Fatalf("NewAppender under spatiotemporal geometry: %v, want *ConfigError", err)
+	}
+}
+
+// TestAppendDendrogramInvalidated: an appended Result must never carry the
+// pre-append dendrogram — its cuts describe the old item set.
+func TestAppendDendrogramInvalidated(t *testing.T) {
+	ctx := context.Background()
+	trs := equivalenceWorkload(t, 60)
+	ap, err := traclus.New(
+		traclus.WithConfig(traclus.Config{CostAdvantage: 15, MinSegmentLength: 40}),
+		traclus.WithEstimation(5, 60),
+	).NewAppender(ctx, trs[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ap.Result()
+	if first.Dendrogram() == nil {
+		t.Fatal("estimation build carries no dendrogram")
+	}
+	if first.Estimated == nil {
+		t.Fatal("estimation build reports no estimate")
+	}
+	res, err := ap.Append(ctx, trs[50:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dendrogram() != nil {
+		t.Fatal("appended result still carries the pre-append dendrogram")
+	}
+	if res.Estimated == nil || *res.Estimated != *first.Estimated {
+		t.Fatal("appended result dropped the build-time estimate")
+	}
+	if res.TotalSegments <= first.TotalSegments {
+		t.Fatalf("append did not grow the item set: %d -> %d", first.TotalSegments, res.TotalSegments)
+	}
+}

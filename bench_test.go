@@ -617,6 +617,65 @@ func BenchmarkEstimateViaDendro(b *testing.B) {
 	})
 }
 
+// BenchmarkAppend measures the O(Δ) incremental append path against the
+// only alternative it replaces: a full rebuild over the concatenated data.
+// mode=append grows a model built on the shared 4800-track scaling input by
+// Δ ∈ {1, 10, 100} fresh trajectories per op (ids disjoint from everything
+// appended before, so every op does real clustering work); mode=rebuild
+// re-runs the whole pipeline on 4800+Δ tracks, which is what serving a
+// grown dataset cost before the appender existed. newindexes must read 0
+// for every append op — the append path reuses the build's index via bulk
+// insertion and never constructs a new one.
+func BenchmarkAppend(b *testing.B) {
+	cfg := traclus.Config{Eps: 30, MinLns: 6, CostAdvantage: 15, MinSegmentLength: 40}
+	ctx := context.Background()
+	// Fresh hurricane tracks with ids disjoint from scalingTracks (and from
+	// every earlier append): idBase counts upward across all sub-benchmarks.
+	idBase := len(scalingTracks)
+	makeDeltas := func(n int) []geom.Trajectory {
+		hcfg := synth.DefaultHurricaneConfig()
+		hcfg.NumTracks = n
+		hcfg.Seed += int64(idBase) // decorrelate successive pools
+		pool := synth.Hurricanes(hcfg)
+		for i := range pool {
+			pool[i].ID = idBase
+			idBase++
+		}
+		return pool
+	}
+	for _, delta := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("mode=append/delta=%d", delta), func(b *testing.B) {
+			ap, err := traclus.New(traclus.WithConfig(cfg)).NewAppender(ctx, scalingTracks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool := makeDeltas(b.N * delta)
+			indexesBefore := spindex.Builds()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ap.Append(ctx, pool[i*delta:(i+1)*delta]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(spindex.Builds()-indexesBefore), "newindexes")
+		})
+	}
+	for _, delta := range []int{1, 100} {
+		b.Run(fmt.Sprintf("mode=rebuild/delta=%d", delta), func(b *testing.B) {
+			trs := append(append([]geom.Trajectory{}, scalingTracks...), makeDeltas(delta)...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := traclus.Run(trs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGeometry measures what each geometry costs over the identical
 // workload shape: explicit planar must price like the default (the layer
 // is a no-op), wT=0 spatiotemporal isolates the interval plumbing, wT>0

@@ -12,10 +12,14 @@ package main
 //	not_found         404  unknown model or job
 //	conflict          409  snapshot import raced an in-flight build
 //	too_large         413  body, point, or trajectory cap exceeded
+//	conflict          409  also: append on a snapshot-loaded model with no
+//	                       training geometry (rebuild to append)
 //	invalid_snapshot  422  corrupt/truncated/semantically invalid snapshot
 //	unsupported_snapshot_version 422  snapshot from a future format version
 //	no_dendrogram     422  sweep query on a model without a merge structure
 //	                       (loaded from a format v1 snapshot)
+//	geometry_mismatch 422  append data incompatible with the model's
+//	                       geometry or build configuration
 //	too_many_builds   429  build concurrency cap reached
 //	peer_unreachable  502  the owning replica could not be reached
 //	timeout           504  classification deadline expired with no results
@@ -43,6 +47,7 @@ const (
 	codeInvalidSnapshot = "invalid_snapshot"
 	codeSnapshotVersion = "unsupported_snapshot_version"
 	codeNoDendrogram    = "no_dendrogram"
+	codeGeometryBad     = "geometry_mismatch"
 	codeTooManyBuilds   = "too_many_builds"
 	codePeerUnreachable = "peer_unreachable"
 	codeTimeout         = "timeout"
@@ -126,6 +131,11 @@ func writeTypedError(w http.ResponseWriter, err error) {
 	case errors.Is(err, service.ErrNoDendrogram):
 		writeErrorCode(w, http.StatusUnprocessableEntity, codeNoDendrogram, err.Error(), nil)
 	case errors.Is(err, service.ErrBuildInFlight):
+		writeErrorCode(w, http.StatusConflict, codeConflict, err.Error(), nil)
+	case errors.Is(err, service.ErrNotAppendable):
+		// The model exists but was restored from a snapshot: its training
+		// geometry is gone, so the append conflicts with the model's state
+		// rather than being malformed.
 		writeErrorCode(w, http.StatusConflict, codeConflict, err.Error(), nil)
 	default:
 		writeErrorCode(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), nil)

@@ -24,6 +24,15 @@
 //	GET  /v1/models/{name}     → model summary + per-cluster stats
 //	POST /v1/models/{name}/classify   body: CSV (traj_id,x,y; a
 //	                           spatiotemporal model takes traj_id,x,y,t)
+//	POST /v1/models/{name}/append     body: JSON {"format","species","data"}
+//	                           (same data formats as a build) — extend the
+//	                           served model with new trajectories in O(Δ),
+//	                           no rebuild; → 200 new summary with "epoch"
+//	                           incremented, 404 unknown model, 409 on a
+//	                           snapshot-restored model (no training
+//	                           geometry), 422 geometry_mismatch when the
+//	                           data does not fit the model's geometry.
+//	                           Sharded mode forwards to the owner replica.
 //	GET  /v1/models/{name}/snapshot   → binary snapshot (export)
 //	PUT  /v1/models/{name}/snapshot   body: binary snapshot (import)
 //	GET  /v1/models/{name}/sweep?lo=&hi=&steps=   → per-ε quality curve

@@ -31,6 +31,7 @@ func (s *server) routes() []route {
 		{method: http.MethodGet, path: "/v1/models/{name}", handler: s.handleModelGet, legacy: "/models/{name}"},
 		{method: http.MethodDelete, path: "/v1/models/{name}", handler: s.handleModelDelete, legacy: "/models/{name}"},
 		{method: http.MethodPost, path: "/v1/models/{name}/classify", handler: s.handleClassify, legacy: "/models/{name}/classify"},
+		{method: http.MethodPost, path: "/v1/models/{name}/append", handler: s.handleAppend},
 		{method: http.MethodGet, path: "/v1/models/{name}/snapshot", handler: s.handleSnapshotGet},
 		{method: http.MethodGet, path: "/v1/models/{name}/sweep", handler: s.handleSweep},
 		{method: http.MethodGet, path: "/v1/models/{name}/clusters", handler: s.handleClustersAt},

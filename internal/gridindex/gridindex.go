@@ -18,6 +18,7 @@ import (
 // stream through contiguous memory.
 type Index struct {
 	cell    float64
+	reqCell float64 // the cell size Build was asked for (0 = heuristic)
 	minX    float64
 	minY    float64
 	nx, ny  int
@@ -30,6 +31,13 @@ type Index struct {
 	// segment well spent.
 	segs  []geom.Segment
 	rects []geom.Rect
+	// over holds the ids appended by Insert, bucketed per cell alongside
+	// the immutable CSR arena (rebuilding the CSR per append would be a
+	// fresh index build in all but name). Grids can reach ~16M cells, so the
+	// overlay is a map keyed by the handful of cells appends actually touch,
+	// not a dense per-cell slice. Per-cell order is ascending insertion id,
+	// matching the CSR's ascending-id invariant.
+	over map[int][]int32
 }
 
 // cellSpan returns the ids bucketed in cell c.
@@ -46,7 +54,7 @@ func (x *Index) cellSpan(c int) []int32 {
 // bucket count is always capped at O(len(segs)) so a handful of points
 // spread over a huge extent cannot allocate millions of empty cells.
 func Build(segs []geom.Segment, cellSize float64) *Index {
-	idx := &Index{cell: cellSize}
+	idx := &Index{cell: cellSize, reqCell: cellSize}
 	if len(segs) == 0 {
 		idx.cell = 1
 		return idx
@@ -116,6 +124,45 @@ func Build(segs []geom.Segment, cellSize float64) *Index {
 // Len returns the number of indexed segments.
 func (x *Index) Len() int { return len(x.segs) }
 
+// Insert adds segments to an existing index without rebuilding the CSR
+// arena. Appended ids land in per-cell overlay buckets that Candidates scans
+// after the arena span of each touched cell.
+//
+// The grid's extent is frozen at Build time, so an appended segment may fall
+// outside it. That is safe: cellRange clamps both the bucketing walk here and
+// the query walk in Candidates to the same [0,nx)×[0,ny) box, and clamping is
+// monotone — if an appended MBR lies within distance d of a query rectangle,
+// their unclamped cell intervals overlap on both axes, and clamping two
+// overlapping intervals to one common range keeps them overlapping. Every
+// in-range candidate is therefore still enumerated (conservative-candidate
+// contract), only with out-of-extent ids piling into edge cells (a constant-
+// factor cost that the next full rebuild amortizes away).
+//
+// The one geometry Build never chose is the empty one (no segments → 1×0
+// grid with no extent at all); the first Insert into an empty index rebuilds
+// in place with the originally requested cell size instead. Insert is not
+// safe for concurrent use with queries.
+func (x *Index) Insert(segs []geom.Segment) {
+	if len(segs) == 0 {
+		return
+	}
+	if len(x.segs) == 0 {
+		*x = *Build(append([]geom.Segment(nil), segs...), x.reqCell)
+		return
+	}
+	if x.over == nil {
+		x.over = make(map[int][]int32)
+	}
+	base := len(x.segs)
+	x.segs = append(x.segs, segs...)
+	for k, s := range segs {
+		r := s.Bounds()
+		x.rects = append(x.rects, r)
+		id := int32(base + k)
+		x.eachCell(r, func(c int) { x.over[c] = append(x.over[c], id) })
+	}
+}
+
 // CellSize returns the cell size in effect.
 func (x *Index) CellSize() float64 { return x.cell }
 
@@ -163,7 +210,20 @@ func (x *Index) Candidates(q geom.Rect, d float64, dst []int, seen []bool) []int
 	i0, i1, j0, j1 := x.cellRange(grown)
 	for j := j0; j <= j1; j++ {
 		for i := i0; i <= i1; i++ {
-			for _, id := range x.cellSpan(j*x.nx + i) {
+			c := j*x.nx + i
+			for _, id := range x.cellSpan(c) {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if x.rects[id].DistRect(q) <= d {
+					dst = append(dst, int(id))
+				}
+			}
+			if x.over == nil {
+				continue
+			}
+			for _, id := range x.over[c] {
 				if seen[id] {
 					continue
 				}
@@ -178,7 +238,14 @@ func (x *Index) Candidates(q geom.Rect, d float64, dst []int, seen []bool) []int
 	// reused by the next query.
 	for j := j0; j <= j1; j++ {
 		for i := i0; i <= i1; i++ {
-			for _, id := range x.cellSpan(j*x.nx + i) {
+			c := j*x.nx + i
+			for _, id := range x.cellSpan(c) {
+				seen[id] = false
+			}
+			if x.over == nil {
+				continue
+			}
+			for _, id := range x.over[c] {
 				seen[id] = false
 			}
 		}

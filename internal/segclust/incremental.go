@@ -1,0 +1,382 @@
+package segclust
+
+// Incremental ε-graph clustering: answer "what is the clustering now?" under
+// appends without recomputing it from scratch. The ε-graph formulation of
+// groupEpsGraph makes the update rule exact rather than approximate, because
+// every derived quantity is a set-determined function of the neighborhoods:
+//
+//   - Appending items only GROWS neighborhoods (no deletions), so weighted
+//     ε-cardinalities only increase and core segments never stop being core.
+//   - The core graph only gains vertices and edges, so its connected
+//     components only merge — the min-root union-find absorbs new edges
+//     incrementally and its roots remain component minima regardless of the
+//     order the edges arrived in.
+//   - Cluster ids (components by ascending minimum core index) and border
+//     assignment (min cluster id over a border item's core neighbors) are
+//     pure functions of the final core flags, components, and neighborhoods.
+//
+// So the only O(n) work an append re-runs is the cheap serial numbering scan
+// and the parallel border pass; the expensive part — ε-range queries — runs
+// only for the Δ appended items, against the one grown index. The result is
+// the clustering a batch run over the concatenated items would produce: same
+// labels, same cluster order, same Removed. (DistCalls is the one field that
+// legitimately differs: the base items were queried against the smaller
+// pre-append index, so the incremental total counts fewer candidate
+// evaluations than a from-scratch batch run would spend. Callers comparing
+// against batch must exclude DistCalls from the fingerprint.)
+//
+// Exactness caveat, pinned here once: weighted cardinalities are float
+// sums, and the append path accumulates an old item's weight in a different
+// order (base neighbors first, then appended neighbors in append order) than
+// a batch run over the concatenation would. With the default unit weights —
+// every in-repo producer — the sums are small-integer-valued and exact, so
+// core flags match batch bit-for-bit. Exotic fractional weights could in
+// principle land a sum on the other side of MinLns by one ULP; such inputs
+// should batch-rebuild instead.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/geometry"
+	"repro/internal/par"
+)
+
+// ErrAppendBroken reports an append on an Incremental whose previous append
+// failed or was cancelled midway: its retained state is unusable and the
+// caller must rebuild from scratch.
+var ErrAppendBroken = errors.New("segclust: incremental state broken by an earlier failed append; rebuild required")
+
+// grow returns a union-find over [0, n) whose first len(u.parent) elements
+// carry u's current component structure and whose new elements are
+// singletons. It is a fresh value (the old forest stays readable) and must
+// not race concurrent unions on u — the appender serialises epochs.
+func (u *unionFind) grow(n int) *unionFind {
+	g := &unionFind{parent: make([]atomic.Int32, n)}
+	for i := range u.parent {
+		g.parent[i].Store(u.parent[i].Load())
+	}
+	for i := len(u.parent); i < n; i++ {
+		g.parent[i].Store(int32(i))
+	}
+	return g
+}
+
+// grow appends items (and, on a spatiotemporal index, their index-aligned
+// time intervals) to the shared index in place: the searcher's pool, index
+// backend, and segment set all grow, and subsequent views and cursors serve
+// the concatenated set. On any error nothing is mutated.
+func (s *SharedIndex) grow(newItems []Item, newIvs []geometry.Interval) error {
+	if s.ivs != nil && len(newIvs) != len(newItems) {
+		return fmt.Errorf("segclust: %d intervals for %d appended items on a spatiotemporal index", len(newIvs), len(newItems))
+	}
+	if s.ivs == nil && newIvs != nil {
+		return errors.New("segclust: time intervals appended to a planar index")
+	}
+	if err := s.search.Grow(segments(newItems)); err != nil {
+		return err
+	}
+	s.items = append(s.items, newItems...)
+	if s.ivs != nil {
+		s.ivs = append(s.ivs, newIvs...)
+	}
+	return nil
+}
+
+// Incremental is a clustering that stays current under appends. It is built
+// once over the initial items (NewIncrementalCtx — one full grouping, same
+// cost as RunSharedCtx) and thereafter AppendCtx folds new trajectories'
+// items in for O(Δ) query work plus two O(n) label passes.
+//
+// An Incremental owns its SharedIndex exclusively for writing: AppendCtx
+// grows the index in place, so the owner must serialise appends against each
+// other AND against any concurrent queries on the same index (the serving
+// layer's lineage lock does this). Results returned earlier remain valid —
+// they are snapshots, not views.
+type Incremental struct {
+	shared   *SharedIndex
+	cfg      Config
+	minTrajs int
+
+	// hs holds the base neighborhoods of the initial build: item i < nBase
+	// has base neighbors hs.hood(i) (ids < nBase only). ext[i] carries
+	// everything later epochs added: for base items the appended neighbors,
+	// for appended items their full neighborhood at append time plus any
+	// later additions. The live neighborhood of item i is therefore
+	// hs.hood(i) ⧺ ext[i] for i < nBase and ext[i] otherwise.
+	hs    *hoodSet
+	nBase int
+	ext   [][]int32
+
+	w      []float64 // live weighted ε-cardinality per item
+	core   []bool    // live core flags (monotone: set once, never cleared)
+	uf     *unionFind
+	calls  int // cumulative exact-distance evaluations across all epochs
+	res    *Result
+	broken bool
+}
+
+// NewIncrementalCtx runs the initial grouping over shared's current items
+// with retained state, so the clustering can absorb appends afterwards. The
+// initial Result (available via Result()) is bit-identical to
+// RunSharedCtx(ctx, shared, cfg, onItem) — labels, cluster order, Removed,
+// and DistCalls — at every worker count. Custom distance functions are not
+// supported (they have no index to grow); cfg.Index/Backend are ignored in
+// favour of shared's backend, exactly as RunSharedCtx.
+func NewIncrementalCtx(ctx context.Context, shared *SharedIndex, cfg Config, onItem func()) (*Incremental, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	minTrajs := cfg.MinTrajs
+	if minTrajs <= 0 {
+		minTrajs = int(cfg.MinLns)
+	}
+	hs, calls, err := shared.neighborhoods(ctx, cfg.Eps, cfg.Workers, nil, onItem)
+	if err != nil {
+		return nil, err
+	}
+	n := len(hs.w)
+	inc := &Incremental{
+		shared:   shared,
+		cfg:      cfg,
+		minTrajs: minTrajs,
+		hs:       hs,
+		nBase:    n,
+		ext:      make([][]int32, n),
+		w:        append([]float64(nil), hs.w...),
+		core:     make([]bool, n),
+		uf:       newUnionFind(n),
+		calls:    calls,
+	}
+	for i, wt := range inc.w {
+		inc.core[i] = wt >= cfg.MinLns
+	}
+	err = par.ForEachCtx(ctx, cfg.Workers, n, func(_, i int) {
+		if !inc.core[i] {
+			return
+		}
+		for _, j := range hs.hood(i) {
+			if int(j) > i && inc.core[j] {
+				inc.uf.union(int32(i), j)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	labels, err := inc.relabel(ctx)
+	if err != nil {
+		return nil, err
+	}
+	inc.res = ResultFromLabels(shared.items, labels, minTrajs, inc.calls)
+	return inc, nil
+}
+
+// Result returns the clustering over every item appended so far. The value
+// is immutable; later appends produce new Results.
+func (inc *Incremental) Result() *Result { return inc.res }
+
+// Shared returns the underlying (growing) shared index.
+func (inc *Incremental) Shared() *SharedIndex { return inc.shared }
+
+// eachNeighbor invokes fn for every live neighbor of item i (including i
+// itself), in base-then-extension order.
+func (inc *Incremental) eachNeighbor(i int, fn func(j int32)) {
+	if i < inc.nBase {
+		for _, j := range inc.hs.hood(i) {
+			fn(j)
+		}
+	}
+	for _, j := range inc.ext[i] {
+		fn(j)
+	}
+}
+
+// relabel runs the two cheap label passes of groupEpsGraph over the live
+// state: the serial ascending numbering (root = component minimum = serial
+// discovery order) and the parallel first-come-first-served border
+// assignment. Identical logic, just over hoodSet ⧺ ext neighborhoods.
+func (inc *Incremental) relabel(ctx context.Context) ([]int, error) {
+	n := len(inc.w)
+	labels := make([]int, n)
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if !inc.core[i] {
+			labels[i] = Noise
+			continue
+		}
+		r := int(inc.uf.find(int32(i)))
+		if r == i {
+			labels[i] = clusterID
+			clusterID++
+		} else {
+			labels[i] = labels[r]
+		}
+	}
+	err := par.ForEachCtx(ctx, inc.cfg.Workers, n, func(_, i int) {
+		if inc.core[i] {
+			return
+		}
+		best := Noise
+		inc.eachNeighbor(i, func(j int32) {
+			if !inc.core[j] {
+				return
+			}
+			if id := labels[j]; best == Noise || id < best {
+				best = id
+			}
+		})
+		labels[i] = best
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// AppendCtx folds newItems into the clustering: the shared index grows, only
+// the Δ new items run ε-range queries, their neighbors' cardinalities are
+// updated through symmetry, the union-find absorbs the new core-core edges,
+// and the numbering + border passes re-run. newIvs must carry one time
+// interval per new item on a spatiotemporal index and be nil on a planar
+// one. The returned Result equals a batch run over the concatenated items
+// (see the package comment for the DistCalls and float-weight caveats).
+//
+// A failed or cancelled append leaves the Incremental broken — the index may
+// have grown while the derived state did not — and every later call returns
+// ErrAppendBroken; the previous Result() remains valid. Appends must be
+// serialised by the caller.
+func (inc *Incremental) AppendCtx(ctx context.Context, newItems []Item, newIvs []geometry.Interval) (*Result, error) {
+	if inc.broken {
+		return nil, ErrAppendBroken
+	}
+	if len(newItems) == 0 {
+		return inc.res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n0 := len(inc.shared.items)
+	if err := inc.shared.grow(newItems, newIvs); err != nil {
+		return nil, err // nothing mutated; state still coherent
+	}
+	// Any exit past this point without full completion breaks the state.
+	res, err := inc.append(ctx, n0)
+	if err != nil {
+		inc.broken = true
+		return nil, err
+	}
+	inc.res = res
+	return res, nil
+}
+
+func (inc *Incremental) append(ctx context.Context, n0 int) (*Result, error) {
+	items := inc.shared.items
+	n := len(items)
+	inc.ext = append(inc.ext, make([][]int32, n-n0)...)
+	inc.w = append(inc.w, make([]float64, n-n0)...)
+	inc.core = append(inc.core, make([]bool, n-n0)...)
+
+	// Phase 1 — the only expensive work: ε-range queries for the Δ new
+	// items against the grown index, across workers. Each new item's full
+	// neighborhood (old and new neighbors alike — the index already holds
+	// everything) lands in ext[i] as an owned copy.
+	nw := par.Workers(inc.cfg.Workers, n-n0)
+	cfg := Config{Eps: inc.cfg.Eps, MinLns: 1, Options: inc.shared.opt}
+	engines := make([]*engine, nw)
+	scratch := make([][]int, nw)
+	scs := make([]*scratchSet, nw)
+	for k := range engines {
+		sc := inc.shared.getScratch()
+		scs[k] = sc
+		engines[k] = &engine{items: items, cfg: cfg, src: inc.shared.view(inc.cfg.Eps), cand: sc.cand, dists: sc.dists}
+		scratch[k] = sc.hood
+	}
+	err := par.ForEachCtx(ctx, inc.cfg.Workers, n-n0, func(wk, k int) {
+		i := n0 + k
+		hood, weight := engines[wk].neighborhood(i, scratch[wk][:0])
+		scratch[wk] = hood[:0]
+		ids := make([]int32, len(hood))
+		for t, id := range hood {
+			ids[t] = int32(id)
+		}
+		inc.ext[i] = ids
+		inc.w[i] = weight
+	})
+	for k, e := range engines {
+		inc.calls += e.calls
+		sc := scs[k]
+		sc.cand, sc.dists, sc.hood = e.cand, e.dists, scratch[k]
+		inc.shared.scr.Put(sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — symmetry reflection, serial in ascending new-item order:
+	// j ∈ Nε(i) ⇔ i ∈ Nε(j), so each pre-existing neighbor j gains i in its
+	// extension and i's weight in its cardinality.
+	for i := n0; i < n; i++ {
+		for _, j := range inc.ext[i] {
+			if int(j) < n0 {
+				inc.ext[j] = append(inc.ext[j], int32(i))
+				inc.w[j] += items[i].Weight
+			}
+		}
+	}
+
+	// Phase 3 — core promotion. Monotone: grown cardinalities can only
+	// promote. Pre-existing items that crossed MinLns are the "dirtied"
+	// frontier whose edges phase 4 must add.
+	var promoted []int32
+	for j := 0; j < n0; j++ {
+		if !inc.core[j] && inc.w[j] >= inc.cfg.MinLns {
+			inc.core[j] = true
+			promoted = append(promoted, int32(j))
+		}
+	}
+	for i := n0; i < n; i++ {
+		inc.core[i] = inc.w[i] >= inc.cfg.MinLns
+	}
+
+	// Phase 4 — union the new core-core edges. Every edge of the grown core
+	// graph that the old forest lacks has at least one endpoint that is a
+	// new item or a promoted one (an edge between two previously-core old
+	// items was already unioned), so scanning those endpoints' full
+	// neighborhoods covers them all. Min-root unions are order-free, so the
+	// grown forest's roots equal a from-scratch batch forest's.
+	uf := inc.uf.grow(n)
+	work := make([]int32, 0, (n-n0)+len(promoted))
+	for i := n0; i < n; i++ {
+		work = append(work, int32(i))
+	}
+	work = append(work, promoted...)
+	err = par.ForEachCtx(ctx, inc.cfg.Workers, len(work), func(_, k int) {
+		i := work[k]
+		if !inc.core[i] {
+			return
+		}
+		inc.eachNeighbor(int(i), func(j int32) {
+			if j != i && inc.core[j] {
+				uf.union(i, j)
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	inc.uf = uf
+
+	// Phase 5 — the cheap passes: serial numbering + parallel border, then
+	// the canonical Definition-10 filter and ordering.
+	labels, err := inc.relabel(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ResultFromLabels(items, labels, inc.minTrajs, inc.calls), nil
+}

@@ -1,0 +1,70 @@
+package segpool
+
+// Incremental pool growth for the append path. A grown pool is a NEW *Pool
+// value: the old one stays valid for concurrent readers (its columns are
+// never written again — growth either extends into reserved slack past the
+// old length or reallocates), so the owning searcher can publish the grown
+// pool with a plain pointer swap once the append is assembled.
+//
+// Layout under growth: where New packs the five columns back-to-back with no
+// slack (X1 at backing[0:n:n], …), a reallocating Grow reserves amortized-
+// doubling capacity c ≥ max(2·len, need) and places column k at
+// backing[k*c : k*c+len : (k+1)*c]. The three-index slices give every column
+// cap(col) == c - so a later Grow within capacity extends each column in
+// place by re-slicing, writing only rows past the previous length. The
+// prefix a published pool exposes is therefore immutable, which is the whole
+// concurrency contract.
+//
+// Growth is single-writer: only the Searcher that owns the pool may call
+// Grow, and it must serialise Grow against itself (appends are serialized by
+// the layers above). Concurrent readers of previously-published pools are
+// always safe.
+
+import "repro/internal/geom"
+
+// Grow returns a pool over the concatenation of p's segments and segs. On a
+// non-finite coordinate in segs it returns a *NonFiniteError and leaves p
+// untouched — the caller falls back to the scalar distance path, exactly as
+// New would have for the concatenated set. Growth never increments the
+// Builds counter: the append path constructs zero new pools from scratch.
+func Grow(p *Pool, segs []geom.Segment) (*Pool, error) {
+	rows := make([]Seg, len(segs))
+	for i, s := range segs {
+		v, ok := ViewOf(s)
+		if !ok {
+			return nil, &NonFiniteError{Index: i, Seg: s}
+		}
+		rows[i] = v
+	}
+	m := p.Len()
+	need := m + len(rows)
+	np := &Pool{}
+	if cap(p.X1) >= need {
+		// Slack from a previous reallocating Grow: extend each column in
+		// place. Rows [0, m) are untouched; rows [m, need) are written below.
+		np.X1, np.Y1 = p.X1[:need], p.Y1[:need]
+		np.X2, np.Y2 = p.X2[:need], p.Y2[:need]
+		np.Length = p.Length[:need]
+	} else {
+		c := 2 * m
+		if c < need {
+			c = need
+		}
+		backing := make([]float64, 5*c)
+		np.X1 = backing[0*c : need : 1*c]
+		np.Y1 = backing[1*c : 1*c+need : 2*c]
+		np.X2 = backing[2*c : 2*c+need : 3*c]
+		np.Y2 = backing[3*c : 3*c+need : 4*c]
+		np.Length = backing[4*c : 4*c+need : 5*c]
+		copy(np.X1, p.X1)
+		copy(np.Y1, p.Y1)
+		copy(np.X2, p.X2)
+		copy(np.Y2, p.Y2)
+		copy(np.Length, p.Length)
+	}
+	for i, v := range rows {
+		np.X1[m+i], np.Y1[m+i], np.X2[m+i], np.Y2[m+i] = v.X1, v.Y1, v.X2, v.Y2
+		np.Length[m+i] = v.Length
+	}
+	return np, nil
+}

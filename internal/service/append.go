@@ -1,0 +1,146 @@
+package service
+
+// Incremental model growth: Model.Append / Model.AppendTimed extend a
+// served clustering with new trajectories in O(Δ) — the appender grows the
+// model's one spatial index in place, clusters only the new segments
+// against it, and re-derives the served state — instead of rebuilding from
+// scratch. The appended model is a NEW *Model value at the next epoch; the
+// *Model a caller already holds never changes, so in-flight reads keep
+// their snapshot-consistent view (bounded staleness: a reader is at most as
+// stale as the model pointer it resolved before the append).
+//
+// Versioning. Every epoch of one served model shares a lineage. Appends
+// serialise on the lineage lock and always apply to the newest epoch, no
+// matter which epoch's *Model the caller invoked Append on — the underlying
+// appender state is shared, so applying "to an old epoch" cannot fork
+// history; it fast-forwards. Summary().Epoch exposes the version:
+// a fresh build is epoch 0, each append increments it, and the snapshot
+// format (v4) persists it.
+//
+// Staleness of derived state. The appended model's dendrogram is
+// invalidated, not extended: its den field starts nil and the first sweep
+// query rebuilds it lazily over the post-append items (the stale-dendrogram
+// regression test pins that a pre-append merge structure is never served at
+// a later epoch). The classifier is rebuilt lazily for the same reason —
+// and so the append path itself constructs zero spatial indexes.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	traclus "repro"
+)
+
+// ErrNotAppendable reports an Append on a model that carries no training
+// geometry to grow — one loaded from a snapshot, whose clustering state was
+// deliberately not serialized. Rebuild the model from data to append to it.
+var ErrNotAppendable = errors.New("service: model was loaded from a snapshot and cannot absorb appends; rebuild it from trajectories")
+
+// lineage is the shared spine of one model's epochs: appends lock it,
+// apply to head, and advance head to the new epoch.
+type lineage struct {
+	mu   sync.Mutex
+	head *Model
+}
+
+// Epoch returns the model's append epoch (0 = the original batch build).
+func (m *Model) Epoch() int64 { return m.summary.Epoch }
+
+// Appendable reports whether this model can absorb appended trajectories.
+func (m *Model) Appendable() bool { return m.ap != nil && m.lin != nil }
+
+// Append extends the model with new trajectories and returns the model at
+// the next epoch. The receiver (and every earlier epoch) is untouched and
+// keeps serving its own consistent state; callers that want the new data
+// visible must publish the returned model (the daemon swaps it into its
+// store). Appending through an older epoch's handle fast-forwards from the
+// newest epoch — the returned model always reflects every append so far.
+//
+// The clustering contract is exact: the returned model's clusters,
+// representatives, and counters equal what a from-scratch build over the
+// concatenated trajectory set would produce (pinned by the append
+// equivalence suite). Geometry follows the build: a geodesic model projects
+// the new trajectories through the frame resolved at build time; a model
+// built with parameter estimation keeps its estimated ε/MinLns frozen.
+func (m *Model) Append(ctx context.Context, trs []traclus.Trajectory) (*Model, error) {
+	return m.appendWith(func() (*traclus.Result, error) { return m.ap.Append(ctx, trs) },
+		len(trs), pointCount(trs))
+}
+
+// AppendTimed is Append for timed trajectories — the entry point for
+// spatiotemporal models (and for timed planar models built through
+// BuildTimed). The per-cluster time windows are recomputed over the full
+// post-append item set.
+func (m *Model) AppendTimed(ctx context.Context, trs []traclus.TimedTrajectory) (*Model, error) {
+	n, pts := len(trs), 0
+	for _, tr := range trs {
+		pts += len(tr.Points)
+	}
+	return m.appendWith(func() (*traclus.Result, error) { return m.ap.AppendTimed(ctx, trs) }, n, pts)
+}
+
+// appendWith runs one append under the lineage lock and derives the
+// next-epoch model from the head.
+func (m *Model) appendWith(apply func() (*traclus.Result, error), trajectories, points int) (*Model, error) {
+	if !m.Appendable() {
+		return nil, ErrNotAppendable
+	}
+	m.lin.mu.Lock()
+	defer m.lin.mu.Unlock()
+	head := m.lin.head
+	res, err := apply()
+	if err != nil {
+		return nil, err
+	}
+	next := head.nextEpoch(res, trajectories, points)
+	m.lin.head = next
+	return next, nil
+}
+
+// nextEpoch wraps the post-append clustering as the successor model of
+// head. Called with the lineage locked.
+func (head *Model) nextEpoch(res *traclus.Result, trajectories, points int) *Model {
+	stats := res.ClusterStats()
+	qmeasure := res.NoisePenalty()
+	for _, st := range stats {
+		qmeasure += st.SSE
+	}
+	next := &Model{
+		res: res,
+		// den deliberately nil: the pre-append dendrogram describes the old
+		// item set, so the merge structure is invalidated and lazily rebuilt.
+		ap:  head.ap,
+		lin: head.lin,
+		cfg: head.cfg,
+	}
+	next.summary = head.summary
+	next.summary.Clusters = len(res.Clusters)
+	next.summary.TotalSegments = res.TotalSegments
+	next.summary.NoiseSegments = res.NoiseSegments
+	next.summary.RemovedClusters = res.RemovedClusters
+	next.summary.Trajectories = head.summary.Trajectories + trajectories
+	next.summary.Points = head.summary.Points + points
+	next.summary.QMeasure = qmeasure
+	next.summary.Epoch = head.summary.Epoch + 1
+	next.summary.BuiltAt = time.Now().UTC()
+	next.summary.ClusterStats = stats
+	// The classifier over the post-append reference segments is built on
+	// first use — Append itself must construct zero spatial indexes.
+	next.clsLazy = func() (*traclus.Classifier, error) {
+		if len(res.Clusters) == 0 {
+			return nil, nil
+		}
+		return res.Classifier()
+	}
+	return next
+}
+
+func pointCount(trs []traclus.Trajectory) int {
+	points := 0
+	for _, tr := range trs {
+		points += len(tr.Points)
+	}
+	return points
+}

@@ -1,0 +1,333 @@
+package service
+
+// Serving-layer half of the incremental-append contract: epochs version the
+// model, appends fast-forward the lineage, the appended model equals a
+// from-scratch build over the concatenated data, the pre-append dendrogram
+// is never served at a later epoch, and the snapshot (format v4) carries
+// the epoch across export/import.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	traclus "repro"
+)
+
+// appendSet returns trajectories to grow trainingSet models with — same
+// corridor scene, disjoint ids.
+func appendSet() []traclus.Trajectory {
+	extra := probeSet()
+	for i := range extra {
+		extra[i].ID += 5000
+	}
+	return extra
+}
+
+func TestModelAppendMatchesBatchBuild(t *testing.T) {
+	base, extra := trainingSet(), appendSet()
+	m, err := Build("grow", base, buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 0 || !m.Appendable() {
+		t.Fatalf("fresh build: epoch %d appendable %v, want 0 true", m.Epoch(), m.Appendable())
+	}
+	next, err := m.Append(context.Background(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Build("batch", append(append([]traclus.Trajectory{}, base...), extra...), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, bs := next.Summary(), batch.Summary()
+	if ns.Epoch != 1 {
+		t.Errorf("Epoch = %d, want 1", ns.Epoch)
+	}
+	if ns.Clusters != bs.Clusters || ns.TotalSegments != bs.TotalSegments ||
+		ns.NoiseSegments != bs.NoiseSegments || ns.RemovedClusters != bs.RemovedClusters ||
+		ns.Trajectories != bs.Trajectories || ns.Points != bs.Points ||
+		ns.QMeasure != bs.QMeasure {
+		t.Errorf("appended summary diverges from batch build:\nappend: %+v\nbatch:  %+v", ns, bs)
+	}
+	// The old epoch keeps serving its own consistent pre-append view.
+	if got := m.Summary(); got.Epoch != 0 || got.Trajectories != len(base) {
+		t.Errorf("pre-append model changed: %+v", got)
+	}
+	// Classification on the new epoch is bit-identical to the batch model.
+	probes := probeSet()
+	want := batch.ClassifyBatch(context.Background(), probes, 0)
+	got := next.ClassifyBatch(context.Background(), probes, 0)
+	for i := range want {
+		if got[i].Cluster != want[i].Cluster ||
+			math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) {
+			t.Fatalf("probe %d: appended model classified (%d, %x), batch (%d, %x)",
+				i, got[i].Cluster, math.Float64bits(got[i].Distance), want[i].Cluster, math.Float64bits(want[i].Distance))
+		}
+	}
+}
+
+// TestModelAppendFastForwards pins the lineage rule: appending through an
+// older epoch's handle applies on the newest epoch, so history never forks.
+func TestModelAppendFastForwards(t *testing.T) {
+	m, err := Build("ff", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := appendSet()
+	e1, err := m.Append(context.Background(), extra[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append through m (epoch 0), not e1: must land on top of e1's state.
+	e2, err := m.Append(context.Background(), extra[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Epoch() != 1 || e2.Epoch() != 2 {
+		t.Fatalf("epochs = %d, %d, want 1, 2", e1.Epoch(), e2.Epoch())
+	}
+	if want := len(trainingSet()) + len(extra); e2.Summary().Trajectories != want {
+		t.Errorf("fast-forwarded append lost data: %d trajectories, want %d", e2.Summary().Trajectories, want)
+	}
+}
+
+// TestAppendedModelNeverServesStaleDendrogram is the staleness guard: after
+// an append, sweep queries must answer over the post-append item set — a
+// pre-append merge structure cut would silently drop the appended data.
+func TestAppendedModelNeverServesStaleDendrogram(t *testing.T) {
+	ctx := context.Background()
+	m, err := Build("stale", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialise the pre-append dendrogram the way a sweep request would.
+	pre, err := m.DendrogramAt(ctx, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.Append(ctx, appendSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Dendrogram() != nil {
+		t.Fatal("appended model retained a merge structure; it must start invalidated")
+	}
+	post, err := next.DendrogramAt(ctx, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post == pre {
+		t.Fatal("appended model served the pre-append dendrogram")
+	}
+	if got, want := len(post.Items()), next.Summary().TotalSegments; got != want {
+		t.Errorf("post-append dendrogram covers %d items, want %d (the full appended set)", got, want)
+	}
+	if got, want := len(pre.Items()), m.Summary().TotalSegments; got != want {
+		t.Errorf("pre-append dendrogram mutated: %d items, want %d", got, want)
+	}
+	// And the sweep surface built on it answers for the appended set too.
+	cut, err := next.ClustersAt(ctx, buildConfig().Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.TotalSegments != next.Summary().TotalSegments {
+		t.Errorf("ClustersAt after append covers %d segments, want %d", cut.TotalSegments, next.Summary().TotalSegments)
+	}
+}
+
+func TestSnapshotLoadedModelNotAppendable(t *testing.T) {
+	m, err := Build("frozen", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Appendable() {
+		t.Fatal("snapshot-loaded model claims to be appendable")
+	}
+	if _, err := loaded.Append(context.Background(), appendSet()); !errors.Is(err, ErrNotAppendable) {
+		t.Fatalf("Append on a loaded model: %v, want ErrNotAppendable", err)
+	}
+}
+
+// TestSnapshotCarriesEpoch pins the format v4 field end to end: an appended
+// model exports its epoch, the import restores it, and classification on
+// the restored replica is bit-identical to the appended original.
+func TestSnapshotCarriesEpoch(t *testing.T) {
+	m, err := Build("epoch", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.Append(context.Background(), appendSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := next.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Summary().Epoch; got != 1 {
+		t.Errorf("restored epoch = %d, want 1", got)
+	}
+	probes := probeSet()
+	want := next.ClassifyBatch(context.Background(), probes, 0)
+	got := loaded.ClassifyBatch(context.Background(), probes, 0)
+	for i := range want {
+		if got[i].Cluster != want[i].Cluster ||
+			math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) {
+			t.Fatalf("probe %d: restored replica classified (%d, %x), appended original (%d, %x)",
+				i, got[i].Cluster, math.Float64bits(got[i].Distance), want[i].Cluster, math.Float64bits(want[i].Distance))
+		}
+	}
+}
+
+// TestConcurrentAppendAndClassify drives appends and classifies (plus sweep
+// builds) concurrently under the race detector: an append must never
+// disturb readers of already-published epochs — they share the appender's
+// segment index, which readers query only through their epoch's immutable
+// derived state.
+func TestConcurrentAppendAndClassify(t *testing.T) {
+	ctx := context.Background()
+	m, err := Build("racey", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := appendSet()
+	probes := probeSet()
+	const chunks = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer the published epochs while the writer appends.
+	published := make(chan *Model, chunks)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := m
+			for {
+				select {
+				case <-stop:
+					return
+				case next := <-published:
+					cur = next
+				default:
+				}
+				res := cur.ClassifyBatch(ctx, probes, 2)
+				for _, a := range res {
+					if a.Err != "" && a.Cluster != -1 {
+						t.Errorf("inconsistent assignment: %+v", a)
+					}
+				}
+				if _, err := cur.DendrogramAt(ctx, 40); err != nil {
+					t.Error(err)
+				}
+				_ = cur.Summary()
+			}
+		}()
+	}
+	cur := m
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*len(extra)/chunks, (c+1)*len(extra)/chunks
+		next, err := cur.Append(ctx, extra[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case published <- next:
+		default:
+		}
+		cur = next
+	}
+	close(stop)
+	wg.Wait()
+	if cur.Epoch() != chunks {
+		t.Fatalf("final epoch %d, want %d", cur.Epoch(), chunks)
+	}
+	// After the dust settles, the concurrent run equals the batch build.
+	batch, err := Build("racey-batch", append(append([]traclus.Trajectory{}, trainingSet()...), extra...), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns, bs := cur.Summary(), batch.Summary(); ns.Clusters != bs.Clusters ||
+		ns.TotalSegments != bs.TotalSegments || ns.QMeasure != bs.QMeasure {
+		t.Errorf("concurrent appends diverged from batch: %+v vs %+v", ns, bs)
+	}
+}
+
+// TestDiskStoreReplacePublishesNewEpoch pins the daemon's publish path: the
+// resident entry swaps immediately and the appended snapshot lands on disk.
+func TestDiskStoreReplacePublishesNewEpoch(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build("swap", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("swap", m); err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.Append(context.Background(), appendSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Replace("swap", next); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ds.mem.Get("swap")
+	if !ok || got != next {
+		t.Fatal("Replace did not swap the resident model")
+	}
+	ds.Quiesce()
+	if err := ds.SaveErr(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store on the same directory restores the appended epoch.
+	ds2, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, found, err := ds2.Get("swap")
+	if err != nil || !found {
+		t.Fatalf("reload: found=%v err=%v", found, err)
+	}
+	if got := loaded.Summary().Epoch; got != 1 {
+		t.Errorf("reloaded epoch = %d, want 1", got)
+	}
+	if got, want := loaded.Summary().TotalSegments, next.Summary().TotalSegments; got != want {
+		t.Errorf("reloaded TotalSegments = %d, want %d", got, want)
+	}
+}
+
+// TestAppendEmpty: an empty append succeeds and leaves the clustering
+// untouched.
+func TestAppendEmpty(t *testing.T) {
+	m, err := Build("empty", trainingSet(), buildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.Append(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Summary().TotalSegments != m.Summary().TotalSegments {
+		t.Errorf("empty append changed the clustering: %d -> %d segments",
+			m.Summary().TotalSegments, next.Summary().TotalSegments)
+	}
+}

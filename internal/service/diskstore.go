@@ -258,6 +258,20 @@ func (ds *DiskStore) Put(name string, m *Model) error {
 	return ds.mem.Put(name, m)
 }
 
+// Replace publishes a new epoch of an already-served model: the resident
+// cache entry swaps to m immediately (readers holding the old *Model finish
+// on their consistent pre-append view) and the snapshot persists
+// write-behind, like a fresh build — an append is an incremental build, and
+// a crash between the swap and the write loses at most the appended epoch,
+// never the model. ErrBuildInFlight passes through from the resident cache.
+func (ds *DiskStore) Replace(name string, m *Model) error {
+	if err := ds.mem.Put(name, m); err != nil {
+		return err
+	}
+	ds.saveBehind(name, m)
+	return nil
+}
+
 // Delete evicts the model and removes its snapshot file. It reports
 // whether either existed.
 func (ds *DiskStore) Delete(name string) bool {

@@ -87,6 +87,9 @@ func (m *Model) buildSnapshot() (*snapshot.Model, error) {
 			BuiltAtUnixNano: m.summary.BuiltAt.UnixNano(),
 			BuildDurationNS: int64(m.summary.BuildDuration),
 		},
+		// Format v4: the append epoch rides along so a restored replica
+		// reports the same model version it was exported at.
+		Epoch: m.summary.Epoch,
 	}
 	// The merge structure present at first export rides along as the format
 	// v2 section. Lazily-grown dendrograms appearing after the memoized
@@ -108,8 +111,12 @@ func (m *Model) buildSnapshot() (*snapshot.Model, error) {
 	if g.Timed() && m.res != nil {
 		sm.Windows = append([]traclus.Interval(nil), m.res.ClusterWindows()...)
 	}
-	if m.cls != nil {
-		cs, err := m.cls.Snapshot()
+	cls, err := m.classifier()
+	if err != nil {
+		return nil, fmt.Errorf("service: snapshotting %q: %w", m.summary.Name, err)
+	}
+	if cls != nil {
+		cs, err := cls.Snapshot()
 		if err != nil {
 			return nil, fmt.Errorf("service: snapshotting %q: %w", m.summary.Name, err)
 		}
@@ -177,6 +184,7 @@ func FromSnapshot(sm *snapshot.Model) (*Model, error) {
 			QMeasure:        sm.Stats.QMeasure,
 			Geometry:        geo.Kind.String(),
 			TemporalWeight:  geo.WT,
+			Epoch:           sm.Epoch,
 			BuiltAt:         time.Unix(0, sm.Stats.BuiltAtUnixNano).UTC(),
 			BuildDuration:   time.Duration(sm.Stats.BuildDurationNS),
 			ClusterStats:    make([]traclus.ClusterStat, len(sm.Clusters)),

@@ -42,21 +42,26 @@ type Assignment struct {
 
 // Summary is the serializable description of a model.
 type Summary struct {
-	Name            string                `json:"name"`
-	Clusters        int                   `json:"clusters"`
-	TotalSegments   int                   `json:"total_segments"`
-	NoiseSegments   int                   `json:"noise_segments"`
-	RemovedClusters int                   `json:"removed_clusters"`
-	Trajectories    int                   `json:"trajectories"`
-	Points          int                   `json:"points"`
-	Eps             float64               `json:"eps"`
-	MinLns          float64               `json:"min_lns"`
-	QMeasure        float64               `json:"q_measure"`
-	Geometry        string                `json:"geometry,omitempty"`
-	TemporalWeight  float64               `json:"wt,omitempty"`
-	BuiltAt         time.Time             `json:"built_at"`
-	BuildDuration   time.Duration         `json:"build_duration_ns"`
-	ClusterStats    []traclus.ClusterStat `json:"cluster_stats"`
+	Name            string  `json:"name"`
+	Clusters        int     `json:"clusters"`
+	TotalSegments   int     `json:"total_segments"`
+	NoiseSegments   int     `json:"noise_segments"`
+	RemovedClusters int     `json:"removed_clusters"`
+	Trajectories    int     `json:"trajectories"`
+	Points          int     `json:"points"`
+	Eps             float64 `json:"eps"`
+	MinLns          float64 `json:"min_lns"`
+	QMeasure        float64 `json:"q_measure"`
+	Geometry        string  `json:"geometry,omitempty"`
+	TemporalWeight  float64 `json:"wt,omitempty"`
+	// Epoch counts the incremental appends absorbed since the from-scratch
+	// build: 0 for a fresh batch build, incremented by every Model.Append.
+	// It versions the model's state — a client that remembers the epoch of
+	// its last read can tell whether a later response reflects newer data.
+	Epoch         int64                 `json:"epoch"`
+	BuiltAt       time.Time             `json:"built_at"`
+	BuildDuration time.Duration         `json:"build_duration_ns"`
+	ClusterStats  []traclus.ClusterStat `json:"cluster_stats"`
 }
 
 // Model is an immutable snapshot of one built clustering plus everything
@@ -67,6 +72,22 @@ type Model struct {
 	summary Summary
 	res     *traclus.Result // nil for models loaded from a snapshot
 	cls     *traclus.Classifier
+
+	// Lazy classifier (appended models only): the append path must build
+	// zero spatial indexes, so the classifier over the post-append reference
+	// segments is constructed on the first Classify/snapshot instead of
+	// inside Append. clsOnce/clsErr memoize it into cls; eagerly-built
+	// models (fresh builds, snapshot loads) leave clsLazy nil.
+	clsOnce sync.Once
+	clsLazy func() (*traclus.Classifier, error)
+	clsErr  error
+
+	// Incremental growth: ap is the appender the model was built through
+	// and lin the lineage every epoch of this model shares. Both are nil
+	// for snapshot-loaded models — their training geometry is gone, so
+	// Append returns ErrNotAppendable. See append.go in this package.
+	ap  *traclus.Appender
+	lin *lineage
 
 	// cfg is the resolved build configuration (estimation already folded
 	// into Eps/MinLns). The snapshot layer serializes it so a loaded model
@@ -124,7 +145,11 @@ func Build(name string, trs []traclus.Trajectory, cfg traclus.Config) (*Model, e
 // The build-count test pins this.
 func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg traclus.Config, est *EstimateRange, progress func(phase string, fraction float64)) (*Model, error) {
 	start := time.Now()
-	res, err := traclus.New(buildOptions(cfg, est, progress)...).Run(ctx, trs)
+	// Building through the appender keeps the model growable: the result is
+	// bit-identical to Pipeline.Run (the append equivalence suite pins the
+	// initial build), and the retained appender lets Model.Append extend the
+	// clustering in O(Δ) instead of rebuilding.
+	ap, err := traclus.New(buildOptions(cfg, est, progress)...).NewAppender(ctx, trs)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +157,7 @@ func BuildCtx(ctx context.Context, name string, trs []traclus.Trajectory, cfg tr
 	for _, tr := range trs {
 		points += len(tr.Points)
 	}
-	return finishBuild(name, res, cfg, len(trs), points, start)
+	return finishBuild(name, ap, cfg, len(trs), points, start)
 }
 
 // BuildTimed is BuildTimedCtx with a background context.
@@ -148,7 +173,7 @@ func BuildTimed(name string, trs []traclus.TimedTrajectory, cfg traclus.Config) 
 // would over the spatial projections of trs.
 func BuildTimedCtx(ctx context.Context, name string, trs []traclus.TimedTrajectory, cfg traclus.Config, est *EstimateRange, progress func(phase string, fraction float64)) (*Model, error) {
 	start := time.Now()
-	res, err := traclus.New(buildOptions(cfg, est, progress)...).RunTimed(ctx, trs)
+	ap, err := traclus.New(buildOptions(cfg, est, progress)...).NewTimedAppender(ctx, trs)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +181,7 @@ func BuildTimedCtx(ctx context.Context, name string, trs []traclus.TimedTrajecto
 	for _, tr := range trs {
 		points += len(tr.Points)
 	}
-	return finishBuild(name, res, cfg, len(trs), points, start)
+	return finishBuild(name, ap, cfg, len(trs), points, start)
 }
 
 // buildOptions assembles the pipeline options shared by the spatial and
@@ -174,11 +199,12 @@ func buildOptions(cfg traclus.Config, est *EstimateRange, progress func(phase st
 	return opts
 }
 
-// finishBuild wraps a completed pipeline run as a servable model: estimated
-// parameters and the resolved geometry (a geodesic run's projection frame)
-// fold into the persisted config, and the summary statistics precompute so
-// serving reads never trigger O(n²) work.
-func finishBuild(name string, res *traclus.Result, cfg traclus.Config, trajectories, points int, start time.Time) (*Model, error) {
+// finishBuild wraps a completed appender build as a servable model:
+// estimated parameters and the resolved geometry (a geodesic run's
+// projection frame) fold into the persisted config, and the summary
+// statistics precompute so serving reads never trigger O(n²) work.
+func finishBuild(name string, ap *traclus.Appender, cfg traclus.Config, trajectories, points int, start time.Time) (*Model, error) {
+	res := ap.Result()
 	if res.Estimated != nil {
 		cfg.Eps = res.Estimated.Eps
 		cfg.MinLns = float64(res.Estimated.MinLnsLo+res.Estimated.MinLnsHi) / 2
@@ -194,6 +220,7 @@ func finishBuild(name string, res *traclus.Result, cfg traclus.Config, trajector
 	m := &Model{
 		res: res,
 		den: res.Dendrogram(), // non-nil on auto builds; persisted as format v2
+		ap:  ap,
 		cfg: cfg,
 		summary: Summary{
 			Name:            name,
@@ -222,6 +249,7 @@ func finishBuild(name string, res *traclus.Result, cfg traclus.Config, trajector
 	}
 	m.summary.BuiltAt = time.Now().UTC()
 	m.summary.BuildDuration = time.Since(start)
+	m.lin = &lineage{head: m}
 	return m, nil
 }
 
@@ -241,12 +269,27 @@ func (m *Model) Result() *traclus.Result { return m.res }
 // already substituted).
 func (m *Model) Config() traclus.Config { return m.cfg }
 
+// classifier resolves the model's classifier, building it on first use for
+// appended models (whose construction defers the reference-index build so
+// the append path itself builds zero indexes). nil with a nil error means
+// the clustering has no clusters to classify against.
+func (m *Model) classifier() (*traclus.Classifier, error) {
+	if m.clsLazy != nil {
+		m.clsOnce.Do(func() { m.cls, m.clsErr = m.clsLazy() })
+	}
+	return m.cls, m.clsErr
+}
+
 // Classify assigns one trajectory to its nearest cluster.
 func (m *Model) Classify(tr traclus.Trajectory) (clusterID int, distance float64, err error) {
-	if m.cls == nil {
+	cls, err := m.classifier()
+	if err != nil {
+		return -1, 0, err
+	}
+	if cls == nil {
 		return -1, 0, traclus.ErrNoClusters
 	}
-	return m.cls.Classify(tr)
+	return cls.Classify(tr)
 }
 
 // ClassifyTimed assigns one timed trajectory to its nearest cluster under
@@ -254,10 +297,14 @@ func (m *Model) Classify(tr traclus.Trajectory) (clusterID int, distance float64
 // cluster windows; identical to Classify on the spatial projection under a
 // planar model).
 func (m *Model) ClassifyTimed(tr traclus.TimedTrajectory) (clusterID int, distance float64, err error) {
-	if m.cls == nil {
+	cls, err := m.classifier()
+	if err != nil {
+		return -1, 0, err
+	}
+	if cls == nil {
 		return -1, 0, traclus.ErrNoClusters
 	}
-	return m.cls.ClassifyTimed(tr)
+	return cls.ClassifyTimed(tr)
 }
 
 // ClassifyBatch classifies many trajectories, fanned out across workers

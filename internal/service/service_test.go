@@ -343,6 +343,43 @@ func TestModelBuildConstructsOneIndexPerDataset(t *testing.T) {
 		if got := segpool.Builds() - poolsBefore; got != 0 {
 			t.Errorf("workers=%d: serving classifies constructed %d extra segment pools, want 0", workers, got)
 		}
+		// The append path is growth, not construction: the model's one
+		// segment index absorbs the new partitions in place — ZERO new index
+		// builds, zero new pools, and the growth registers in the separate
+		// Grows counter so the two operations never alias in these pins.
+		extra := trainingSet()
+		for i := range extra {
+			extra[i].ID += 1000
+		}
+		before = spindex.Builds()
+		poolsBefore = segpool.Builds()
+		growsBefore := spindex.Grows()
+		next, err := m.Append(context.Background(), extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spindex.Builds() - before; got != 0 {
+			t.Errorf("workers=%d: append constructed %d indexes, want 0", workers, got)
+		}
+		if got := segpool.Builds() - poolsBefore; got != 0 {
+			t.Errorf("workers=%d: append constructed %d segment pools, want 0", workers, got)
+		}
+		if got := spindex.Grows() - growsBefore; got < 1 {
+			t.Errorf("workers=%d: append registered %d index growths, want ≥ 1", workers, got)
+		}
+		// The post-append classifier is rebuilt lazily: the first classify on
+		// the new epoch constructs the reference index (a new dataset — the
+		// representatives changed), exactly once, and later calls reuse it.
+		before = spindex.Builds()
+		if _, _, err := next.Classify(trainingSet()[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := next.Classify(trainingSet()[1]); err != nil {
+			t.Fatal(err)
+		}
+		if got := spindex.Builds() - before; got != 1 {
+			t.Errorf("workers=%d: first classify after append constructed %d indexes, want exactly 1", workers, got)
+		}
 	}
 	// An auto-estimated build shares the one segment index between the
 	// estimation sweep and the grouping phase: still two builds total, and

@@ -31,9 +31,9 @@ var update = flag.Bool("update", false, "rewrite the current-version golden snap
 // reference segments would imply), negative coordinates, exact float64
 // values that do not round-trip through text, (since v2) a dendrogram
 // section with a self-neighbor, a negative trajectory id, and a distance
-// one ulp under MaxEps, and (since v3) a spatiotemporal geometry section
-// with a fractional temporal weight and per-cluster windows including a
-// zero-length one.
+// one ulp under MaxEps, (since v3) a spatiotemporal geometry section with a
+// fractional temporal weight and per-cluster windows including a zero-length
+// one, and (since v4) a non-zero append epoch.
 func goldenModel() *Model {
 	return &Model{
 		Name: "golden-v1",
@@ -104,6 +104,7 @@ func goldenModel() *Model {
 			{Start: 1000.5, End: 2000.25},
 			{Start: 3000, End: 3000}, // a single-instant window is legal
 		},
+		Epoch: 7,
 	}
 }
 

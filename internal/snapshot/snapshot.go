@@ -57,7 +57,11 @@ import (
 //	   the per-cluster time windows of a spatiotemporal model. v1/v2
 //	   snapshots decode with the zero geometry section, i.e. planar — the
 //	   exact semantics they were written under.
-const Version = 3
+//	4: v3 walk followed by the append epoch — how many incremental appends
+//	   the model has absorbed since its from-scratch build. Earlier
+//	   versions decode to epoch 0 (a pure batch build), which is exactly
+//	   what they were.
+const Version = 4
 
 // magic identifies a snapshot file; it is the first eight bytes.
 const magic = "TRACSNAP"
@@ -212,6 +216,10 @@ type Model struct {
 	// Windows are the per-cluster time windows of a spatiotemporal model,
 	// index-aligned with Clusters; empty for every other geometry.
 	Windows []geometry.Interval
+	// Epoch counts the incremental appends absorbed since the from-scratch
+	// build (format v4+); 0 for batch-built models and for snapshots that
+	// predate the append path.
+	Epoch int64
 }
 
 // maxNameLen bounds the model name, mirroring the daemon's name rule.
@@ -324,6 +332,9 @@ func (m *Model) validateGeometry() error {
 		}
 	} else if len(m.Windows) != 0 {
 		return &InvalidError{Field: "Windows", Reason: "cluster windows only valid with the spatiotemporal geometry"}
+	}
+	if m.Epoch < 0 {
+		return &InvalidError{Field: "Epoch", Reason: "must be non-negative"}
 	}
 	return nil
 }
@@ -475,6 +486,8 @@ func encodePayload(m *Model) []byte {
 		e.f64(w.Start)
 		e.f64(w.End)
 	}
+	// v4: the append epoch after the geometry section.
+	e.uvarint(uint64(m.Epoch))
 	return e.buf
 }
 
@@ -537,6 +550,9 @@ func Decode(data []byte) (*Model, error) {
 	}
 	if err == nil && version >= 3 {
 		err = decodeGeometryV3(d, m)
+	}
+	if err == nil && version >= 4 {
+		err = decodeEpochV4(d, m)
 	}
 	if err != nil {
 		return nil, err
@@ -729,6 +745,20 @@ func decodeGeometryV3(d *decoder, m *Model) error {
 			}
 		}
 	}
+	return nil
+}
+
+// decodeEpochV4 reads the append epoch that follows the geometry section in
+// format v4.
+func decodeEpochV4(d *decoder, m *Model) error {
+	var e uint64
+	if err := d.uvarint(&e); err != nil {
+		return err
+	}
+	if e > math.MaxInt64 {
+		return d.corrupt(fmt.Sprintf("epoch %d out of range", e))
+	}
+	m.Epoch = int64(e)
 	return nil
 }
 

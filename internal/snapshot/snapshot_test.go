@@ -160,10 +160,12 @@ func TestHostileCount(t *testing.T) {
 	m := sampleModel()
 	m.Clusters = nil
 	data := mustEncode(t, m)
-	// Rewrite the trailing cluster count (0, one byte) to a huge uvarint,
-	// fixing up length and CRC so only the count guard can reject it.
-	payload := append([]byte(nil), data[headerSize:len(data)-1]...)
+	// Rewrite the windows count (0, the second-to-last byte — only the
+	// one-byte epoch follows it) to a huge uvarint, fixing up length and CRC
+	// so only the count guard can reject it.
+	payload := append([]byte(nil), data[headerSize:len(data)-2]...)
 	payload = binary.AppendUvarint(payload, 1<<40)
+	payload = append(payload, 0) // epoch
 	out := append([]byte(nil), data[:len(magic)+2]...)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))

@@ -76,6 +76,26 @@ var builds atomic.Int64
 // Builds returns the number of indexes built through Build so far.
 func Builds() int64 { return builds.Load() }
 
+// grows counts every incremental growth through Searcher.Grow since process
+// start — the second half of the accounting story: an append must register
+// here and NOT in builds, so tests can pin "zero new index builds on the
+// append path" without the two operations aliasing.
+var grows atomic.Int64
+
+// Grows returns the number of incremental index growths so far.
+func Grows() int64 { return grows.Load() }
+
+// Inserter is the optional growth extension of SegmentIndex: backends whose
+// indexes can absorb appended segments in place implement it, and
+// Searcher.Grow type-asserts for it. Insert appends segs after the ids
+// already indexed (the k-th inserted segment gets id Len()+k at call time)
+// and must preserve the conservative-candidate contract for old and new ids
+// alike. Unlike queries, Insert is NOT safe to run concurrently with
+// anything — the owner serialises growth against queries.
+type Inserter interface {
+	Insert(segs []geom.Segment)
+}
+
 // Build constructs backend's index over segs, recording the construction in
 // the package build counter. All in-repo call sites build through this
 // function (never backend.Build directly) so the counter sees custom
@@ -121,12 +141,19 @@ func (g gridIndex) Query() Query {
 	return &gridQuery{idx: g.idx, seen: make([]bool, g.idx.Len())}
 }
 
+func (g gridIndex) Insert(segs []geom.Segment) { g.idx.Insert(segs) }
+
 type gridQuery struct {
 	idx  *gridindex.Index
 	seen []bool
 }
 
 func (q *gridQuery) Within(rect geom.Rect, r float64, dst []int) []int {
+	// The index may have grown since this cursor was created; resize the
+	// dedup scratch to the live segment count before delegating.
+	if n := q.idx.Len(); len(q.seen) < n {
+		q.seen = make([]bool, n)
+	}
 	return q.idx.Candidates(rect, r, dst, q.seen)
 }
 
@@ -150,6 +177,13 @@ func (t rtreeIndex) Len() int { return t.tree.Len() }
 
 func (t rtreeIndex) Query() Query { return rtreeQuery{tree: t.tree} }
 
+func (t rtreeIndex) Insert(segs []geom.Segment) {
+	base := t.tree.Len()
+	for k, s := range segs {
+		t.tree.Insert(s.Bounds(), base+k)
+	}
+}
+
 type rtreeQuery struct{ tree *rtree.Tree }
 
 func (q rtreeQuery) Within(rect geom.Rect, r float64, dst []int) []int {
@@ -167,19 +201,24 @@ type bruteBackend struct{}
 func (bruteBackend) Name() string { return "brute" }
 
 func (bruteBackend) Build(segs []geom.Segment) SegmentIndex {
-	return bruteIndex{n: len(segs)}
+	return &bruteIndex{n: len(segs)}
 }
 
 type bruteIndex struct{ n int }
 
-func (b bruteIndex) Len() int { return b.n }
+func (b *bruteIndex) Len() int { return b.n }
 
-func (b bruteIndex) Query() Query { return bruteQuery{n: b.n} }
+// Query cursors reference the index rather than copying n so a cursor
+// created before a Grow sees appended ids, matching the pointer-backed grid
+// and R-tree cursors.
+func (b *bruteIndex) Query() Query { return bruteQuery{idx: b} }
 
-type bruteQuery struct{ n int }
+func (b *bruteIndex) Insert(segs []geom.Segment) { b.n += len(segs) }
+
+type bruteQuery struct{ idx *bruteIndex }
 
 func (q bruteQuery) Within(_ geom.Rect, _ float64, dst []int) []int {
-	for j := 0; j < q.n; j++ {
+	for j := 0; j < q.idx.n; j++ {
 		dst = append(dst, j)
 	}
 	return dst
